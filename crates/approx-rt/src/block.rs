@@ -1,0 +1,101 @@
+//! Approximable-block descriptors.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an approximable block within an application's block list.
+///
+/// Blocks are identified positionally; the order is fixed by the
+/// application's [`crate::app::AppMeta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub usize);
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AB{}", self.0)
+    }
+}
+
+/// The approximation technique a block implements (paper Sec. 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TechniqueKind {
+    /// Skip a fraction of a loop's iterations (stride sampling).
+    LoopPerforation,
+    /// Drop the last few iterations of a loop.
+    LoopTruncation,
+    /// Compute-and-cache: reuse a cached result for most iterations.
+    Memoization,
+    /// Use an accuracy-controlling input parameter of the application.
+    ParameterTuning,
+}
+
+impl std::fmt::Display for TechniqueKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TechniqueKind::LoopPerforation => "loop perforation",
+            TechniqueKind::LoopTruncation => "loop truncation",
+            TechniqueKind::Memoization => "memoization",
+            TechniqueKind::ParameterTuning => "parameter tuning",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static description of one approximable block.
+///
+/// # Example
+///
+/// ```
+/// use opprox_approx_rt::block::{BlockDescriptor, TechniqueKind};
+///
+/// let b = BlockDescriptor::new("forces_on_elements", TechniqueKind::LoopPerforation, 5);
+/// assert_eq!(b.num_levels(), 6); // levels 0..=5
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockDescriptor {
+    /// Human-readable kernel name (e.g. `forces_on_elements`).
+    pub name: String,
+    /// The technique used to approximate this block.
+    pub technique: TechniqueKind,
+    /// Maximum approximation level; level 0 is always the accurate run.
+    pub max_level: u8,
+}
+
+impl BlockDescriptor {
+    /// Creates a descriptor.
+    pub fn new(name: impl Into<String>, technique: TechniqueKind, max_level: u8) -> Self {
+        BlockDescriptor {
+            name: name.into(),
+            technique,
+            max_level,
+        }
+    }
+
+    /// Number of discrete levels, including the accurate level 0.
+    pub fn num_levels(&self) -> usize {
+        self.max_level as usize + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_id_displays_positionally() {
+        assert_eq!(BlockId(2).to_string(), "AB2");
+    }
+
+    #[test]
+    fn technique_kind_displays_paper_names() {
+        assert_eq!(TechniqueKind::LoopPerforation.to_string(), "loop perforation");
+        assert_eq!(TechniqueKind::Memoization.to_string(), "memoization");
+    }
+
+    #[test]
+    fn num_levels_includes_accurate_level() {
+        let b = BlockDescriptor::new("k", TechniqueKind::LoopTruncation, 0);
+        assert_eq!(b.num_levels(), 1);
+        let b = BlockDescriptor::new("k", TechniqueKind::LoopTruncation, 7);
+        assert_eq!(b.num_levels(), 8);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the approximation runtime.
+
+use std::fmt;
+
+/// Errors produced by the approximation runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A level configuration had the wrong number of blocks.
+    BlockCountMismatch {
+        /// Blocks the application declares.
+        expected: usize,
+        /// Blocks the configuration provides.
+        actual: usize,
+    },
+    /// A level exceeded the block's maximum.
+    LevelOutOfRange {
+        /// The block whose level was out of range.
+        block: String,
+        /// The offending level.
+        level: u8,
+        /// The block's maximum level.
+        max: u8,
+    },
+    /// Input parameters did not match the application's declaration.
+    InvalidInput(String),
+    /// A phase schedule was malformed (zero phases, zero expected
+    /// iterations, or per-phase configs of inconsistent shape).
+    InvalidSchedule(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::BlockCountMismatch { expected, actual } => write!(
+                f,
+                "level configuration covers {actual} blocks, application declares {expected}"
+            ),
+            RuntimeError::LevelOutOfRange { block, level, max } => {
+                write!(f, "level {level} for block `{block}` exceeds maximum {max}")
+            }
+            RuntimeError::InvalidInput(msg) => write!(f, "invalid input parameters: {msg}"),
+            RuntimeError::InvalidSchedule(msg) => write!(f, "invalid phase schedule: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RuntimeError::BlockCountMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("3 blocks"));
+        let e = RuntimeError::LevelOutOfRange {
+            block: "forces".into(),
+            level: 9,
+            max: 5,
+        };
+        assert!(e.to_string().contains("forces"));
+        assert!(e.to_string().contains('9'));
+    }
+}

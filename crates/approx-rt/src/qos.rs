@@ -1,0 +1,155 @@
+//! Quality-of-service metrics (paper Sec. 3.1).
+//!
+//! Applications without a domain-specific metric use the default
+//! *relative distortion* (Rinard, ICS 2006): the relative scaled
+//! difference between the approximate and exact outputs. Image/video
+//! applications use PSNR, where *higher* is better; for a uniform
+//! "lower is better" degradation scale the video application reports
+//! `PSNR_CAP − psnr` (see [`PSNR_CAP`]).
+
+/// The PSNR value (dB) treated as "indistinguishable from exact". PSNR of
+/// identical signals is infinite; capping keeps degradation finite.
+pub const PSNR_CAP: f64 = 60.0;
+
+/// Saturation value for QoS degradation. A run whose output diverged this
+/// far is unusable regardless of the exact number — the analogue of the
+/// "crash or unusable quality" outcomes that the paper's sensitivity
+/// profiling filters out. Saturating keeps the error models' target space
+/// bounded instead of chasing numerically meaningless 10⁶% distortions.
+pub const QOS_SATURATION: f64 = 1e4;
+
+/// Relative scaled distortion between an exact and an approximate output
+/// vector, in percent.
+///
+/// For each element the absolute difference is scaled by the magnitude of
+/// the exact element (or by 1 when the exact element is tiny), then
+/// averaged and multiplied by 100.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use opprox_approx_rt::qos::relative_distortion;
+/// let exact = [100.0, 200.0];
+/// let approx = [110.0, 200.0];
+/// assert!((relative_distortion(&exact, &approx) - 5.0).abs() < 1e-12);
+/// ```
+pub fn relative_distortion(exact: &[f64], approx: &[f64]) -> f64 {
+    assert_eq!(
+        exact.len(),
+        approx.len(),
+        "distortion inputs must have equal length"
+    );
+    if exact.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = exact
+        .iter()
+        .zip(approx.iter())
+        .map(|(e, a)| {
+            let scale = e.abs().max(1e-9);
+            (a - e).abs() / scale
+        })
+        .sum();
+    (100.0 * sum / exact.len() as f64).min(QOS_SATURATION)
+}
+
+/// Peak signal-to-noise ratio in decibels between an exact and an
+/// approximate signal with the given peak value, capped at [`PSNR_CAP`].
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or `peak <= 0`.
+///
+/// # Example
+///
+/// ```
+/// use opprox_approx_rt::qos::{psnr, PSNR_CAP};
+/// assert_eq!(psnr(&[1.0, 2.0], &[1.0, 2.0], 255.0), PSNR_CAP);
+/// assert!(psnr(&[0.0, 255.0], &[255.0, 0.0], 255.0) < 1.0);
+/// ```
+pub fn psnr(exact: &[f64], approx: &[f64], peak: f64) -> f64 {
+    assert_eq!(exact.len(), approx.len(), "psnr inputs must have equal length");
+    assert!(peak > 0.0, "psnr peak must be positive");
+    if exact.is_empty() {
+        return PSNR_CAP;
+    }
+    let mse: f64 = exact
+        .iter()
+        .zip(approx.iter())
+        .map(|(e, a)| (e - a) * (e - a))
+        .sum::<f64>()
+        / exact.len() as f64;
+    if mse == 0.0 {
+        return PSNR_CAP;
+    }
+    (10.0 * (peak * peak / mse).log10()).min(PSNR_CAP)
+}
+
+/// Converts a PSNR value into a "lower is better" degradation on the same
+/// scale as [`relative_distortion`]: `PSNR_CAP − psnr`, clamped at 0.
+pub fn psnr_degradation(psnr_value: f64) -> f64 {
+    (PSNR_CAP - psnr_value).max(0.0)
+}
+
+/// Recovers the PSNR from a degradation produced by [`psnr_degradation`].
+pub fn degradation_to_psnr(degradation: f64) -> f64 {
+    PSNR_CAP - degradation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distortion_of_identical_outputs_is_zero() {
+        assert_eq!(relative_distortion(&[1.0, -2.0, 3.0], &[1.0, -2.0, 3.0]), 0.0);
+        assert_eq!(relative_distortion(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn distortion_scales_relatively() {
+        // 10% error on every element -> 10.
+        let exact = [10.0, 100.0, 1000.0];
+        let approx = [11.0, 110.0, 1100.0];
+        assert!((relative_distortion(&exact, &approx) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distortion_handles_near_zero_exact_values() {
+        let d = relative_distortion(&[0.0], &[0.5]);
+        assert!(d.is_finite());
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn distortion_rejects_length_mismatch() {
+        relative_distortion(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // MSE = 1, peak = 255 -> PSNR = 20 log10(255) ≈ 48.13 dB.
+        let exact = [0.0, 2.0];
+        let approx = [1.0, 3.0];
+        let p = psnr(&exact, &approx, 255.0);
+        assert!((p - 48.1308).abs() < 1e-3, "psnr {p}");
+    }
+
+    #[test]
+    fn psnr_caps_for_identical_signals() {
+        assert_eq!(psnr(&[5.0; 4], &[5.0; 4], 255.0), PSNR_CAP);
+        assert_eq!(psnr(&[], &[], 255.0), PSNR_CAP);
+    }
+
+    #[test]
+    fn psnr_degradation_round_trips() {
+        let p = 37.5;
+        assert!((degradation_to_psnr(psnr_degradation(p)) - p).abs() < 1e-12);
+        assert_eq!(psnr_degradation(PSNR_CAP + 5.0), 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! The four approximation techniques evaluated in the paper (Sec. 3.2).
+//!
+//! Each technique is expressed as a small, reusable helper so the
+//! benchmark applications approximate their kernels the same way the
+//! paper's transformed C/C++ code does:
+//!
+//! * **Loop perforation** — `for (i = 0; i < n; i += approx_level)`:
+//!   stride sampling over the iteration space.
+//! * **Loop truncation** — `for (i = 0; i < n − approx_level; i++)`:
+//!   dropping trailing iterations.
+//! * **Memoization** — compute on every `approx_level`-th iteration,
+//!   reuse the cached result otherwise.
+//! * **Parameter tuning** — map the level onto an accuracy-controlling
+//!   application parameter.
+
+/// Iterator over the indices a perforated loop visits.
+///
+/// Level 0 is the accurate run (stride 1); level `l` uses stride `l + 1`,
+/// matching the paper's `i = i + approx_level` with the convention that
+/// the exposed knob value `approx_level` is `level + 1` and level 0 means
+/// "no approximation".
+///
+/// # Example
+///
+/// ```
+/// use opprox_approx_rt::technique::perforated_indices;
+/// let idx: Vec<usize> = perforated_indices(10, 1).collect();
+/// assert_eq!(idx, vec![0, 2, 4, 6, 8]);
+/// ```
+pub fn perforated_indices(n: usize, level: u8) -> impl Iterator<Item = usize> {
+    let stride = level as usize + 1;
+    (0..n).step_by(stride)
+}
+
+/// Number of iterations a perforated loop of `n` iterations executes.
+pub fn perforated_len(n: usize, level: u8) -> usize {
+    let stride = level as usize + 1;
+    n.div_ceil(stride)
+}
+
+/// Perforated indices with a rotating offset — the interleaved-sampling
+/// variant of loop perforation, where each outer-loop iteration visits a
+/// different residue class so every index is refreshed within
+/// `level + 1` outer iterations.
+///
+/// # Example
+///
+/// ```
+/// use opprox_approx_rt::technique::perforated_indices_offset;
+/// assert_eq!(perforated_indices_offset(8, 1, 0).collect::<Vec<_>>(), vec![0, 2, 4, 6]);
+/// assert_eq!(perforated_indices_offset(8, 1, 1).collect::<Vec<_>>(), vec![1, 3, 5, 7]);
+/// assert_eq!(perforated_indices_offset(8, 1, 2).collect::<Vec<_>>(), vec![0, 2, 4, 6]);
+/// ```
+pub fn perforated_indices_offset(
+    n: usize,
+    level: u8,
+    offset: usize,
+) -> impl Iterator<Item = usize> {
+    let stride = level as usize + 1;
+    (offset % stride..n).step_by(stride)
+}
+
+/// Number of iterations a truncated loop executes.
+///
+/// The paper's pattern is `for (i = 0; i < n − approx_level; i++)`; to
+/// make the knob meaningful across loop sizes, each level drops
+/// `drop_per_level` trailing iterations. The result never goes below
+/// `min_len`, so a kernel always does some work.
+///
+/// # Example
+///
+/// ```
+/// use opprox_approx_rt::technique::truncated_len;
+/// assert_eq!(truncated_len(100, 0, 10, 1), 100);
+/// assert_eq!(truncated_len(100, 3, 10, 1), 70);
+/// assert_eq!(truncated_len(100, 5, 30, 1), 1); // clamped to min_len
+/// ```
+pub fn truncated_len(n: usize, level: u8, drop_per_level: usize, min_len: usize) -> usize {
+    let drop = level as usize * drop_per_level;
+    n.saturating_sub(drop).max(min_len.min(n))
+}
+
+/// Iterator over the indices a truncated loop visits.
+pub fn truncated_indices(
+    n: usize,
+    level: u8,
+    drop_per_level: usize,
+    min_len: usize,
+) -> impl Iterator<Item = usize> {
+    0..truncated_len(n, level, drop_per_level, min_len)
+}
+
+/// Compute-and-cache helper implementing the paper's memoization pattern.
+///
+/// On iteration `i` at level `l > 0`, the value is recomputed only when
+/// `i % (l + 1) == 0`; otherwise the last computed value is reused.
+/// Level 0 recomputes every iteration.
+///
+/// # Example
+///
+/// ```
+/// use opprox_approx_rt::technique::Memoizer;
+///
+/// let mut memo = Memoizer::new();
+/// let mut computations = 0;
+/// for i in 0..10 {
+///     let v = memo.get_or_compute(i, 1, || { computations += 1; i * i });
+///     if i % 2 == 0 { assert_eq!(v, i * i); } else { assert_eq!(v, (i - 1) * (i - 1)); }
+/// }
+/// assert_eq!(computations, 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memoizer<T: Clone> {
+    cached: Option<T>,
+}
+
+impl<T: Clone> Memoizer<T> {
+    /// Creates an empty memoizer.
+    pub fn new() -> Self {
+        Memoizer { cached: None }
+    }
+
+    /// Returns whether iteration `i` at `level` must recompute.
+    ///
+    /// The first iteration always computes (there is nothing cached yet).
+    pub fn must_compute(&self, i: usize, level: u8) -> bool {
+        self.cached.is_none() || level == 0 || i % (level as usize + 1) == 0
+    }
+
+    /// Returns the cached value or computes (and caches) a fresh one
+    /// according to the memoization schedule.
+    pub fn get_or_compute<F: FnOnce() -> T>(&mut self, i: usize, level: u8, compute: F) -> T {
+        if self.must_compute(i, level) {
+            let v = compute();
+            self.cached = Some(v.clone());
+            v
+        } else {
+            self.cached.clone().expect("checked by must_compute")
+        }
+    }
+
+    /// Clears the cache (e.g. at the start of an outer-loop iteration).
+    pub fn reset(&mut self) {
+        self.cached = None;
+    }
+}
+
+/// Maps an approximation level onto a tunable application parameter
+/// (the paper's *parameter tuning* technique, e.g. Bodytrack's
+/// `min-particles` or annealing-layer count).
+///
+/// The `values` slice lists the parameter settings from accurate
+/// (`values[0]`) to most approximate (`values[max]`); out-of-range levels
+/// clamp to the last entry.
+///
+/// # Example
+///
+/// ```
+/// use opprox_approx_rt::technique::tuned_parameter;
+/// let particle_counts = [4000.0, 2000.0, 1000.0, 500.0];
+/// assert_eq!(tuned_parameter(&particle_counts, 0), 4000.0);
+/// assert_eq!(tuned_parameter(&particle_counts, 2), 1000.0);
+/// assert_eq!(tuned_parameter(&particle_counts, 9), 500.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn tuned_parameter(values: &[f64], level: u8) -> f64 {
+    assert!(!values.is_empty(), "parameter-tuning table cannot be empty");
+    values[(level as usize).min(values.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perforation_level_zero_is_accurate() {
+        let all: Vec<usize> = perforated_indices(7, 0).collect();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn perforation_stride_matches_level() {
+        assert_eq!(perforated_indices(10, 4).collect::<Vec<_>>(), vec![0, 5]);
+        assert_eq!(perforated_len(10, 4), 2);
+    }
+
+    #[test]
+    fn perforated_len_matches_iterator_count() {
+        for n in [0usize, 1, 5, 17, 100] {
+            for level in 0u8..6 {
+                assert_eq!(
+                    perforated_len(n, level),
+                    perforated_indices(n, level).count(),
+                    "n={n} level={level}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_drops_tail_and_respects_floor() {
+        assert_eq!(truncated_len(50, 0, 5, 2), 50);
+        assert_eq!(truncated_len(50, 2, 5, 2), 40);
+        assert_eq!(truncated_len(50, 5, 20, 2), 2);
+        // min_len larger than n clamps to n.
+        assert_eq!(truncated_len(3, 0, 5, 10), 3);
+        assert_eq!(truncated_indices(50, 2, 5, 2).count(), 40);
+    }
+
+    #[test]
+    fn memoizer_level_zero_always_computes() {
+        let mut memo = Memoizer::new();
+        let mut count = 0;
+        for i in 0..8 {
+            memo.get_or_compute(i, 0, || {
+                count += 1;
+                i
+            });
+        }
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn memoizer_reuses_between_compute_points() {
+        let mut memo = Memoizer::new();
+        let mut count = 0;
+        let mut values = Vec::new();
+        for i in 0..9 {
+            values.push(memo.get_or_compute(i, 2, || {
+                count += 1;
+                i * 10
+            }));
+        }
+        assert_eq!(count, 3); // i = 0, 3, 6
+        assert_eq!(values, vec![0, 0, 0, 30, 30, 30, 60, 60, 60]);
+    }
+
+    #[test]
+    fn memoizer_first_call_computes_even_misaligned() {
+        let mut memo = Memoizer::new();
+        // i = 1 at level 2 would normally reuse, but the cache is empty.
+        let v = memo.get_or_compute(1, 2, || 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn memoizer_reset_forces_recompute() {
+        let mut memo = Memoizer::new();
+        memo.get_or_compute(0, 3, || 1);
+        memo.reset();
+        let v = memo.get_or_compute(1, 3, || 2);
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn tuned_parameter_clamps() {
+        let vals = [10.0, 5.0];
+        assert_eq!(tuned_parameter(&vals, 0), 10.0);
+        assert_eq!(tuned_parameter(&vals, 1), 5.0);
+        assert_eq!(tuned_parameter(&vals, 200), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tuned_parameter_rejects_empty_table() {
+        tuned_parameter(&[], 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the approximation runtime.
+
+use opprox_approx_rt::block::{BlockDescriptor, TechniqueKind};
+use opprox_approx_rt::qos::{psnr, relative_distortion, PSNR_CAP, QOS_SATURATION};
+use opprox_approx_rt::technique::{
+    perforated_indices, perforated_indices_offset, perforated_len, truncated_len, Memoizer,
+};
+use opprox_approx_rt::{LevelConfig, PhaseSchedule};
+use proptest::prelude::*;
+
+proptest! {
+    /// Perforation visits a subset of the index space, in order, starting
+    /// at 0, and the count matches the closed form.
+    #[test]
+    fn perforation_visits_ordered_subset(n in 0usize..200, level in 0u8..8) {
+        let idx: Vec<usize> = perforated_indices(n, level).collect();
+        prop_assert_eq!(idx.len(), perforated_len(n, level));
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(idx.iter().all(|&i| i < n));
+        if n > 0 {
+            prop_assert_eq!(idx[0], 0);
+        }
+    }
+
+    /// Rotating-offset perforation covers EVERY index within one full
+    /// stride cycle of outer iterations.
+    #[test]
+    fn offset_perforation_covers_everything_per_cycle(n in 1usize..100, level in 0u8..6) {
+        let stride = level as usize + 1;
+        let mut seen = vec![false; n];
+        for offset in 0..stride {
+            for i in perforated_indices_offset(n, level, offset) {
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "uncovered indices at level {level}");
+    }
+
+    /// Truncation never yields more iterations than the original loop and
+    /// is monotone non-increasing in the level.
+    #[test]
+    fn truncation_is_monotone(n in 1usize..300, drop in 1usize..50, min_len in 0usize..20) {
+        let mut prev = usize::MAX;
+        for level in 0u8..8 {
+            let len = truncated_len(n, level, drop, min_len);
+            prop_assert!(len <= n);
+            prop_assert!(len <= prev);
+            prev = len;
+        }
+    }
+
+    /// Memoization at level `l` computes exactly ceil(n / (l+1)) times
+    /// over n sequential iterations starting from an empty cache.
+    #[test]
+    fn memoizer_compute_count_matches_stride(n in 1usize..100, level in 0u8..6) {
+        let mut memo: Memoizer<usize> = Memoizer::new();
+        let mut computes = 0usize;
+        for i in 0..n {
+            memo.get_or_compute(i, level, || { computes += 1; i });
+        }
+        prop_assert_eq!(computes, n.div_ceil(level as usize + 1));
+    }
+
+    /// Relative distortion is zero iff outputs match, non-negative, and
+    /// saturated at the crash plateau.
+    #[test]
+    fn distortion_properties(
+        exact in proptest::collection::vec(-100.0f64..100.0, 1..30),
+        noise in proptest::collection::vec(-1.0f64..1.0, 30),
+    ) {
+        prop_assert_eq!(relative_distortion(&exact, &exact), 0.0);
+        let approx: Vec<f64> = exact.iter().zip(noise.iter()).map(|(e, d)| e + d).collect();
+        let q = relative_distortion(&exact, &approx);
+        prop_assert!(q >= 0.0);
+        prop_assert!(q <= QOS_SATURATION);
+    }
+
+    /// PSNR is symmetric and capped.
+    #[test]
+    fn psnr_properties(
+        a in proptest::collection::vec(0.0f64..255.0, 4..40),
+        b in proptest::collection::vec(0.0f64..255.0, 40),
+    ) {
+        let b = &b[..a.len()];
+        let ab = psnr(&a, b, 255.0);
+        let ba = psnr(b, &a, 255.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab <= PSNR_CAP);
+        prop_assert!(ab > 0.0);
+    }
+
+    /// A single-phase probe schedule is accurate everywhere except its
+    /// designated phase.
+    #[test]
+    fn single_phase_probe_is_isolated(
+        phase in 0usize..4,
+        expected in 4u64..200,
+        levels in proptest::collection::vec(0u8..4, 2..4),
+    ) {
+        prop_assume!(levels.iter().any(|&l| l > 0));
+        let cfg = LevelConfig::new(levels);
+        let s = PhaseSchedule::single_phase(cfg.clone(), phase, 4, expected).unwrap();
+        for it in 0..expected {
+            if s.phase_of(it) == phase {
+                prop_assert_eq!(s.config_at(it), &cfg);
+            } else {
+                prop_assert!(s.config_at(it).is_accurate());
+            }
+        }
+    }
+
+    /// Validation accepts exactly the configurations whose levels are all
+    /// within their block maxima.
+    #[test]
+    fn config_validation_matches_levels(levels in proptest::collection::vec(0u8..8, 3)) {
+        let blocks = vec![
+            BlockDescriptor::new("a", TechniqueKind::LoopPerforation, 5),
+            BlockDescriptor::new("b", TechniqueKind::Memoization, 3),
+            BlockDescriptor::new("c", TechniqueKind::LoopTruncation, 6),
+        ];
+        let cfg = LevelConfig::new(levels.clone());
+        let ok = levels[0] <= 5 && levels[1] <= 3 && levels[2] <= 6;
+        prop_assert_eq!(cfg.validate(&blocks).is_ok(), ok);
+    }
+}

@@ -1,0 +1,80 @@
+//! A registry of the five benchmark applications, used by the experiment
+//! harness, examples, and integration tests.
+
+use crate::{Bodytrack, CoMd, Lulesh, Pso, VideoPipeline};
+use opprox_approx_rt::ApproxApp;
+
+/// Instantiates every benchmark application, in the paper's Table 1 order.
+///
+/// # Example
+///
+/// ```
+/// let apps = opprox_apps::registry::all_apps();
+/// let names: Vec<&str> = apps.iter().map(|a| a.meta().name.as_str()).collect();
+/// assert_eq!(names, ["LULESH", "FFmpeg", "Bodytrack", "PSO", "CoMD"]);
+/// ```
+pub fn all_apps() -> Vec<Box<dyn ApproxApp>> {
+    vec![
+        Box::new(Lulesh::new()),
+        Box::new(VideoPipeline::new()),
+        Box::new(Bodytrack::new()),
+        Box::new(Pso::new()),
+        Box::new(CoMd::new()),
+    ]
+}
+
+/// Looks an application up by its (case-insensitive) name.
+///
+/// # Example
+///
+/// ```
+/// let app = opprox_apps::registry::by_name("lulesh").unwrap();
+/// assert_eq!(app.meta().num_blocks(), 4);
+/// assert!(opprox_apps::registry::by_name("nosuch").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Box<dyn ApproxApp>> {
+    all_apps()
+        .into_iter()
+        .find(|a| a.meta().name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_five_apps_with_metadata() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 5);
+        for app in &apps {
+            let meta = app.meta();
+            assert!(!meta.name.is_empty());
+            assert!(meta.num_blocks() >= 3, "{} has too few blocks", meta.name);
+            assert!(!meta.input_param_names.is_empty());
+            assert!(
+                !app.representative_inputs().is_empty(),
+                "{} has no training inputs",
+                meta.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_representative_input_runs_golden() {
+        for app in all_apps() {
+            for input in app.representative_inputs() {
+                let g = app.golden(&input).expect("golden run");
+                assert!(g.work > 0);
+                assert!(g.outer_iters > 0);
+                assert!(!g.output.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(by_name("FFMPEG").is_some());
+        assert!(by_name("CoMD").is_some());
+        assert!(by_name("unknown").is_none());
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-application behavioural invariants.
+//!
+//! Every benchmark port must be a deterministic function of its inputs,
+//! must save work when approximated (per iteration), and must show the
+//! phase structure the paper's evaluation rests on.
+
+use opprox_approx_rt::config::local_sweep;
+use opprox_apps::registry::all_apps;
+use opprox_approx_rt::{ApproxApp, InputParams, LevelConfig, PhaseSchedule};
+
+/// A cheap input per application.
+fn cheap_input(name: &str) -> InputParams {
+    InputParams::new(match name {
+        "LULESH" => vec![48.0, 2.0],
+        "FFmpeg" => vec![12.0, 3.0, 600.0, 0.0],
+        "Bodytrack" => vec![3.0, 120.0, 12.0],
+        "PSO" => vec![16.0, 3.0],
+        "CoMD" => vec![3.0, 1.2, 60.0],
+        other => panic!("unknown app {other}"),
+    })
+}
+
+#[test]
+fn all_apps_are_deterministic_under_approximation() {
+    for app in all_apps() {
+        let name = app.meta().name.clone();
+        let input = cheap_input(&name);
+        let cfg = LevelConfig::new(
+            app.meta()
+                .blocks
+                .iter()
+                .map(|b| 1u8.min(b.max_level))
+                .collect(),
+        );
+        let schedule = PhaseSchedule::constant(cfg);
+        let a = app.run(&input, &schedule).expect("run a");
+        let b = app.run(&input, &schedule).expect("run b");
+        assert_eq!(a.output, b.output, "{name}: outputs differ between runs");
+        assert_eq!(a.work, b.work, "{name}: work differs");
+        assert_eq!(a.outer_iters, b.outer_iters, "{name}: iterations differ");
+    }
+}
+
+#[test]
+fn per_iteration_work_never_increases_with_perforation_level() {
+    use opprox_approx_rt::block::TechniqueKind;
+    for app in all_apps() {
+        let name = app.meta().name.clone();
+        let input = cheap_input(&name);
+        let blocks = &app.meta().blocks;
+        for (b, desc) in blocks.iter().enumerate() {
+            if desc.technique != TechniqueKind::LoopPerforation {
+                continue;
+            }
+            let mut prev = f64::INFINITY;
+            for config in local_sweep(blocks, b) {
+                let r = app
+                    .run(&input, &PhaseSchedule::constant(config.clone()))
+                    .expect("run");
+                let per_iter = r.work as f64 / r.outer_iters.max(1) as f64;
+                assert!(
+                    per_iter <= prev + 1e-9,
+                    "{name}/{}: per-iteration work rose {prev} -> {per_iter} at level {}",
+                    desc.name,
+                    config.level(b)
+                );
+                prev = per_iter;
+            }
+        }
+    }
+}
+
+#[test]
+fn phase_one_approximation_is_never_cheaper_than_phase_four() {
+    // Averaged over a few probe settings, the early phase must hurt QoS
+    // at least as much as the late phase for every application — the
+    // paper's central empirical claim.
+    for app in all_apps() {
+        let name = app.meta().name.clone();
+        let input = cheap_input(&name);
+        let golden = app.golden(&input).expect("golden");
+        let probes =
+            opprox_approx_rt::config::sample_configs(&app.meta().blocks, 5, 0xBE5);
+        let mean_qos = |phase: usize| -> f64 {
+            probes
+                .iter()
+                .map(|cfg| {
+                    let s = PhaseSchedule::single_phase(
+                        cfg.clone(),
+                        phase,
+                        4,
+                        golden.outer_iters,
+                    )
+                    .unwrap();
+                    let r = app.run(&input, &s).unwrap();
+                    app.qos_degradation(&golden, &r)
+                })
+                .sum::<f64>()
+                / probes.len() as f64
+        };
+        let early = mean_qos(0);
+        let late = mean_qos(3);
+        assert!(
+            early >= late,
+            "{name}: phase-1 mean qos {early} below phase-4 {late}"
+        );
+    }
+}
+
+#[test]
+fn accurate_schedule_reproduces_golden_exactly() {
+    for app in all_apps() {
+        let name = app.meta().name.clone();
+        let input = cheap_input(&name);
+        let golden = app.golden(&input).expect("golden");
+        // A multi-phase all-accurate schedule is semantically identical to
+        // the single-phase accurate schedule.
+        let schedule = PhaseSchedule::new(
+            vec![LevelConfig::accurate(app.meta().num_blocks()); 4],
+            golden.outer_iters,
+        )
+        .unwrap();
+        let r = app.run(&input, &schedule).expect("run");
+        assert_eq!(golden.output, r.output, "{name}: outputs differ");
+        assert_eq!(golden.work, r.work, "{name}: work differs");
+        assert_eq!(app.qos_degradation(&golden, &r), 0.0, "{name}");
+    }
+}
+
+#[test]
+fn logs_attribute_all_block_work() {
+    for app in all_apps() {
+        let name = app.meta().name.clone();
+        let input = cheap_input(&name);
+        let golden = app.golden(&input).expect("golden");
+        // Block-attributed work must be positive and bounded by the total.
+        let block_work: u64 = (0..app.meta().num_blocks())
+            .map(|b| golden.log.work_of_block(b))
+            .sum();
+        assert!(block_work > 0, "{name}: no block work logged");
+        assert!(
+            block_work <= golden.work,
+            "{name}: log work {block_work} exceeds total {}",
+            golden.work
+        );
+        // The log's iteration count matches the run's.
+        assert_eq!(
+            golden.log.outer_iterations(),
+            golden.outer_iters,
+            "{name}: log iterations disagree"
+        );
+    }
+}

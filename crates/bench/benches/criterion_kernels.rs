@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the core kernels: the ML substrate
+//! (polynomial regression, MIC, decision tree) and one simulation step of
+//! each benchmark application. These complement the figure/table benches
+//! by tracking the cost of OPPROX's own machinery.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use opprox_approx_rt::{InputParams, PhaseSchedule};
+use opprox_ml::dtree::{DecisionTree, TreeParams};
+use opprox_ml::mic::mic;
+use opprox_ml::polyreg::PolynomialRegression;
+
+fn regression_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| vec![(i % 17) as f64, (i % 5) as f64, (i % 3) as f64])
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|r| 1.0 + r[0] * 0.5 + r[1] * r[2] + r[0] * r[0] * 0.1)
+        .collect();
+    (xs, ys)
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let (xs, ys) = regression_data(200);
+    c.bench_function("polyreg_fit_degree3_200x3", |b| {
+        b.iter(|| PolynomialRegression::fit(&xs, &ys, 3).unwrap())
+    });
+    let model = PolynomialRegression::fit(&xs, &ys, 3).unwrap();
+    c.bench_function("polyreg_predict_one", |b| {
+        b.iter(|| model.predict_one(&[3.0, 2.0, 1.0]).unwrap())
+    });
+
+    let a: Vec<f64> = (0..256).map(|i| i as f64).collect();
+    let bvals: Vec<f64> = a.iter().map(|x| (x * 0.1).sin()).collect();
+    c.bench_function("mic_256_points", |b| b.iter(|| mic(&a, &bvals).unwrap()));
+
+    let labels: Vec<usize> = (0..200).map(|i| usize::from(i % 17 > 8)).collect();
+    c.bench_function("dtree_fit_200x3", |b| {
+        b.iter_batched(
+            || (xs.clone(), labels.clone()),
+            |(x, y)| DecisionTree::fit(&x, &y, TreeParams::default()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("golden_runs");
+    group.sample_size(10);
+    let cases: Vec<(&str, Vec<f64>)> = vec![
+        ("LULESH", vec![48.0, 2.0]),
+        ("CoMD", vec![3.0, 1.2, 60.0]),
+        ("FFmpeg", vec![12.0, 3.0, 600.0, 0.0]),
+        ("Bodytrack", vec![3.0, 120.0, 12.0]),
+        ("PSO", vec![16.0, 3.0]),
+    ];
+    for (name, params) in cases {
+        let app = opprox_apps::registry::by_name(name).unwrap();
+        let input = InputParams::new(params);
+        let schedule = PhaseSchedule::accurate(app.meta().num_blocks());
+        group.bench_function(name, |b| {
+            b.iter(|| app.run(&input, &schedule).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ml, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Shared helpers for the benchmark harness that regenerates every table
+//! and figure of the OPPROX paper. The actual experiments live in the
+//! `benches/` targets of this crate; see EXPERIMENTS.md at the repository
+//! root for the index.
+
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod table;
+
+pub use table::TextTable;

@@ -1,0 +1,209 @@
+//! A small, dependency-free argument parser for the `opprox` binary.
+//!
+//! Grammar: `opprox <command> [--flag value]...`. Flags always take a
+//! value; unknown flags are errors so typos fail loudly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand plus its `--flag value` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Errors from argument parsing and flag extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// A flag was given without a value.
+    MissingValue(String),
+    /// A required flag was absent.
+    MissingFlag(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A positional argument appeared where a flag was expected.
+    UnexpectedPositional(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing command; try `opprox help`"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgError::MissingFlag(flag) => write!(f, "required flag --{flag} is missing"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "--{flag} {value}: expected {expected}"),
+            ArgError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected argument `{arg}` (flags are --name value)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on an empty command line, a flag without a
+    /// value, or a stray positional argument.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        let mut iter = args.into_iter();
+        let command = iter.next().ok_or(ArgError::MissingCommand)?;
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                flags.insert(name.to_string(), value);
+            } else {
+                return Err(ArgError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(ParsedArgs { command, flags })
+    }
+
+    /// Returns a string flag, if present.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Returns a required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::MissingFlag`] when absent.
+    pub fn require(&self, flag: &str) -> Result<&str, ArgError> {
+        self.get(flag)
+            .ok_or_else(|| ArgError::MissingFlag(flag.to_string()))
+    }
+
+    /// Returns a required flag parsed as `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when absent or unparsable.
+    pub fn require_f64(&self, flag: &str) -> Result<f64, ArgError> {
+        let raw = self.require(flag)?;
+        raw.parse().map_err(|_| ArgError::BadValue {
+            flag: flag.to_string(),
+            value: raw.to_string(),
+            expected: "a number",
+        })
+    }
+
+    /// Returns an optional flag parsed as `usize`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] when present but unparsable.
+    pub fn usize_or(&self, flag: &str, default: usize) -> Result<usize, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+                expected: "a non-negative integer",
+            }),
+        }
+    }
+
+    /// Returns an optional flag parsed as `u64`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] when present but unparsable.
+    pub fn u64_or(&self, flag: &str, default: u64) -> Result<u64, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+                expected: "a non-negative integer",
+            }),
+        }
+    }
+
+    /// Parses a required comma-separated `--input 64,2` flag into values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when absent or any element fails to parse.
+    pub fn require_input(&self, flag: &str) -> Result<Vec<f64>, ArgError> {
+        let raw = self.require(flag)?;
+        raw.split(',')
+            .map(|part| {
+                part.trim().parse().map_err(|_| ArgError::BadValue {
+                    flag: flag.to_string(),
+                    value: raw.to_string(),
+                    expected: "comma-separated numbers, e.g. 64,2",
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<ParsedArgs, ArgError> {
+        ParsedArgs::parse(parts.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["train", "--app", "lulesh", "--phases", "4"]).unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.get("app"), Some("lulesh"));
+        assert_eq!(a.usize_or("phases", 1).unwrap(), 4);
+        assert_eq!(a.usize_or("sparse", 36).unwrap(), 36);
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed() {
+        assert_eq!(parse(&[]).unwrap_err(), ArgError::MissingCommand);
+        assert_eq!(
+            parse(&["train", "--app"]).unwrap_err(),
+            ArgError::MissingValue("app".into())
+        );
+        assert_eq!(
+            parse(&["train", "stray"]).unwrap_err(),
+            ArgError::UnexpectedPositional("stray".into())
+        );
+    }
+
+    #[test]
+    fn typed_accessors_validate() {
+        let a = parse(&["x", "--budget", "ten"]).unwrap();
+        assert!(matches!(a.require_f64("budget"), Err(ArgError::BadValue { .. })));
+        assert!(matches!(a.require("missing"), Err(ArgError::MissingFlag(_))));
+        let a = parse(&["x", "--budget", "12.5"]).unwrap();
+        assert_eq!(a.require_f64("budget").unwrap(), 12.5);
+    }
+
+    #[test]
+    fn input_lists_parse() {
+        let a = parse(&["x", "--input", "64, 2"]).unwrap();
+        assert_eq!(a.require_input("input").unwrap(), vec![64.0, 2.0]);
+        let a = parse(&["x", "--input", "64;2"]).unwrap();
+        assert!(a.require_input("input").is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! Implementations of the `opprox` subcommands.
+//!
+//! This is the Rust equivalent of the paper's runtime workflow (Sec. 4.2):
+//! trained models are stored on disk, a job is submitted with a target
+//! error budget, the runtime loads the models, finds the best
+//! phase-specific approximation settings, and passes them to the job.
+
+use crate::args::ParsedArgs;
+use opprox_approx_rt::{ApproxApp, InputParams};
+use opprox_core::oracle::phase_agnostic_oracle;
+use opprox_core::phases::{find_phase_granularity, PhaseSearchOptions};
+use opprox_core::pipeline::{Opprox, TrainedOpprox, TrainingOptions};
+use opprox_core::report::percent_less_work;
+use opprox_core::sampling::SamplingPlan;
+use opprox_core::AccuracySpec;
+use std::error::Error;
+
+/// The result alias used by every subcommand.
+pub type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Dispatches a parsed command line. Output is written to `out` so the
+/// commands are testable.
+///
+/// # Errors
+///
+/// Returns an error for unknown commands and propagates subcommand
+/// failures.
+pub fn dispatch(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
+    match args.command.as_str() {
+        "apps" => cmd_apps(out),
+        "phases" => cmd_phases(args, out),
+        "train" => cmd_train(args, out),
+        "optimize" => cmd_optimize(args, out),
+        "run" => cmd_run(args, out),
+        "oracle" => cmd_oracle(args, out),
+        "inspect" => cmd_inspect(args, out),
+        "compare" => cmd_compare(args, out),
+        "help" => cmd_help(out),
+        other => Err(format!("unknown command `{other}`; try `opprox help`").into()),
+    }
+}
+
+/// Prints the usage summary.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn cmd_help(out: &mut dyn std::io::Write) -> CmdResult {
+    writeln!(
+        out,
+        "opprox — phase-aware optimization of approximate programs (CGO'17 reproduction)\n\
+         \n\
+         USAGE: opprox <command> [--flag value]...\n\
+         \n\
+         COMMANDS\n\
+         \x20 apps                                   list the registered applications\n\
+         \x20 phases   --app A --input I             run Algorithm 1 (phase-granularity search)\n\
+         \x20 train    --app A --out FILE            profile + fit models, save to FILE\n\
+         \x20          [--phases N] [--sparse K] [--seed S]\n\
+         \x20 optimize --model FILE --input I --budget B\n\
+         \x20                                        solve Algorithm 2 (model-only)\n\
+         \x20 run      --model FILE --input I --budget B\n\
+         \x20                                        validated optimization + real execution\n\
+         \x20 oracle   --app A --input I --budget B  phase-agnostic exhaustive baseline\n\
+         \x20 inspect  --model FILE                   summarize a trained model\n\
+         \x20 compare  --app A --input I --budget B   OPPROX (validated) vs oracle in one shot\n\
+         \n\
+         Inputs are comma-separated parameter values, e.g. --input 64,2 for\n\
+         LULESH (mesh_length, num_regions)."
+    )?;
+    Ok(())
+}
+
+fn lookup_app(name: &str) -> Result<Box<dyn ApproxApp>, Box<dyn Error>> {
+    opprox_apps::registry::by_name(name).ok_or_else(|| {
+        let names: Vec<String> = opprox_apps::registry::all_apps()
+            .iter()
+            .map(|a| a.meta().name.clone())
+            .collect();
+        format!("unknown app `{name}`; available: {}", names.join(", ")).into()
+    })
+}
+
+fn cmd_apps(out: &mut dyn std::io::Write) -> CmdResult {
+    for app in opprox_apps::registry::all_apps() {
+        let meta = app.meta();
+        writeln!(out, "{}", meta.name)?;
+        writeln!(out, "  inputs: {}", meta.input_param_names.join(", "))?;
+        for (i, b) in meta.blocks.iter().enumerate() {
+            writeln!(
+                out,
+                "  block {i}: {} — {}, levels 0..={}",
+                b.name, b.technique, b.max_level
+            )?;
+        }
+        let examples: Vec<String> = app
+            .representative_inputs()
+            .iter()
+            .take(2)
+            .map(|p| {
+                p.values()
+                    .iter()
+                    .map(f64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        writeln!(out, "  example inputs: {}", examples.join(" | "))?;
+    }
+    Ok(())
+}
+
+fn cmd_phases(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
+    let app = lookup_app(args.require("app")?)?;
+    let input = InputParams::new(args.require_input("input")?);
+    let opts = PhaseSearchOptions {
+        probe_configs: args.usize_or("probes", 6)?,
+        seed: args.u64_or("seed", 0x9A5E)?,
+        ..PhaseSearchOptions::default()
+    };
+    let n = find_phase_granularity(app.as_ref(), &input, &opts)?;
+    writeln!(out, "Algorithm 1 chose {n} phases for {}", app.meta().name)?;
+    Ok(())
+}
+
+fn training_options(args: &ParsedArgs) -> Result<TrainingOptions, Box<dyn Error>> {
+    let phases = args.usize_or("phases", 4)?;
+    Ok(TrainingOptions {
+        num_phases: Some(phases),
+        sampling: SamplingPlan {
+            num_phases: phases,
+            sparse_samples: args.usize_or("sparse", 36)?,
+            whole_run_samples: 0,
+            seed: args.u64_or("seed", 11)?,
+        },
+        ..TrainingOptions::default()
+    })
+}
+
+fn cmd_train(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
+    let app = lookup_app(args.require("app")?)?;
+    let path = args.require("out")?;
+    let opts = training_options(args)?;
+    writeln!(out, "training OPPROX on {} …", app.meta().name)?;
+    let trained = Opprox::train(app.as_ref(), &opts)?;
+    for (phase, s_r2, q_r2) in trained.models().accuracy_summary() {
+        writeln!(
+            out,
+            "  phase {phase}: speedup R² {s_r2:.3}, qos R² {q_r2:.3}"
+        )?;
+    }
+    std::fs::write(path, trained.to_json()?)?;
+    writeln!(out, "model saved to {path}")?;
+    Ok(())
+}
+
+fn load_model(args: &ParsedArgs) -> Result<TrainedOpprox, Box<dyn Error>> {
+    let path = args.require("model")?;
+    let json = std::fs::read_to_string(path)?;
+    Ok(TrainedOpprox::from_json(&json)?)
+}
+
+fn cmd_optimize(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
+    let trained = load_model(args)?;
+    let input = InputParams::new(args.require_input("input")?);
+    let spec = AccuracySpec::try_new(args.require_f64("budget")?)?;
+    let plan = trained.optimize(&input, &spec)?;
+    writeln!(out, "plan for {} (model-only):", trained.app_name())?;
+    for (phase, cfg) in plan.schedule.configs().iter().enumerate() {
+        writeln!(out, "  phase {}: levels {:?}", phase + 1, cfg.levels())?;
+    }
+    writeln!(
+        out,
+        "predicted: {:.2}x speedup, {:.2} QoS degradation (budget {:.2})",
+        plan.predicted_speedup,
+        plan.predicted_qos,
+        spec.error_budget()
+    )?;
+    Ok(())
+}
+
+fn cmd_run(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
+    let trained = load_model(args)?;
+    let app = lookup_app(trained.app_name())?;
+    let input = InputParams::new(args.require_input("input")?);
+    let spec = AccuracySpec::try_new(args.require_f64("budget")?)?;
+    let (plan, outcome) = trained.optimize_validated(app.as_ref(), &input, &spec)?;
+    writeln!(out, "validated plan for {}:", trained.app_name())?;
+    for (phase, cfg) in plan.schedule.configs().iter().enumerate() {
+        writeln!(out, "  phase {}: levels {:?}", phase + 1, cfg.levels())?;
+    }
+    writeln!(
+        out,
+        "measured: {:.2}x speedup ({:.1}% less work), {:.2} QoS degradation \
+         (budget {:.2}), {} outer iterations",
+        outcome.speedup,
+        percent_less_work(outcome.speedup),
+        outcome.qos,
+        spec.error_budget(),
+        outcome.outer_iters
+    )?;
+    Ok(())
+}
+
+fn cmd_oracle(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
+    let app = lookup_app(args.require("app")?)?;
+    let input = InputParams::new(args.require_input("input")?);
+    let spec = AccuracySpec::try_new(args.require_f64("budget")?)?;
+    let r = phase_agnostic_oracle(app.as_ref(), &input, &spec)?;
+    match &r.config {
+        Some(cfg) => writeln!(
+            out,
+            "oracle best (over {} executions): levels {:?} — {:.2}x speedup \
+             ({:.1}% less work), {:.2} QoS degradation",
+            r.evaluated,
+            cfg.levels(),
+            r.speedup,
+            percent_less_work(r.speedup),
+            r.qos
+        )?,
+        None => writeln!(
+            out,
+            "oracle found no configuration within budget {:.2} \
+             (over {} executions)",
+            spec.error_budget(),
+            r.evaluated
+        )?,
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
+    let trained = load_model(args)?;
+    writeln!(out, "app: {}", trained.app_name())?;
+    writeln!(out, "phases: {}", trained.num_phases())?;
+    writeln!(
+        out,
+        "control-flow classes: {}",
+        trained.models().control_flow().num_classes()
+    )?;
+    writeln!(out, "per-phase combined-model cross-validation R²:")?;
+    for (phase, s_r2, q_r2) in trained.models().accuracy_summary() {
+        writeln!(out, "  phase {phase}: speedup {s_r2:.3}, qos {q_r2:.3}")?;
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
+    let app = lookup_app(args.require("app")?)?;
+    let input = InputParams::new(args.require_input("input")?);
+    let spec = AccuracySpec::try_new(args.require_f64("budget")?)?;
+    let opts = training_options(args)?;
+    writeln!(out, "training OPPROX on {} …", app.meta().name)?;
+    let trained = Opprox::train(app.as_ref(), &opts)?;
+    let (_, outcome) = trained.optimize_validated(app.as_ref(), &input, &spec)?;
+    let oracle = phase_agnostic_oracle(app.as_ref(), &input, &spec)?;
+    writeln!(
+        out,
+        "OPPROX : {:.1}% less work (measured qos {:.2}, budget {:.2})",
+        percent_less_work(outcome.speedup),
+        outcome.qos,
+        spec.error_budget()
+    )?;
+    writeln!(
+        out,
+        "oracle : {:.1}% less work (measured qos {:.2}, over {} executions)",
+        percent_less_work(oracle.speedup),
+        oracle.qos,
+        oracle.evaluated
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::ParsedArgs;
+
+    fn run(parts: &[&str]) -> Result<String, Box<dyn Error>> {
+        let args = ParsedArgs::parse(parts.iter().map(|s| s.to_string()))?;
+        let mut buf = Vec::new();
+        dispatch(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn help_and_apps_render() {
+        let help = run(&["help"]).unwrap();
+        assert!(help.contains("USAGE"));
+        let apps = run(&["apps"]).unwrap();
+        for name in ["LULESH", "FFmpeg", "Bodytrack", "PSO", "CoMD"] {
+            assert!(apps.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_and_app_are_reported() {
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&["phases", "--app", "nosuch", "--input", "1,2"]).is_err());
+    }
+
+    #[test]
+    fn oracle_runs_end_to_end() {
+        let out = run(&[
+            "oracle", "--app", "pso", "--input", "16,3", "--budget", "30",
+        ])
+        .unwrap();
+        assert!(out.contains("oracle"), "{out}");
+    }
+
+    #[test]
+    fn inspect_and_compare_work() {
+        let dir = std::env::temp_dir().join("opprox_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("pso2.json");
+        let model_s = model.to_str().unwrap();
+        run(&[
+            "train", "--app", "pso", "--out", model_s, "--phases", "2", "--sparse", "6",
+        ])
+        .unwrap();
+        let out = run(&["inspect", "--model", model_s]).unwrap();
+        assert!(out.contains("phases: 2"), "{out}");
+        let out = run(&[
+            "compare", "--app", "pso", "--input", "16,3", "--budget", "20",
+            "--phases", "2", "--sparse", "6",
+        ])
+        .unwrap();
+        assert!(out.contains("OPPROX :") && out.contains("oracle :"), "{out}");
+        std::fs::remove_file(model).ok();
+    }
+
+    #[test]
+    fn train_optimize_run_round_trip() {
+        let dir = std::env::temp_dir().join("opprox_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("pso.json");
+        let model_s = model.to_str().unwrap();
+        let out = run(&[
+            "train", "--app", "pso", "--out", model_s, "--phases", "2", "--sparse", "8",
+        ])
+        .unwrap();
+        assert!(out.contains("model saved"), "{out}");
+        let out = run(&[
+            "optimize", "--model", model_s, "--input", "16,3", "--budget", "10",
+        ])
+        .unwrap();
+        assert!(out.contains("plan for PSO"), "{out}");
+        let out = run(&[
+            "run", "--model", model_s, "--input", "16,3", "--budget", "10",
+        ])
+        .unwrap();
+        assert!(out.contains("measured:"), "{out}");
+        std::fs::remove_file(model).ok();
+    }
+}

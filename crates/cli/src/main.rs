@@ -1,0 +1,33 @@
+//! `opprox` — command-line front end for the OPPROX reproduction.
+//!
+//! Mirrors the paper's deployment workflow (Sec. 4.2): models are trained
+//! offline and stored on disk; at job-submission time the runtime loads
+//! them, solves for the best phase-specific approximation settings under
+//! the submitted error budget, and reports the schedule the job should
+//! run with.
+//!
+//! Run `opprox help` for usage.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::ParsedArgs::parse(argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut stdout = std::io::stdout();
+    match commands::dispatch(&parsed, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the OPPROX core.
+
+use opprox_approx_rt::RuntimeError;
+use opprox_ml::MlError;
+use std::fmt;
+
+/// Errors produced by the OPPROX training and optimization pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpproxError {
+    /// The driven application rejected an input or schedule.
+    Runtime(RuntimeError),
+    /// A model could not be fitted or queried.
+    Model(MlError),
+    /// Not enough training data was collected for a modeling step.
+    InsufficientData(String),
+    /// The accuracy specification was malformed.
+    InvalidSpec(String),
+    /// No approximation configuration satisfied the budget; the accurate
+    /// configuration is the only feasible plan.
+    NoFeasibleConfig {
+        /// The budget that could not be met.
+        budget: f64,
+    },
+    /// Serialization of a trained system failed.
+    Serialization(String),
+}
+
+impl fmt::Display for OpproxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpproxError::Runtime(e) => write!(f, "application runtime error: {e}"),
+            OpproxError::Model(e) => write!(f, "modeling error: {e}"),
+            OpproxError::InsufficientData(msg) => write!(f, "insufficient training data: {msg}"),
+            OpproxError::InvalidSpec(msg) => write!(f, "invalid accuracy specification: {msg}"),
+            OpproxError::NoFeasibleConfig { budget } => {
+                write!(f, "no approximation fits the QoS budget {budget}")
+            }
+            OpproxError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OpproxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OpproxError::Runtime(e) => Some(e),
+            OpproxError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for OpproxError {
+    fn from(e: RuntimeError) -> Self {
+        OpproxError::Runtime(e)
+    }
+}
+
+impl From<MlError> for OpproxError {
+    fn from(e: MlError) -> Self {
+        OpproxError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: OpproxError = RuntimeError::InvalidInput("x".into()).into();
+        assert!(e.to_string().contains("application runtime error"));
+        let e: OpproxError = MlError::InvalidTrainingData("y".into()).into();
+        assert!(e.to_string().contains("modeling error"));
+        assert!(OpproxError::NoFeasibleConfig { budget: 5.0 }
+            .to_string()
+            .contains('5'));
+    }
+
+    #[test]
+    fn source_chains_to_inner_error() {
+        use std::error::Error;
+        let e: OpproxError = RuntimeError::InvalidInput("x".into()).into();
+        assert!(e.source().is_some());
+        assert!(OpproxError::InvalidSpec("z".into()).source().is_none());
+    }
+}

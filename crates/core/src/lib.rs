@@ -1,0 +1,53 @@
+//! OPPROX — phase-aware optimization of approximate programs.
+//!
+//! This crate is the paper's primary contribution (Mitra et al., CGO
+//! 2017): given an application with tunable approximable blocks and a
+//! user-provided accuracy specification, OPPROX
+//!
+//! 1. identifies the computation phases ([`phases`]),
+//! 2. collects training data by profiling the application under sampled
+//!    approximation settings ([`sampling`]),
+//! 3. classifies input-parameter-dependent control flows ([`control_flow`])
+//!    and fits per-phase speedup, QoS-degradation, and iteration-count
+//!    models ([`modeling`]),
+//! 4. splits the error budget across phases in proportion to their return
+//!    on investment and solves a per-phase numerical optimization problem
+//!    ([`optimizer`]).
+//!
+//! The phase-agnostic exhaustive-search oracle that prior work used as an
+//! idealized baseline lives in [`oracle`]. The end-to-end system — train
+//! once, optimize for any budget — is [`pipeline::Opprox`].
+//!
+//! # Example
+//!
+//! ```no_run
+//! use opprox_core::pipeline::{Opprox, TrainingOptions};
+//! use opprox_core::spec::AccuracySpec;
+//! use opprox_apps::Pso;
+//! use opprox_approx_rt::InputParams;
+//!
+//! let app = Pso::new();
+//! let spec = AccuracySpec::new(10.0); // 10% QoS-degradation budget
+//! let trained = Opprox::train(&app, &TrainingOptions::default()).unwrap();
+//! let plan = trained
+//!     .optimize(&InputParams::new(vec![20.0, 4.0]), &spec)
+//!     .unwrap();
+//! println!("predicted speedup {:.2}", plan.predicted_speedup);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod control_flow;
+pub mod error;
+pub mod modeling;
+pub mod optimizer;
+pub mod oracle;
+pub mod phases;
+pub mod pipeline;
+pub mod report;
+pub mod sampling;
+pub mod spec;
+
+pub use error::OpproxError;
+pub use pipeline::Opprox;
+pub use spec::AccuracySpec;

@@ -1,0 +1,656 @@
+//! Performance and error models (paper Sec. 3.6–3.7).
+//!
+//! For every control-flow class and every phase, OPPROX fits three
+//! polynomial-regression models:
+//!
+//! 1. an **iteration-count estimator** over the input parameters and the
+//!    approximation levels (the number of outer-loop iterations can
+//!    depend on internal approximations, as in LULESH);
+//! 2. a **speedup model** and
+//! 3. a **QoS-degradation model**, each built in two steps: *local*
+//!    models per approximable block (level + input parameters → target,
+//!    trained on the exhaustive per-block sweeps), then a *combined*
+//!    model over the local predictions plus the estimated iteration
+//!    count, trained on the sparse multi-block samples.
+//!
+//! Every model goes through the [`opprox_ml::model_select`] pipeline:
+//! MIC feature filtering, degree escalation under 10-fold
+//! cross-validation, optional sub-model splitting, and an empirical
+//! confidence band. Predictions used by the optimizer are conservative:
+//! the upper band limit for QoS degradation and the lower limit for
+//! speedup.
+
+use crate::control_flow::ControlFlowModel;
+use crate::error::OpproxError;
+use crate::sampling::{SampleRecord, TrainingData};
+use opprox_approx_rt::{InputParams, LevelConfig};
+use opprox_ml::model_select::{AutoFitConfig, TargetModel};
+use opprox_ml::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Floor applied to QoS degradations when computing ROI ratios, so
+/// near-zero-error samples do not produce unbounded ROI.
+pub const ROI_QOS_FLOOR: f64 = 1.0;
+
+/// A conservative prediction for one (phase, input, configuration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Conservative (lower-band) speedup estimate.
+    pub speedup: f64,
+    /// Conservative (upper-band) QoS-degradation estimate, clamped ≥ 0.
+    pub qos: f64,
+    /// Estimated outer-loop iteration count.
+    pub iters: f64,
+}
+
+/// The target transform a two-step model is fitted under.
+///
+/// QoS degradations span several orders of magnitude (a mild perforation
+/// may cost 0.1%, a destabilized run 10⁵%), and speedups are ratios;
+/// both are modeled in log space, where polynomials fit well and the
+/// empirical confidence bands stay meaningful. The transforms are
+/// monotone, so band bounds map through the inverse directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetTransform {
+    /// `y ↦ ln(1 + y)` — for non-negative, heavy-tailed QoS values.
+    Log1p,
+    /// `y ↦ ln(max(y, 1e-6))` — for strictly positive ratios (speedup).
+    Ln,
+}
+
+impl TargetTransform {
+    fn forward(self, y: f64) -> f64 {
+        match self {
+            TargetTransform::Log1p => y.max(0.0).ln_1p(),
+            TargetTransform::Ln => y.max(1e-6).ln(),
+        }
+    }
+
+    fn inverse(self, t: f64) -> f64 {
+        match self {
+            TargetTransform::Log1p => t.exp_m1().max(0.0),
+            TargetTransform::Ln => t.exp(),
+        }
+    }
+}
+
+/// The paper's two-step model: per-block local models feeding a combined
+/// model (together with the estimated iteration count), fitted under a
+/// [`TargetTransform`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TwoStepModel {
+    locals: Vec<TargetModel>,
+    combined: TargetModel,
+    transform: TargetTransform,
+    /// Observed target range in transformed space; point predictions are
+    /// clamped into it before the confidence band is applied, so corner
+    /// extrapolations of the polynomial cannot claim impossible values.
+    range_t: (f64, f64),
+}
+
+impl TwoStepModel {
+    /// Point-and-band prediction in original units.
+    /// Returns `(point, lower, upper)`.
+    fn predict_full(
+        &self,
+        input: &InputParams,
+        config: &LevelConfig,
+        est_iters_ln: f64,
+    ) -> Result<(f64, f64, f64), OpproxError> {
+        // A configuration that approximates a single block is exactly what
+        // the local models were trained on (the exhaustive per-block
+        // sweeps); their prediction is strictly more faithful than the
+        // combined model's re-fit, so use it directly.
+        let nonzero: Vec<usize> = (0..self.locals.len())
+            .filter(|&b| config.level(b) > 0)
+            .collect();
+        if nonzero.len() == 1 {
+            let b = nonzero[0];
+            let mut row = input.values().to_vec();
+            row.push(config.level(b) as f64);
+            let raw = self.locals[b].predict(&row)?;
+            let point = clamp_to(raw, self.range_t.0, self.range_t.1);
+            let half = (self.locals[b].predict_upper(&row)? - raw).max(0.0);
+            return Ok((
+                self.transform.inverse(point),
+                self.transform.inverse(point - half),
+                self.transform.inverse(point + half),
+            ));
+        }
+
+        let mut features = Vec::with_capacity(self.locals.len() + 1);
+        for (b, local) in self.locals.iter().enumerate() {
+            let mut row = input.values().to_vec();
+            row.push(config.level(b) as f64);
+            features.push(local.predict(&row)?);
+        }
+        features.push(est_iters_ln);
+        let raw = self.combined.predict(&features)?;
+        let point = clamp_to(raw, self.range_t.0, self.range_t.1);
+        let half = (self.combined.predict_upper(&features)? - raw).max(0.0);
+        Ok((
+            self.transform.inverse(point),
+            self.transform.inverse(point - half),
+            self.transform.inverse(point + half),
+        ))
+    }
+
+    /// Cross-validated R² of the combined model (in transformed space).
+    pub fn combined_r2(&self) -> f64 {
+        self.combined.cv_r2()
+    }
+}
+
+/// All models for one phase of one control-flow class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseModels {
+    /// Iteration-count estimator (features: params + levels).
+    pub iters: TargetModel,
+    /// Two-step speedup model.
+    pub speedup: TwoStepModel,
+    /// Two-step QoS-degradation model.
+    pub qos: TwoStepModel,
+    /// Return on investment of this phase (mean speedup per unit QoS
+    /// degradation over the training samples, Eq. 1).
+    pub roi: f64,
+    /// Observed `(min, max)` speedup in this phase's training samples;
+    /// predictions are clamped into it to keep polynomial extrapolation
+    /// honest.
+    pub speedup_range: (f64, f64),
+    /// Observed `(min, max)` QoS degradation in this phase's samples.
+    pub qos_range: (f64, f64),
+}
+
+/// All models for one control-flow class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassModels {
+    /// Per-phase models, indexed by phase.
+    pub phases: Vec<PhaseModels>,
+}
+
+/// The complete trained model set for an application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppModels {
+    control_flow: ControlFlowModel,
+    classes: Vec<ClassModels>,
+    num_phases: usize,
+    num_blocks: usize,
+    num_params: usize,
+}
+
+/// Options for model fitting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelingOptions {
+    /// Auto-fit configuration shared by all models.
+    pub autofit: AutoFitConfig,
+}
+
+impl Default for ModelingOptions {
+    fn default() -> Self {
+        ModelingOptions {
+            autofit: AutoFitConfig {
+                // Degrees 2..4 keep training fast; the paper saw 2..6.
+                max_degree: 4,
+                // The paper uses p = 0.99; our simulated applications have
+                // heavier-tailed QoS noise (hard stability cliffs), where
+                // the p99 residual is one catastrophic outlier and would
+                // veto every configuration. p = 0.9 keeps the band
+                // conservative without being degenerate.
+                confidence_level: 0.9,
+                ..AutoFitConfig::default()
+            },
+        }
+    }
+}
+
+impl AppModels {
+    /// Fits the full model set from training data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpproxError::InsufficientData`] when a (class, phase)
+    /// bucket has too few samples, and propagates fitting errors.
+    pub fn fit(
+        data: &TrainingData,
+        num_phases: usize,
+        options: &ModelingOptions,
+    ) -> Result<Self, OpproxError> {
+        let control_flow = ControlFlowModel::learn(data)?;
+        let first = data
+            .records
+            .first()
+            .ok_or_else(|| OpproxError::InsufficientData("no samples collected".into()))?;
+        let num_blocks = first.config.num_blocks();
+        let num_params = first.input.len();
+
+        // Assign each record to the control-flow class of its input's
+        // golden run.
+        let class_of_input = |input: &InputParams| -> usize {
+            data.golden_for(input)
+                .and_then(|g| control_flow.class_of_signature(&g.control_flow))
+                .unwrap_or(0)
+        };
+
+        let mut classes = Vec::with_capacity(control_flow.num_classes());
+        for class in 0..control_flow.num_classes() {
+            let mut phases = Vec::with_capacity(num_phases);
+            for phase in 0..num_phases {
+                let records: Vec<&SampleRecord> = data
+                    .records
+                    .iter()
+                    .filter(|r| r.phase == Some(phase) && class_of_input(&r.input) == class)
+                    .collect();
+                if records.len() < 8 {
+                    return Err(OpproxError::InsufficientData(format!(
+                        "class {class} phase {phase} has only {} samples",
+                        records.len()
+                    )));
+                }
+                let goldens: Vec<&crate::sampling::GoldenRecord> = data
+                    .goldens
+                    .iter()
+                    .filter(|g| class_of_input(&g.input) == class)
+                    .collect();
+                phases.push(fit_phase_models(
+                    &records, &goldens, num_blocks, num_params, options,
+                )?);
+            }
+            classes.push(ClassModels { phases });
+        }
+
+        Ok(AppModels {
+            control_flow,
+            classes,
+            num_phases,
+            num_blocks,
+            num_params,
+        })
+    }
+
+    /// Number of phases the models were trained for.
+    pub fn num_phases(&self) -> usize {
+        self.num_phases
+    }
+
+    /// Number of approximable blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// The control-flow classifier.
+    pub fn control_flow(&self) -> &ControlFlowModel {
+        &self.control_flow
+    }
+
+    /// The per-phase ROI values for the class predicted for `input`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates control-flow prediction errors.
+    pub fn rois(&self, input: &InputParams) -> Result<Vec<f64>, OpproxError> {
+        let class = self.control_flow.predict(input)?;
+        Ok(self.classes[class].phases.iter().map(|p| p.roi).collect())
+    }
+
+    /// Conservative prediction for approximating phase `phase` of the
+    /// execution of `input` with `config` (all other phases accurate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model prediction errors; `phase` must be in range.
+    pub fn predict(
+        &self,
+        input: &InputParams,
+        phase: usize,
+        config: &LevelConfig,
+    ) -> Result<Prediction, OpproxError> {
+        assert!(phase < self.num_phases, "phase {phase} out of range");
+        let class = self.control_flow.predict(input)?;
+        let models = &self.classes[class].phases[phase];
+        let mut iters_row = input.values().to_vec();
+        iters_row.extend(config.levels().iter().map(|&l| l as f64));
+        let iters_ln = models.iters.predict(&iters_row)?;
+        let iters = iters_ln.exp().max(1.0);
+        let (_, speedup_lower, _) = models.speedup.predict_full(input, config, iters_ln)?;
+        let (_, _, qos_upper) = models.qos.predict_full(input, config, iters_ln)?;
+        Ok(Prediction {
+            speedup: clamp_to(
+                speedup_lower,
+                models.speedup_range.0.min(1.0),
+                models.speedup_range.1,
+            )
+            .max(0.01),
+            qos: clamp_to(qos_upper, 0.0, models.qos_range.1).max(0.0),
+            iters,
+        })
+    }
+
+    /// Point (non-conservative) prediction, used when evaluating model
+    /// accuracy (paper Fig. 12/13).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model prediction errors.
+    pub fn predict_point(
+        &self,
+        input: &InputParams,
+        phase: usize,
+        config: &LevelConfig,
+    ) -> Result<Prediction, OpproxError> {
+        assert!(phase < self.num_phases, "phase {phase} out of range");
+        let class = self.control_flow.predict(input)?;
+        let models = &self.classes[class].phases[phase];
+        let mut iters_row = input.values().to_vec();
+        iters_row.extend(config.levels().iter().map(|&l| l as f64));
+        let iters_ln = models.iters.predict(&iters_row)?;
+        let iters = iters_ln.exp().max(1.0);
+        let (speedup, _, _) = models.speedup.predict_full(input, config, iters_ln)?;
+        let (qos, _, _) = models.qos.predict_full(input, config, iters_ln)?;
+        Ok(Prediction {
+            speedup: clamp_to(
+                speedup,
+                models.speedup_range.0.min(1.0),
+                models.speedup_range.1,
+            ),
+            qos: clamp_to(qos, 0.0, models.qos_range.1).max(0.0),
+            iters,
+        })
+    }
+
+    /// Summary of combined-model cross-validation scores, one `(phase,
+    /// speedup R², qos R²)` triple per phase of the first class.
+    pub fn accuracy_summary(&self) -> Vec<(usize, f64, f64)> {
+        self.classes[0]
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(p, m)| (p, m.speedup.combined_r2(), m.qos.combined_r2()))
+            .collect()
+    }
+}
+
+/// Clamp that tolerates inverted bounds from degenerate training sets.
+fn clamp_to(v: f64, lo: f64, hi: f64) -> f64 {
+    if lo > hi {
+        return v;
+    }
+    v.clamp(lo, hi)
+}
+
+/// Whether a configuration touches exactly one block (a "local" sample).
+fn is_local_sample(config: &LevelConfig, block: usize) -> bool {
+    config
+        .levels()
+        .iter()
+        .enumerate()
+        .all(|(b, &l)| if b == block { l > 0 } else { l == 0 })
+}
+
+fn fit_phase_models(
+    records: &[&SampleRecord],
+    goldens: &[&crate::sampling::GoldenRecord],
+    num_blocks: usize,
+    num_params: usize,
+    options: &ModelingOptions,
+) -> Result<PhaseModels, OpproxError> {
+    let param_names: Vec<String> = (0..num_params).map(|i| format!("param{i}")).collect();
+
+    // Iteration-count estimator over params + all levels. The golden runs
+    // anchor the all-accurate corner of the level space, which the
+    // approximated samples never visit; they are repeated so the fit
+    // cannot trade their residual away against the bulk of the samples.
+    let mut iters_names = param_names.clone();
+    iters_names.extend((0..num_blocks).map(|b| format!("level{b}")));
+    let mut iters_ds = Dataset::new(iters_names);
+    for r in records {
+        let mut row = r.input.values().to_vec();
+        row.extend(r.config.levels().iter().map(|&l| l as f64));
+        iters_ds
+            .push(row, (r.outer_iters as f64).max(1.0).ln())
+            .map_err(OpproxError::from)?;
+    }
+    let golden_weight = (records.len() / goldens.len().max(1)).clamp(1, 8);
+    for g in goldens {
+        let mut row = g.input.values().to_vec();
+        row.extend(std::iter::repeat(0.0).take(num_blocks));
+        for _ in 0..golden_weight {
+            iters_ds
+                .push(row.clone(), (g.outer_iters as f64).max(1.0).ln())
+                .map_err(OpproxError::from)?;
+        }
+    }
+    let iters = TargetModel::fit(&iters_ds, &options.autofit)?;
+
+    let speedup = fit_two_step(
+        records,
+        num_blocks,
+        &param_names,
+        &iters,
+        options,
+        TargetTransform::Ln,
+        |r| r.speedup,
+    )?;
+    let qos = fit_two_step(
+        records,
+        num_blocks,
+        &param_names,
+        &iters,
+        options,
+        TargetTransform::Log1p,
+        |r| r.qos,
+    )?;
+
+    // ROI (Eq. 1): mean speedup per unit QoS degradation.
+    let roi = records
+        .iter()
+        .map(|r| r.speedup / r.qos.max(ROI_QOS_FLOOR))
+        .sum::<f64>()
+        / records.len() as f64;
+
+    let fold_range = |f: fn(&SampleRecord) -> f64| {
+        records.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), r| {
+            (lo.min(f(r)), hi.max(f(r)))
+        })
+    };
+    let speedup_range = fold_range(|r| r.speedup);
+    let qos_range = fold_range(|r| r.qos);
+
+    Ok(PhaseModels {
+        iters,
+        speedup,
+        qos,
+        roi,
+        speedup_range,
+        qos_range,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fit_two_step(
+    records: &[&SampleRecord],
+    num_blocks: usize,
+    param_names: &[String],
+    iters_model: &TargetModel,
+    options: &ModelingOptions,
+    transform: TargetTransform,
+    raw_target: impl Fn(&SampleRecord) -> f64,
+) -> Result<TwoStepModel, OpproxError> {
+    let target = |r: &SampleRecord| transform.forward(raw_target(r));
+    // Step 1: local models, one per block, trained on that block's
+    // exhaustive sweep (falling back to all records if a block has no
+    // local samples, e.g. after aggressive sub-sampling). MIC filtering
+    // is disabled here: a local model has only the input parameters and
+    // its own level as features, and the level must never be dropped.
+    let local_autofit = opprox_ml::model_select::AutoFitConfig {
+        mic_threshold: None,
+        ..options.autofit
+    };
+    let mut locals = Vec::with_capacity(num_blocks);
+    for b in 0..num_blocks {
+        let mut names = param_names.to_vec();
+        names.push(format!("level{b}"));
+        let mut ds = Dataset::new(names);
+        let local_records: Vec<&&SampleRecord> = records
+            .iter()
+            .filter(|r| is_local_sample(&r.config, b))
+            .collect();
+        let pool: Vec<&SampleRecord> = if local_records.len() >= 4 {
+            local_records.into_iter().copied().collect()
+        } else {
+            records.to_vec()
+        };
+        for r in pool {
+            let mut row = r.input.values().to_vec();
+            row.push(r.config.level(b) as f64);
+            ds.push(row, target(r)).map_err(OpproxError::from)?;
+        }
+        locals.push(TargetModel::fit(&ds, &local_autofit)?);
+    }
+
+    // Step 2: combined model over local predictions + estimated iters,
+    // trained on every sample of the phase.
+    let mut names: Vec<String> = (0..num_blocks).map(|b| format!("local{b}")).collect();
+    names.push("est_iters".into());
+    let mut ds = Dataset::new(names);
+    for r in records {
+        let mut row = Vec::with_capacity(num_blocks + 1);
+        for (b, local) in locals.iter().enumerate() {
+            let mut lrow = r.input.values().to_vec();
+            lrow.push(r.config.level(b) as f64);
+            row.push(local.predict(&lrow)?);
+        }
+        let mut iters_row = r.input.values().to_vec();
+        iters_row.extend(r.config.levels().iter().map(|&l| l as f64));
+        // The iteration estimator already works in ln space; its raw
+        // prediction is the feature.
+        row.push(iters_model.predict(&iters_row)?);
+        ds.push(row, target(r)).map_err(OpproxError::from)?;
+    }
+    // The combined model's features are already curated (one local
+    // prediction per block plus the iteration estimate); MIC filtering —
+    // which the paper applies to *raw* input features — stays off here so
+    // no block's contribution can silently vanish.
+    let combined = TargetModel::fit(&ds, &local_autofit)?;
+    let range_t = records.iter().fold(
+        (f64::INFINITY, f64::NEG_INFINITY),
+        |(lo, hi), r| {
+            let t = target(r);
+            (lo.min(t), hi.max(t))
+        },
+    );
+
+    Ok(TwoStepModel {
+        locals,
+        combined,
+        transform,
+        range_t,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::{collect_training_data, SamplingPlan};
+    use opprox_apps::Pso;
+
+    fn trained() -> (Pso, AppModels, TrainingData) {
+        let app = Pso::new();
+        let inputs = vec![
+            InputParams::new(vec![16.0, 3.0]),
+            InputParams::new(vec![24.0, 4.0]),
+        ];
+        let plan = SamplingPlan {
+            num_phases: 2,
+            sparse_samples: 10,
+            whole_run_samples: 0,
+            seed: 5,
+        };
+        let data = collect_training_data(&app, &inputs, &plan).unwrap();
+        let models = AppModels::fit(&data, 2, &ModelingOptions::default()).unwrap();
+        (app, models, data)
+    }
+
+    #[test]
+    fn fits_and_predicts_finite_values() {
+        let (_, models, _) = trained();
+        assert_eq!(models.num_phases(), 2);
+        assert_eq!(models.num_blocks(), 3);
+        let input = InputParams::new(vec![20.0, 3.0]);
+        let cfg = LevelConfig::new(vec![2, 1, 0]);
+        for phase in 0..2 {
+            let p = models.predict(&input, phase, &cfg).unwrap();
+            assert!(p.speedup.is_finite() && p.speedup > 0.0);
+            assert!(p.qos.is_finite() && p.qos >= 0.0);
+            assert!(p.iters >= 1.0);
+        }
+    }
+
+    #[test]
+    fn conservative_bounds_bracket_point_predictions() {
+        let (_, models, _) = trained();
+        let input = InputParams::new(vec![16.0, 3.0]);
+        let cfg = LevelConfig::new(vec![1, 1, 1]);
+        let cons = models.predict(&input, 0, &cfg).unwrap();
+        let point = models.predict_point(&input, 0, &cfg).unwrap();
+        assert!(cons.qos >= point.qos.max(0.0) - 1e-9);
+        assert!(cons.speedup <= point.speedup + 1e-9);
+    }
+
+    #[test]
+    fn early_phase_predicted_worse_than_late_phase() {
+        let (_, models, _) = trained();
+        let input = InputParams::new(vec![16.0, 3.0]);
+        let cfg = LevelConfig::new(vec![4, 3, 3]);
+        let early = models.predict_point(&input, 0, &cfg).unwrap();
+        let late = models.predict_point(&input, 1, &cfg).unwrap();
+        assert!(
+            early.qos > late.qos,
+            "models should reproduce phase sensitivity: early {} vs late {}",
+            early.qos,
+            late.qos
+        );
+    }
+
+    #[test]
+    fn rois_are_positive_and_finite() {
+        // With only two phases on a convergence loop the ROI ordering is
+        // not guaranteed (the "late" half still contains convergence-
+        // critical iterations); the invariant is that every phase has a
+        // positive, finite ROI so the budget split is well defined.
+        let (_, models, _) = trained();
+        let rois = models.rois(&InputParams::new(vec![16.0, 3.0])).unwrap();
+        assert_eq!(rois.len(), 2);
+        for r in &rois {
+            assert!(r.is_finite() && *r > 0.0, "bad ROI set {rois:?}");
+        }
+    }
+
+    #[test]
+    fn models_predict_training_records_reasonably() {
+        let (_, models, data) = trained();
+        // Combined speedup model should rank-order the training data:
+        // compute correlation between predicted and actual speedups.
+        let recs: Vec<&SampleRecord> = data.phase_records(1);
+        let actual: Vec<f64> = recs.iter().map(|r| r.speedup).collect();
+        let mut predicted = Vec::new();
+        for r in &recs {
+            predicted.push(
+                models
+                    .predict_point(&r.input, 1, &r.config)
+                    .unwrap()
+                    .speedup,
+            );
+        }
+        let corr = opprox_linalg::stats::pearson(&actual, &predicted);
+        assert!(corr > 0.7, "speedup prediction correlation {corr}");
+    }
+
+    #[test]
+    fn insufficient_data_is_reported() {
+        let data = TrainingData::default();
+        assert!(matches!(
+            AppModels::fit(&data, 2, &ModelingOptions::default()),
+            Err(OpproxError::InsufficientData(_))
+        ));
+    }
+}

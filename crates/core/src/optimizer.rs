@@ -1,0 +1,415 @@
+//! The optimization framework (paper Sec. 3.8, Algorithm 2).
+//!
+//! Given a total QoS-degradation budget, OPPROX
+//!
+//! 1. computes each phase's *return on investment* (Eq. 1) from the
+//!    training data,
+//! 2. allocates the budget across phases in proportion to their
+//!    normalized ROI,
+//! 3. visits phases in decreasing ROI order, solving for each the
+//!    constrained maximization
+//!    `max S(A)  s.t.  δQoS(A) ≤ phase budget`
+//!    over the discrete level space, using the conservative model
+//!    predictions, and
+//! 4. rolls any unused sub-budget over to the remaining phases.
+//!
+//! The per-phase problem is solved exhaustively when the level space is
+//! small enough (the paper's applications have 4–8 levels over 3–4
+//! blocks, i.e. ≤ ~1300 combinations per phase) and by coordinate ascent
+//! otherwise.
+
+use crate::error::OpproxError;
+use crate::modeling::AppModels;
+use crate::spec::AccuracySpec;
+use opprox_approx_rt::block::BlockDescriptor;
+use opprox_approx_rt::config::{config_space_size, enumerate_configs};
+use opprox_approx_rt::{InputParams, LevelConfig, PhaseSchedule};
+use serde::{Deserialize, Serialize};
+
+/// Above this per-phase configuration-space size the optimizer switches
+/// from exhaustive enumeration to coordinate ascent.
+pub const EXHAUSTIVE_LIMIT: u64 = 20_000;
+
+/// The plan chosen for one phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasePlan {
+    /// The phase index.
+    pub phase: usize,
+    /// The chosen level configuration.
+    pub config: LevelConfig,
+    /// The sub-budget that was allocated to the phase.
+    pub allocated_budget: f64,
+    /// The (conservative) QoS degradation the chosen config is predicted
+    /// to consume.
+    pub predicted_qos: f64,
+    /// The (conservative) whole-run speedup predicted for approximating
+    /// only this phase.
+    pub predicted_speedup: f64,
+}
+
+/// The complete optimization outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationPlan {
+    /// Per-phase choices, in phase order.
+    pub phases: Vec<PhasePlan>,
+    /// The schedule to run the application with.
+    pub schedule: PhaseSchedule,
+    /// Combined predicted speedup across phases.
+    pub predicted_speedup: f64,
+    /// Combined predicted QoS degradation across phases.
+    pub predicted_qos: f64,
+}
+
+/// How the per-phase search treats the models' uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Conservatism {
+    /// Constrain on the upper confidence band of the QoS prediction —
+    /// the paper's default, which guarantees the *predicted* QoS stays
+    /// within budget even under model error.
+    Band,
+    /// Constrain on the point prediction. More aggressive; used by the
+    /// validated optimizer to generate candidate plans that a real
+    /// execution then vets.
+    Point,
+}
+
+/// Solves Algorithm 2 for one input and budget.
+///
+/// `expected_iters` is the accurate-run iteration count used to lay out
+/// the phase boundaries (the paper derives it from the golden run of the
+/// production input's control-flow class).
+///
+/// # Errors
+///
+/// Propagates model prediction errors. An empty result is never an
+/// error: if no configuration fits a phase's budget, that phase stays
+/// accurate.
+pub fn optimize(
+    models: &AppModels,
+    blocks: &[BlockDescriptor],
+    input: &InputParams,
+    spec: &AccuracySpec,
+    expected_iters: u64,
+) -> Result<OptimizationPlan, OpproxError> {
+    optimize_with(models, blocks, input, spec, expected_iters, Conservatism::Band)
+}
+
+/// [`optimize`] with an explicit conservatism mode.
+///
+/// # Errors
+///
+/// Same as [`optimize`].
+pub fn optimize_with(
+    models: &AppModels,
+    blocks: &[BlockDescriptor],
+    input: &InputParams,
+    spec: &AccuracySpec,
+    expected_iters: u64,
+    conservatism: Conservatism,
+) -> Result<OptimizationPlan, OpproxError> {
+    let num_phases = models.num_phases();
+    let rois = models.rois(input)?;
+    let roi_sum: f64 = rois.iter().sum();
+
+    // Visit phases in decreasing ROI order (Algorithm 2, line 3).
+    let mut order: Vec<usize> = (0..num_phases).collect();
+    order.sort_by(|&a, &b| {
+        rois[b]
+            .partial_cmp(&rois[a])
+            .expect("finite ROI")
+            .then(a.cmp(&b))
+    });
+
+    let total_budget = spec.error_budget();
+    let mut leftover = 0.0f64;
+    let mut chosen: Vec<Option<PhasePlan>> = vec![None; num_phases];
+
+    for &phase in &order {
+        let norm_roi = if roi_sum > 0.0 {
+            rois[phase] / roi_sum
+        } else {
+            1.0 / num_phases as f64
+        };
+        let phase_budget = total_budget * norm_roi + leftover;
+        let best = optimize_phase(models, blocks, input, phase, phase_budget, conservatism)?;
+        match best {
+            Some(plan) => {
+                leftover = (phase_budget - plan.predicted_qos).max(0.0);
+                chosen[phase] = Some(PhasePlan {
+                    allocated_budget: phase_budget,
+                    ..plan
+                });
+            }
+            None => {
+                // Nothing fits: the whole sub-budget rolls over.
+                leftover = phase_budget;
+                chosen[phase] = Some(PhasePlan {
+                    phase,
+                    config: LevelConfig::accurate(blocks.len()),
+                    allocated_budget: phase_budget,
+                    predicted_qos: 0.0,
+                    predicted_speedup: 1.0,
+                });
+            }
+        }
+    }
+
+    let phases: Vec<PhasePlan> = chosen.into_iter().map(|p| p.expect("filled")).collect();
+
+    // Combine per-phase predictions: speedups compose via saved time
+    // fractions (each per-phase speedup is a whole-run speedup with only
+    // that phase approximated), QoS degradations compose additively.
+    let mut saved_fraction = 0.0;
+    let mut predicted_qos = 0.0;
+    for p in &phases {
+        saved_fraction += 1.0 - 1.0 / p.predicted_speedup.max(0.01);
+        predicted_qos += p.predicted_qos;
+    }
+    let predicted_speedup = 1.0 / (1.0 - saved_fraction).clamp(0.05, 1.0);
+
+    let schedule = PhaseSchedule::new(
+        phases.iter().map(|p| p.config.clone()).collect(),
+        expected_iters.max(1),
+    )
+    .map_err(OpproxError::from)?;
+
+    Ok(OptimizationPlan {
+        phases,
+        schedule,
+        predicted_speedup,
+        predicted_qos,
+    })
+}
+
+/// Solves the per-phase constrained maximization (`optimizePhase` in
+/// Algorithm 2). Returns `None` when no non-accurate configuration fits.
+fn optimize_phase(
+    models: &AppModels,
+    blocks: &[BlockDescriptor],
+    input: &InputParams,
+    phase: usize,
+    budget: f64,
+    conservatism: Conservatism,
+) -> Result<Option<PhasePlan>, OpproxError> {
+    if budget <= 0.0 {
+        return Ok(None);
+    }
+    if config_space_size(blocks) <= EXHAUSTIVE_LIMIT {
+        exhaustive_phase(models, blocks, input, phase, budget, conservatism)
+    } else {
+        coordinate_ascent_phase(models, blocks, input, phase, budget, conservatism)
+    }
+}
+
+/// Scores one configuration against a phase budget. Feasibility uses the
+/// conservative (upper-band) QoS estimate; the "is it worth it" gate and
+/// the ranking use the point speedup estimate, since the band is a
+/// per-phase constant in log space and would shift every candidate
+/// identically.
+fn evaluate(
+    models: &AppModels,
+    input: &InputParams,
+    phase: usize,
+    config: &LevelConfig,
+    budget: f64,
+    conservatism: Conservatism,
+) -> Result<Option<(f64, f64)>, OpproxError> {
+    let point = models.predict_point(input, phase, config)?;
+    let constrained_qos = match conservatism {
+        Conservatism::Band => models.predict(input, phase, config)?.qos,
+        Conservatism::Point => point.qos,
+    };
+    if constrained_qos > budget {
+        return Ok(None);
+    }
+    if point.speedup > 1.005 {
+        Ok(Some((point.speedup, constrained_qos)))
+    } else {
+        Ok(None)
+    }
+}
+
+fn exhaustive_phase(
+    models: &AppModels,
+    blocks: &[BlockDescriptor],
+    input: &InputParams,
+    phase: usize,
+    budget: f64,
+    conservatism: Conservatism,
+) -> Result<Option<PhasePlan>, OpproxError> {
+    let mut best: Option<PhasePlan> = None;
+    for config in enumerate_configs(blocks) {
+        if config.is_accurate() {
+            continue;
+        }
+        if let Some((speedup, qos)) = evaluate(models, input, phase, &config, budget, conservatism)? {
+            let better = best
+                .as_ref()
+                .map_or(true, |b| speedup > b.predicted_speedup);
+            if better {
+                best = Some(PhasePlan {
+                    phase,
+                    config,
+                    allocated_budget: budget,
+                    predicted_qos: qos,
+                    predicted_speedup: speedup,
+                });
+            }
+        }
+    }
+    Ok(best)
+}
+
+fn coordinate_ascent_phase(
+    models: &AppModels,
+    blocks: &[BlockDescriptor],
+    input: &InputParams,
+    phase: usize,
+    budget: f64,
+    conservatism: Conservatism,
+) -> Result<Option<PhasePlan>, OpproxError> {
+    let mut current = LevelConfig::accurate(blocks.len());
+    let mut current_score = 1.0f64; // speedup of the accurate config
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for b in 0..blocks.len() {
+            for level in 0..=blocks[b].max_level {
+                if level == current.level(b) {
+                    continue;
+                }
+                let candidate = current.with_level(b, level);
+                if candidate.is_accurate() {
+                    continue;
+                }
+                if let Some((speedup, _)) = evaluate(models, input, phase, &candidate, budget, conservatism)? {
+                    if speedup > current_score + 1e-9 {
+                        current = candidate;
+                        current_score = speedup;
+                        improved = true;
+                    }
+                }
+            }
+        }
+    }
+    if current.is_accurate() {
+        return Ok(None);
+    }
+    let pred = models.predict(input, phase, &current)?;
+    Ok(Some(PhasePlan {
+        phase,
+        config: current,
+        allocated_budget: budget,
+        predicted_qos: pred.qos,
+        predicted_speedup: pred.speedup,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modeling::ModelingOptions;
+    use crate::sampling::{collect_training_data, SamplingPlan};
+    use opprox_apps::Pso;
+    use opprox_approx_rt::ApproxApp;
+
+    fn setup() -> (Pso, AppModels, u64) {
+        let app = Pso::new();
+        let inputs = vec![
+            InputParams::new(vec![16.0, 3.0]),
+            InputParams::new(vec![24.0, 4.0]),
+        ];
+        let plan = SamplingPlan {
+            num_phases: 2,
+            sparse_samples: 10,
+            whole_run_samples: 0,
+            seed: 5,
+        };
+        let data = collect_training_data(&app, &inputs, &plan).unwrap();
+        let iters = data.goldens[0].outer_iters;
+        let models = AppModels::fit(&data, 2, &ModelingOptions::default()).unwrap();
+        (app, models, iters)
+    }
+
+    #[test]
+    fn plan_respects_budget_in_prediction() {
+        let (app, models, iters) = setup();
+        let input = InputParams::new(vec![16.0, 3.0]);
+        let spec = AccuracySpec::new(15.0);
+        let plan = optimize(&models, &app.meta().blocks, &input, &spec, iters).unwrap();
+        assert_eq!(plan.phases.len(), 2);
+        assert!(
+            plan.predicted_qos <= spec.error_budget() + 1e-6,
+            "predicted qos {} over budget",
+            plan.predicted_qos
+        );
+        assert!(plan.predicted_speedup >= 1.0);
+    }
+
+    #[test]
+    fn zero_budget_yields_accurate_schedule() {
+        let (app, models, iters) = setup();
+        let input = InputParams::new(vec![16.0, 3.0]);
+        let spec = AccuracySpec::new(0.0);
+        let plan = optimize(&models, &app.meta().blocks, &input, &spec, iters).unwrap();
+        assert!(plan.schedule.is_accurate());
+        assert_eq!(plan.predicted_qos, 0.0);
+    }
+
+    #[test]
+    fn larger_budget_never_predicts_less_speedup() {
+        let (app, models, iters) = setup();
+        let input = InputParams::new(vec![16.0, 3.0]);
+        let small = optimize(
+            &models,
+            &app.meta().blocks,
+            &input,
+            &AccuracySpec::new(5.0),
+            iters,
+        )
+        .unwrap();
+        let large = optimize(
+            &models,
+            &app.meta().blocks,
+            &input,
+            &AccuracySpec::new(40.0),
+            iters,
+        )
+        .unwrap();
+        assert!(large.predicted_speedup >= small.predicted_speedup - 1e-9);
+    }
+
+    #[test]
+    fn late_phase_gets_the_aggressive_config() {
+        let (app, models, iters) = setup();
+        let input = InputParams::new(vec![16.0, 3.0]);
+        let spec = AccuracySpec::new(10.0);
+        let plan = optimize(&models, &app.meta().blocks, &input, &spec, iters).unwrap();
+        // With PSO's phase profile, the late phase carries the bulk of the
+        // approximation.
+        let early_sum: u32 = plan.phases[0].config.levels().iter().map(|&l| l as u32).sum();
+        let late_sum: u32 = plan.phases[1].config.levels().iter().map(|&l| l as u32).sum();
+        assert!(
+            late_sum >= early_sum,
+            "expected aggressive late phase, got early {early_sum} late {late_sum}"
+        );
+    }
+
+    #[test]
+    fn schedule_matches_chosen_configs() {
+        let (app, models, iters) = setup();
+        let input = InputParams::new(vec![16.0, 3.0]);
+        let plan = optimize(
+            &models,
+            &app.meta().blocks,
+            &input,
+            &AccuracySpec::new(20.0),
+            iters,
+        )
+        .unwrap();
+        assert_eq!(plan.schedule.num_phases(), 2);
+        for p in &plan.phases {
+            assert_eq!(plan.schedule.configs()[p.phase], p.config);
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! The end-to-end OPPROX system (paper Fig. 6).
+//!
+//! Offline: profile the application on representative inputs, identify
+//! the phase granularity (Algorithm 1), and fit the control-flow,
+//! iteration-count, speedup, and QoS models. Online: for a production
+//! input and QoS budget, solve Algorithm 2 and hand back a
+//! [`PhaseSchedule`] — the equivalent of the paper's per-phase
+//! environment-variable settings passed to the SLURM job.
+
+use crate::error::OpproxError;
+use crate::modeling::{AppModels, ModelingOptions};
+use crate::optimizer::{optimize, optimize_with, Conservatism, OptimizationPlan};
+use crate::phases::{find_phase_granularity, PhaseSearchOptions};
+use crate::sampling::{collect_training_data, SamplingPlan, TrainingData};
+use crate::spec::AccuracySpec;
+use opprox_approx_rt::block::BlockDescriptor;
+use opprox_approx_rt::{ApproxApp, InputParams, LevelConfig, PhaseSchedule};
+use serde::{Deserialize, Serialize};
+
+/// Options controlling offline training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingOptions {
+    /// Fixed phase count; `None` runs Algorithm 1 to find it.
+    pub num_phases: Option<usize>,
+    /// Options for the phase-granularity search.
+    pub phase_search: PhaseSearchOptions,
+    /// Sampling plan (its `num_phases` field is overridden by the chosen
+    /// granularity).
+    pub sampling: SamplingPlan,
+    /// Model-fitting options.
+    pub modeling: ModelingOptions,
+}
+
+impl Default for TrainingOptions {
+    fn default() -> Self {
+        TrainingOptions {
+            num_phases: Some(4),
+            phase_search: PhaseSearchOptions::default(),
+            sampling: SamplingPlan::default(),
+            modeling: ModelingOptions::default(),
+        }
+    }
+}
+
+/// Namespace for the training entry point.
+#[derive(Debug, Clone, Copy)]
+pub struct Opprox;
+
+/// A trained OPPROX system for one application, ready to optimize any
+/// production input. Serializable — the paper stores the equivalent as
+/// pickled models loaded by the runtime scheduler script.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedOpprox {
+    app_name: String,
+    blocks: Vec<BlockDescriptor>,
+    num_phases: usize,
+    models: AppModels,
+}
+
+/// The measured outcome of running a plan for real.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredOutcome {
+    /// Measured work-ratio speedup over the accurate run.
+    pub speedup: f64,
+    /// Measured QoS degradation.
+    pub qos: f64,
+    /// Outer-loop iterations of the approximate run.
+    pub outer_iters: u64,
+}
+
+impl Opprox {
+    /// Trains OPPROX on an application using its representative inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling and fitting errors.
+    pub fn train(
+        app: &dyn ApproxApp,
+        options: &TrainingOptions,
+    ) -> Result<TrainedOpprox, OpproxError> {
+        let inputs = app.representative_inputs();
+        if inputs.is_empty() {
+            return Err(OpproxError::InsufficientData(
+                "application declares no representative inputs".into(),
+            ));
+        }
+        let num_phases = match options.num_phases {
+            Some(n) => n.max(1),
+            None => find_phase_granularity(app, &inputs[0], &options.phase_search)?,
+        };
+        let plan = SamplingPlan {
+            num_phases,
+            ..options.sampling
+        };
+        let data = collect_training_data(app, &inputs, &plan)?;
+        Self::train_from_data(app, &data, num_phases, &options.modeling)
+    }
+
+    /// Trains from already-collected data (used by the experiment harness
+    /// to reuse one profiling pass across analyses).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors.
+    pub fn train_from_data(
+        app: &dyn ApproxApp,
+        data: &TrainingData,
+        num_phases: usize,
+        modeling: &ModelingOptions,
+    ) -> Result<TrainedOpprox, OpproxError> {
+        let models = AppModels::fit(data, num_phases, modeling)?;
+        Ok(TrainedOpprox {
+            app_name: app.meta().name.clone(),
+            blocks: app.meta().blocks.clone(),
+            num_phases,
+            models,
+        })
+    }
+}
+
+impl TrainedOpprox {
+    /// The application the system was trained for.
+    pub fn app_name(&self) -> &str {
+        &self.app_name
+    }
+
+    /// The number of phases used.
+    pub fn num_phases(&self) -> usize {
+        self.num_phases
+    }
+
+    /// The fitted model set.
+    pub fn models(&self) -> &AppModels {
+        &self.models
+    }
+
+    /// Estimates the accurate-run outer-loop iteration count for an input
+    /// (the control-flow model family of the paper's Fig. 6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model prediction errors.
+    pub fn estimate_golden_iters(&self, input: &InputParams) -> Result<u64, OpproxError> {
+        let accurate = LevelConfig::accurate(self.blocks.len());
+        let pred = self.models.predict(input, 0, &accurate)?;
+        Ok(pred.iters.round().max(1.0) as u64)
+    }
+
+    /// Solves Algorithm 2: the best phase-specific approximation settings
+    /// for a production input under the given budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model prediction errors.
+    pub fn optimize(
+        &self,
+        input: &InputParams,
+        spec: &AccuracySpec,
+    ) -> Result<OptimizationPlan, OpproxError> {
+        let expected_iters = self.estimate_golden_iters(input)?;
+        optimize(&self.models, &self.blocks, input, spec, expected_iters)
+    }
+
+    /// Model-guided optimization with bounded empirical validation.
+    ///
+    /// The pure model-driven search ([`TrainedOpprox::optimize`]) is only
+    /// as good as the fitted models, and near stability cliffs (LULESH)
+    /// or for heavily saturating metrics the conservative bands are
+    /// either too loose or too tight. This method therefore builds a
+    /// bounded candidate set — Algorithm-2 solves at geometrically scaled
+    /// budgets in both conservative and point modes, structural variants
+    /// of each plan, phase-structured heuristic probes, and pairwise
+    /// merges of the best validated plans — vets every distinct candidate
+    /// with **one** real execution, and returns the fastest plan whose
+    /// *measured* QoS degradation stays within the budget. Validation is
+    /// capped at ~32 executions, orders of magnitude below the exhaustive
+    /// oracle's sweep (hundreds to thousands of runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-prediction and application runtime errors.
+    pub fn optimize_validated(
+        &self,
+        app: &dyn ApproxApp,
+        input: &InputParams,
+        spec: &AccuracySpec,
+    ) -> Result<(OptimizationPlan, MeasuredOutcome), OpproxError> {
+        self.optimize_validated_on(app, input, input, spec)
+    }
+
+    /// [`TrainedOpprox::optimize_validated`] with a separate *canary*
+    /// input used for the validation executions.
+    ///
+    /// The paper's related-work discussion points to canary inputs
+    /// (Laurenzano et al., PLDI 2016) — scaled-down inputs that exercise
+    /// the same behaviour at a fraction of the cost — as complementary to
+    /// OPPROX. This method optimizes *for* `input` but vets every
+    /// candidate plan on `canary`, so validated optimization stays cheap
+    /// even when the production input is expensive. The returned outcome
+    /// is the canary's measurement; re-run [`TrainedOpprox::evaluate`]
+    /// with the production input for final numbers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-prediction and application runtime errors.
+    pub fn optimize_validated_on(
+        &self,
+        app: &dyn ApproxApp,
+        input: &InputParams,
+        canary: &InputParams,
+        spec: &AccuracySpec,
+    ) -> Result<(OptimizationPlan, MeasuredOutcome), OpproxError> {
+        /// Hard cap on validation executions per optimization.
+        const MAX_VALIDATIONS: usize = 32;
+
+        let budget = spec.error_budget();
+        let expected = self.estimate_golden_iters(input)?;
+
+        // Step 1: candidate plans from geometrically scaled model-driven
+        // solves, plus structural variants of each (levels halved,
+        // last-phase-only, last-half-only) that hedge against
+        // cross-phase interactions the per-phase models cannot see.
+        let mut candidates: Vec<OptimizationPlan> = Vec::new();
+        let push = |plan: OptimizationPlan, candidates: &mut Vec<OptimizationPlan>| {
+            if !plan.schedule.is_accurate()
+                && !candidates.iter().any(|c| c.schedule == plan.schedule)
+            {
+                candidates.push(plan);
+            }
+        };
+        for scale in [1.0, 0.5, 2.0, 0.25, 4.0, 8.0] {
+            let scaled = AccuracySpec::try_new(budget * scale)?;
+            for mode in [Conservatism::Band, Conservatism::Point] {
+                let plan =
+                    optimize_with(&self.models, &self.blocks, input, &scaled, expected, mode)?;
+                for v in self.plan_variants(&plan, expected)? {
+                    push(v, &mut candidates);
+                }
+                push(plan, &mut candidates);
+            }
+        }
+        // Heuristic pool: phase-structured probes that encode the paper's
+        // central observation — later phases tolerate approximation — for
+        // the regimes where per-phase model resolution bottoms out (QoS
+        // effects smaller than the model noise floor).
+        for plan in self.heuristic_candidates(expected)? {
+            push(plan, &mut candidates);
+        }
+        candidates.truncate(MAX_VALIDATIONS);
+
+        // Step 2: validate each candidate once; keep every passing plan.
+        let mut passing: Vec<(OptimizationPlan, MeasuredOutcome)> = Vec::new();
+        for plan in candidates {
+            let outcome = self.evaluate(app, canary, &plan)?;
+            if outcome.qos <= budget && outcome.speedup > 1.0 {
+                passing.push((plan, outcome));
+            }
+        }
+        passing.sort_by(|a, b| {
+            b.1.speedup
+                .partial_cmp(&a.1.speedup)
+                .expect("finite speedups")
+        });
+
+        // Step 3: greedy composition — merge the best passing plans
+        // pairwise (levelwise max per phase) to compound independent
+        // savings, validating each merge.
+        let mut merged: Vec<OptimizationPlan> = Vec::new();
+        for i in 0..passing.len().min(3) {
+            for j in (i + 1)..passing.len().min(3) {
+                let a = passing[i].0.schedule.configs();
+                let b = passing[j].0.schedule.configs();
+                if a.len() != b.len() {
+                    continue;
+                }
+                let configs: Vec<LevelConfig> = a
+                    .iter()
+                    .zip(b.iter())
+                    .map(|(ca, cb)| {
+                        LevelConfig::new(
+                            ca.levels()
+                                .iter()
+                                .zip(cb.levels().iter())
+                                .map(|(&x, &y)| x.max(y))
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                let schedule = PhaseSchedule::new(configs, expected.max(1))?;
+                if passing.iter().any(|(p, _)| p.schedule == schedule)
+                    || merged.iter().any(|p| p.schedule == schedule)
+                {
+                    continue;
+                }
+                merged.push(OptimizationPlan {
+                    phases: Vec::new(),
+                    schedule,
+                    predicted_speedup: passing[i].0.predicted_speedup,
+                    predicted_qos: passing[i].0.predicted_qos + passing[j].0.predicted_qos,
+                });
+            }
+        }
+        for plan in merged {
+            let outcome = self.evaluate(app, canary, &plan)?;
+            if outcome.qos <= budget && outcome.speedup > 1.0 {
+                passing.push((plan, outcome));
+            }
+        }
+
+        let best = passing.into_iter().max_by(|a, b| {
+            a.1.speedup
+                .partial_cmp(&b.1.speedup)
+                .expect("finite speedups")
+        });
+
+        match best {
+            Some(found) => Ok(found),
+            None => {
+                // Fall back to the fully accurate schedule.
+                let accurate = LevelConfig::accurate(self.blocks.len());
+                let expected = self.estimate_golden_iters(input)?;
+                let schedule = PhaseSchedule::new(
+                    vec![accurate; self.num_phases],
+                    expected,
+                )?;
+                let plan = OptimizationPlan {
+                    phases: Vec::new(),
+                    schedule,
+                    predicted_speedup: 1.0,
+                    predicted_qos: 0.0,
+                };
+                let outcome = MeasuredOutcome {
+                    speedup: 1.0,
+                    qos: 0.0,
+                    outer_iters: expected,
+                };
+                Ok((plan, outcome))
+            }
+        }
+    }
+
+    /// Heuristic phase-structured candidates: uniform levels confined to
+    /// the final phase or final half, and per-block probes. All are
+    /// subject to the same empirical validation as the model-driven
+    /// plans.
+    fn heuristic_candidates(
+        &self,
+        expected_iters: u64,
+    ) -> Result<Vec<OptimizationPlan>, OpproxError> {
+        let n = self.num_phases;
+        let nb = self.blocks.len();
+        let mut schedules: Vec<Vec<LevelConfig>> = Vec::new();
+
+        let uniform = |level: u8| -> LevelConfig {
+            LevelConfig::new(
+                self.blocks
+                    .iter()
+                    .map(|b| level.min(b.max_level))
+                    .collect(),
+            )
+        };
+        // Final phase only, escalating uniform levels.
+        for level in [1u8, 2, 3, 5] {
+            let mut v = vec![LevelConfig::accurate(nb); n];
+            v[n - 1] = uniform(level);
+            schedules.push(v);
+        }
+        // Final half, gentle uniform levels.
+        for level in [1u8, 2] {
+            let mut v = vec![LevelConfig::accurate(nb); n];
+            for slot in v.iter_mut().take(n).skip(n / 2) {
+                *slot = uniform(level);
+            }
+            schedules.push(v);
+        }
+        // Per-block probes: one block at a moderate and at its maximum
+        // level, (a) in the final half and (b) across the whole run.
+        for b in 0..nb {
+            for level in [2u8.min(self.blocks[b].max_level), self.blocks[b].max_level] {
+                if level == 0 {
+                    continue;
+                }
+                let cfg = LevelConfig::accurate(nb).with_level(b, level);
+                let mut v = vec![LevelConfig::accurate(nb); n];
+                for slot in v.iter_mut().take(n).skip(n / 2) {
+                    *slot = cfg.clone();
+                }
+                schedules.push(v);
+                schedules.push(vec![cfg; n]);
+            }
+        }
+
+        let mut out = Vec::new();
+        for v in schedules {
+            let schedule = PhaseSchedule::new(v, expected_iters.max(1))?;
+            if schedule.is_accurate() {
+                continue;
+            }
+            out.push(OptimizationPlan {
+                phases: Vec::new(),
+                schedule,
+                predicted_speedup: 1.0,
+                predicted_qos: 0.0,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Structural variants of a plan used during validated optimization:
+    /// halved levels, last-phase-only, and last-half-only schedules.
+    fn plan_variants(
+        &self,
+        plan: &OptimizationPlan,
+        expected_iters: u64,
+    ) -> Result<Vec<OptimizationPlan>, OpproxError> {
+        if plan.schedule.is_accurate() {
+            return Ok(Vec::new());
+        }
+        let configs = plan.schedule.configs();
+        let n = configs.len();
+        let mut variants: Vec<Vec<LevelConfig>> = Vec::new();
+        // Levels halved everywhere.
+        variants.push(
+            configs
+                .iter()
+                .map(|c| LevelConfig::new(c.levels().iter().map(|&l| l / 2).collect()))
+                .collect(),
+        );
+        // Only the final phase keeps its configuration.
+        if n > 1 {
+            let mut v: Vec<LevelConfig> = vec![LevelConfig::accurate(self.blocks.len()); n];
+            v[n - 1] = configs[n - 1].clone();
+            variants.push(v);
+            // Only the later half keeps its configuration.
+            if n > 2 {
+                let mut v: Vec<LevelConfig> =
+                    vec![LevelConfig::accurate(self.blocks.len()); n];
+                for (p, slot) in v.iter_mut().enumerate().take(n).skip(n / 2) {
+                    *slot = configs[p].clone();
+                }
+                variants.push(v);
+            }
+        }
+        let mut out = Vec::new();
+        for v in variants {
+            let schedule = PhaseSchedule::new(v, expected_iters.max(1))?;
+            if schedule.is_accurate() || schedule == plan.schedule {
+                continue;
+            }
+            out.push(OptimizationPlan {
+                phases: Vec::new(),
+                schedule,
+                predicted_speedup: plan.predicted_speedup,
+                predicted_qos: plan.predicted_qos,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Runs the plan for real and measures the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates application runtime errors.
+    pub fn evaluate(
+        &self,
+        app: &dyn ApproxApp,
+        input: &InputParams,
+        plan: &OptimizationPlan,
+    ) -> Result<MeasuredOutcome, OpproxError> {
+        let golden = app.golden(input)?;
+        // Re-anchor the schedule on the real golden iteration count.
+        let schedule = PhaseSchedule::new(
+            plan.schedule.configs().to_vec(),
+            golden.outer_iters.max(1),
+        )?;
+        let result = app.run(input, &schedule)?;
+        Ok(MeasuredOutcome {
+            speedup: golden.speedup_over(&result),
+            qos: app.qos_degradation(&golden, &result),
+            outer_iters: result.outer_iters,
+        })
+    }
+
+    /// Serializes the trained system to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpproxError::Serialization`] on encoder failure.
+    pub fn to_json(&self) -> Result<String, OpproxError> {
+        serde_json::to_string(self).map_err(|e| OpproxError::Serialization(e.to_string()))
+    }
+
+    /// Restores a trained system from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpproxError::Serialization`] on decoder failure.
+    pub fn from_json(json: &str) -> Result<Self, OpproxError> {
+        serde_json::from_str(json).map_err(|e| OpproxError::Serialization(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opprox_apps::Pso;
+
+    fn fast_options() -> TrainingOptions {
+        TrainingOptions {
+            num_phases: Some(2),
+            sampling: SamplingPlan {
+                num_phases: 2,
+                sparse_samples: 10,
+                whole_run_samples: 0,
+                seed: 5,
+            },
+            ..TrainingOptions::default()
+        }
+    }
+
+    #[test]
+    fn train_optimize_evaluate_round_trip() {
+        let app = Pso::new();
+        let trained = Opprox::train(&app, &fast_options()).unwrap();
+        assert_eq!(trained.app_name(), "PSO");
+        assert_eq!(trained.num_phases(), 2);
+        let input = InputParams::new(vec![20.0, 3.0]);
+        let spec = AccuracySpec::new(20.0);
+        let plan = trained.optimize(&input, &spec).unwrap();
+        let outcome = trained.evaluate(&app, &input, &plan).unwrap();
+        assert!(outcome.speedup > 0.0);
+        assert!(outcome.qos.is_finite());
+    }
+
+    #[test]
+    fn golden_iteration_estimate_is_sane() {
+        let app = Pso::new();
+        let trained = Opprox::train(&app, &fast_options()).unwrap();
+        let input = InputParams::new(vec![16.0, 3.0]);
+        let est = trained.estimate_golden_iters(&input).unwrap();
+        let real = opprox_approx_rt::ApproxApp::golden(&app, &input)
+            .unwrap()
+            .outer_iters;
+        // Convergence loops terminate on plateaus, so the estimator only
+        // needs to be in the right ballpark (the optimizer re-anchors the
+        // schedule on the real golden run before execution anyway).
+        let rel = (est as f64 - real as f64).abs() / real as f64;
+        assert!(rel < 0.5, "estimate {est} vs real {real}");
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_plans() {
+        let app = Pso::new();
+        let trained = Opprox::train(&app, &fast_options()).unwrap();
+        let json = trained.to_json().unwrap();
+        let back = TrainedOpprox::from_json(&json).unwrap();
+        let input = InputParams::new(vec![16.0, 3.0]);
+        let spec = AccuracySpec::new(10.0);
+        let a = trained.optimize(&input, &spec).unwrap();
+        let b = back.optimize(&input, &spec).unwrap();
+        assert_eq!(a.phases, b.phases);
+    }
+
+    #[test]
+    fn bad_json_is_reported() {
+        assert!(matches!(
+            TrainedOpprox::from_json("{not json"),
+            Err(OpproxError::Serialization(_))
+        ));
+    }
+}

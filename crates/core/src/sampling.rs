@@ -1,0 +1,289 @@
+//! Training-data collection (paper Sec. 3.3).
+//!
+//! OPPROX profiles the instrumented application with different level
+//! combinations and representative inputs. Per phase it collects
+//!
+//! * **local sweeps** — for each approximable block, every nonzero level
+//!   with all other blocks accurate (exhaustive per-block coverage for
+//!   the local models), and
+//! * **random sparse samples** — level combinations drawn over all blocks
+//!   simultaneously, capturing interactions.
+//!
+//! Every run is reduced to a [`SampleRecord`] holding the configuration,
+//! the phase it was applied in, and the measured speedup, QoS
+//! degradation, and outer-loop iteration count.
+
+use crate::error::OpproxError;
+use opprox_approx_rt::config::{local_sweep, sample_configs};
+use opprox_approx_rt::{ApproxApp, InputParams, LevelConfig, PhaseSchedule};
+use serde::{Deserialize, Serialize};
+
+/// One profiled execution, reduced to its modeling-relevant outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleRecord {
+    /// The input parameters of the run.
+    pub input: InputParams,
+    /// The phase the approximation was applied to (`None` for a
+    /// whole-run, phase-agnostic sample).
+    pub phase: Option<usize>,
+    /// Number of phases the execution was divided into.
+    pub num_phases: usize,
+    /// The level configuration applied in the approximated phase(s).
+    pub config: LevelConfig,
+    /// Measured speedup over the accurate run (work ratio).
+    pub speedup: f64,
+    /// Measured QoS degradation (application metric; lower is better).
+    pub qos: f64,
+    /// Measured outer-loop iteration count.
+    pub outer_iters: u64,
+    /// Control-flow class signature of the run.
+    pub control_flow: Vec<usize>,
+}
+
+/// Golden (accurate) run facts for one input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoldenRecord {
+    /// The input parameters.
+    pub input: InputParams,
+    /// Work units of the accurate run.
+    pub work: u64,
+    /// Outer-loop iterations of the accurate run.
+    pub outer_iters: u64,
+    /// Control-flow signature of the accurate run.
+    pub control_flow: Vec<usize>,
+}
+
+/// The full training set for one application.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingData {
+    /// Per-input golden facts.
+    pub goldens: Vec<GoldenRecord>,
+    /// All profiled samples.
+    pub records: Vec<SampleRecord>,
+}
+
+impl TrainingData {
+    /// Records for a specific phase (across inputs).
+    pub fn phase_records(&self, phase: usize) -> Vec<&SampleRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.phase == Some(phase))
+            .collect()
+    }
+
+    /// The golden record for an input, if profiled.
+    pub fn golden_for(&self, input: &InputParams) -> Option<&GoldenRecord> {
+        self.goldens.iter().find(|g| &g.input == input)
+    }
+
+    /// All distinct control-flow signatures seen, in first-seen order.
+    pub fn control_flow_classes(&self) -> Vec<Vec<usize>> {
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        for g in &self.goldens {
+            if !classes.contains(&g.control_flow) {
+                classes.push(g.control_flow.clone());
+            }
+        }
+        classes
+    }
+}
+
+/// How much training data to collect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingPlan {
+    /// Number of execution phases.
+    pub num_phases: usize,
+    /// Random sparse multi-block samples per (input, phase).
+    pub sparse_samples: usize,
+    /// Whether to also collect whole-run (phase-agnostic) samples, used
+    /// by Fig. 9/10's "All" column and by baseline comparisons.
+    pub whole_run_samples: usize,
+    /// RNG seed for the sparse sampling.
+    pub seed: u64,
+}
+
+impl Default for SamplingPlan {
+    fn default() -> Self {
+        SamplingPlan {
+            num_phases: 4,
+            sparse_samples: 36,
+            whole_run_samples: 0,
+            seed: 0xC60,
+        }
+    }
+}
+
+/// Profiles `app` on the given inputs according to the plan.
+///
+/// Inputs are profiled in parallel (one thread per representative input —
+/// the analogue of the paper's cluster-parallel profiling jobs); the
+/// result is assembled in input order, so the training data is exactly
+/// the same as a sequential collection.
+///
+/// # Errors
+///
+/// Propagates application runtime errors; returns
+/// [`OpproxError::InsufficientData`] when `inputs` is empty.
+pub fn collect_training_data(
+    app: &dyn ApproxApp,
+    inputs: &[InputParams],
+    plan: &SamplingPlan,
+) -> Result<TrainingData, OpproxError> {
+    if inputs.is_empty() {
+        return Err(OpproxError::InsufficientData(
+            "no representative inputs provided".into(),
+        ));
+    }
+    let per_input: Vec<Result<(GoldenRecord, Vec<SampleRecord>), OpproxError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .iter()
+                .map(|input| scope.spawn(move || profile_one_input(app, input, plan)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("profiling thread panicked"))
+                .collect()
+        });
+
+    let mut data = TrainingData::default();
+    for result in per_input {
+        let (golden, records) = result?;
+        data.goldens.push(golden);
+        data.records.extend(records);
+    }
+    Ok(data)
+}
+
+/// Profiles one input: golden run, per-phase local sweeps and sparse
+/// samples, and optional whole-run samples.
+fn profile_one_input(
+    app: &dyn ApproxApp,
+    input: &InputParams,
+    plan: &SamplingPlan,
+) -> Result<(GoldenRecord, Vec<SampleRecord>), OpproxError> {
+    let blocks = &app.meta().blocks;
+    let golden = app.golden(input)?;
+    let golden_record = GoldenRecord {
+        input: input.clone(),
+        work: golden.work,
+        outer_iters: golden.outer_iters,
+        control_flow: golden.log.control_flow_signature(),
+    };
+
+    // Per-phase: exhaustive local sweeps + sparse multi-block samples.
+    let mut configs: Vec<LevelConfig> = Vec::new();
+    for b in 0..blocks.len() {
+        configs.extend(local_sweep(blocks, b));
+    }
+    configs.extend(sample_configs(blocks, plan.sparse_samples, plan.seed));
+
+    let mut records = Vec::new();
+    for phase in 0..plan.num_phases {
+        for config in &configs {
+            let schedule = PhaseSchedule::single_phase(
+                config.clone(),
+                phase,
+                plan.num_phases,
+                golden.outer_iters,
+            )?;
+            let result = app.run(input, &schedule)?;
+            records.push(SampleRecord {
+                input: input.clone(),
+                phase: Some(phase),
+                num_phases: plan.num_phases,
+                config: config.clone(),
+                speedup: golden.speedup_over(&result),
+                qos: app.qos_degradation(&golden, &result),
+                outer_iters: result.outer_iters,
+                control_flow: result.log.control_flow_signature(),
+            });
+        }
+    }
+
+    // Optional whole-run samples.
+    let whole = sample_configs(blocks, plan.whole_run_samples, plan.seed ^ 0xA11);
+    for config in whole {
+        let schedule = PhaseSchedule::constant(config.clone());
+        let result = app.run(input, &schedule)?;
+        records.push(SampleRecord {
+            input: input.clone(),
+            phase: None,
+            num_phases: 1,
+            config,
+            speedup: golden.speedup_over(&result),
+            qos: app.qos_degradation(&golden, &result),
+            outer_iters: result.outer_iters,
+            control_flow: result.log.control_flow_signature(),
+        });
+    }
+
+    Ok((golden_record, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opprox_apps::Pso;
+
+    fn small_plan() -> SamplingPlan {
+        SamplingPlan {
+            num_phases: 2,
+            sparse_samples: 3,
+            whole_run_samples: 2,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn collects_goldens_locals_sparse_and_whole_run() {
+        let app = Pso::new();
+        let inputs = vec![InputParams::new(vec![16.0, 3.0])];
+        let data = collect_training_data(&app, &inputs, &small_plan()).unwrap();
+        assert_eq!(data.goldens.len(), 1);
+        // PSO: 3 blocks × 5 nonzero levels = 15 locals + 3 sparse = 18 per
+        // phase, × 2 phases + 2 whole-run.
+        assert_eq!(data.records.len(), 18 * 2 + 2);
+        assert_eq!(data.phase_records(0).len(), 18);
+        assert_eq!(data.phase_records(1).len(), 18);
+        assert_eq!(data.records.iter().filter(|r| r.phase.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn samples_have_sane_measurements() {
+        let app = Pso::new();
+        let inputs = vec![InputParams::new(vec![16.0, 3.0])];
+        let data = collect_training_data(&app, &inputs, &small_plan()).unwrap();
+        for r in &data.records {
+            assert!(r.speedup.is_finite() && r.speedup > 0.0);
+            assert!(r.qos.is_finite() && r.qos >= 0.0);
+            assert!(r.outer_iters > 0);
+            assert!(!r.config.is_accurate());
+        }
+    }
+
+    #[test]
+    fn golden_lookup_and_classes() {
+        let app = Pso::new();
+        let input = InputParams::new(vec![16.0, 3.0]);
+        let data = collect_training_data(&app, std::slice::from_ref(&input), &small_plan()).unwrap();
+        assert!(data.golden_for(&input).is_some());
+        assert!(data.golden_for(&InputParams::new(vec![99.0, 3.0])).is_none());
+        assert_eq!(data.control_flow_classes().len(), 1);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let app = Pso::new();
+        assert!(collect_training_data(&app, &[], &small_plan()).is_err());
+    }
+
+    #[test]
+    fn training_data_is_deterministic() {
+        let app = Pso::new();
+        let inputs = vec![InputParams::new(vec![16.0, 3.0])];
+        let a = collect_training_data(&app, &inputs, &small_plan()).unwrap();
+        let b = collect_training_data(&app, &inputs, &small_plan()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,84 @@
+//! The user-provided accuracy specification (paper Sec. 3.1).
+//!
+//! An accuracy specification consists of representative inputs (provided
+//! by the application through
+//! [`opprox_approx_rt::ApproxApp::representative_inputs`]), an accuracy
+//! metric (the application's
+//! [`opprox_approx_rt::ApproxApp::qos_degradation`]), and the error
+//! budget captured here.
+
+use crate::error::OpproxError;
+use serde::{Deserialize, Serialize};
+
+/// The QoS-degradation budget the user is willing to tolerate.
+///
+/// # Example
+///
+/// ```
+/// use opprox_core::AccuracySpec;
+///
+/// let spec = AccuracySpec::new(10.0);
+/// assert_eq!(spec.error_budget(), 10.0);
+/// assert!(AccuracySpec::try_new(-1.0).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracySpec {
+    error_budget: f64,
+}
+
+impl AccuracySpec {
+    /// Creates a specification with the given QoS-degradation budget
+    /// (same unit as the application's QoS metric, e.g. percent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is negative or not finite; use
+    /// [`AccuracySpec::try_new`] for fallible construction.
+    pub fn new(error_budget: f64) -> Self {
+        Self::try_new(error_budget).expect("valid error budget")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpproxError::InvalidSpec`] for negative or non-finite
+    /// budgets.
+    pub fn try_new(error_budget: f64) -> Result<Self, OpproxError> {
+        if !error_budget.is_finite() || error_budget < 0.0 {
+            return Err(OpproxError::InvalidSpec(format!(
+                "error budget must be a non-negative finite number, got {error_budget}"
+            )));
+        }
+        Ok(AccuracySpec { error_budget })
+    }
+
+    /// The QoS-degradation budget.
+    pub fn error_budget(&self) -> f64 {
+        self.error_budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_zero_and_positive_budgets() {
+        assert!(AccuracySpec::try_new(0.0).is_ok());
+        assert!(AccuracySpec::try_new(20.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_budgets() {
+        assert!(AccuracySpec::try_new(-0.1).is_err());
+        assert!(AccuracySpec::try_new(f64::NAN).is_err());
+        assert!(AccuracySpec::try_new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_panics_on_invalid() {
+        AccuracySpec::new(-5.0);
+    }
+}

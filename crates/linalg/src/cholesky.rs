@@ -1,0 +1,156 @@
+//! Cholesky decomposition for symmetric positive-definite systems.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// The input must be square and symmetric positive definite; symmetry is
+/// assumed (only the lower triangle is read).
+///
+/// # Errors
+///
+/// * [`LinalgError::InvalidArgument`] if `a` is not square.
+/// * [`LinalgError::Singular`] if a non-positive pivot is encountered,
+///   i.e. `a` is not positive definite to working precision.
+///
+/// # Example
+///
+/// ```
+/// use opprox_linalg::{Matrix, cholesky::cholesky_decompose};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+/// let l = cholesky_decompose(&a).unwrap();
+/// let recon = l.matmul(&l.transpose()).unwrap();
+/// assert!((recon.get(0, 1) - 2.0).abs() < 1e-12);
+/// ```
+pub fn cholesky_decompose(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::InvalidArgument(format!(
+            "Cholesky requires a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return Err(LinalgError::Singular(format!(
+                        "non-positive pivot {s:e} at row {i}"
+                    )));
+                }
+                l.set(i, j, s.sqrt());
+            } else {
+                l.set(i, j, s / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+///
+/// # Errors
+///
+/// Propagates the errors of [`cholesky_decompose`], plus
+/// [`LinalgError::DimensionMismatch`] when `b.len() != a.rows()`.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "matrix has {} rows but rhs has length {}",
+            a.rows(),
+            b.len()
+        )));
+    }
+    let l = cholesky_decompose(a)?;
+    let n = a.rows();
+    // Forward solve L z = b.
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l.get(i, k) * z[k];
+        }
+        z[i] = s / l.get(i, i);
+    }
+    // Back solve Lᵀ x = z.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = z[i];
+        for k in (i + 1)..n {
+            s -= l.get(k, i) * x[k];
+        }
+        x[i] = s / l.get(i, i);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decompose_known_matrix() {
+        // A = [[4, 12, -16], [12, 37, -43], [-16, -43, 98]] has the classic
+        // factor L = [[2,0,0],[6,1,0],[-8,5,3]].
+        let a = Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
+        .unwrap();
+        let l = cholesky_decompose(&a).unwrap();
+        let expect = [[2.0, 0.0, 0.0], [6.0, 1.0, 0.0], [-8.0, 5.0, 3.0]];
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((l.get(i, j) - expect[i][j]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct_inverse() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let x = cholesky_solve(&a, &[10.0, 8.0]).unwrap();
+        // Verify A x = b.
+        let b = a.matvec(&x).unwrap();
+        assert!((b[0] - 10.0).abs() < 1e-10);
+        assert!((b[1] - 8.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(cholesky_decompose(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            cholesky_decompose(&a),
+            Err(LinalgError::Singular(_))
+        ));
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(3);
+        assert!(cholesky_solve(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.25];
+        let x = cholesky_solve(&a, &b).unwrap();
+        assert_eq!(x, b.to_vec());
+    }
+}

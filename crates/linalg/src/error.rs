@@ -1,0 +1,50 @@
+//! Error type for linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    ///
+    /// Carries a human-readable description of the mismatch.
+    DimensionMismatch(String),
+    /// A decomposition failed because the matrix was singular (or not
+    /// positive definite, for Cholesky) to working precision.
+    Singular(String),
+    /// An argument was empty or otherwise out of the routine's domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            LinalgError::Singular(msg) => write!(f, "singular matrix: {msg}"),
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_variant_payloads() {
+        let e = LinalgError::DimensionMismatch("2x3 * 2x2".into());
+        assert_eq!(e.to_string(), "dimension mismatch: 2x3 * 2x2");
+        let e = LinalgError::Singular("pivot 0".into());
+        assert_eq!(e.to_string(), "singular matrix: pivot 0");
+        let e = LinalgError::InvalidArgument("empty".into());
+        assert_eq!(e.to_string(), "invalid argument: empty");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&LinalgError::Singular("x".into()));
+    }
+}

@@ -1,0 +1,252 @@
+//! Householder QR decomposition and QR-based least squares.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// The result of a Householder QR decomposition `A = Q R`.
+///
+/// `q` is `m × m` orthogonal and `r` is `m × n` upper triangular (only the
+/// top `n × n` block is nonzero when `m ≥ n`).
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// The orthogonal factor.
+    pub q: Matrix,
+    /// The upper-triangular factor.
+    pub r: Matrix,
+}
+
+/// Computes the full Householder QR decomposition of `a`.
+///
+/// Works for any `m × n` matrix with `m ≥ n`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] when `m < n` or the matrix is
+/// empty.
+///
+/// # Example
+///
+/// ```
+/// use opprox_linalg::{Matrix, qr::qr_decompose};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+/// let qr = qr_decompose(&a).unwrap();
+/// let recon = qr.q.matmul(&qr.r).unwrap();
+/// for i in 0..3 {
+///     for j in 0..2 {
+///         assert!((recon.get(i, j) - a.get(i, j)).abs() < 1e-10);
+///     }
+/// }
+/// ```
+pub fn qr_decompose(a: &Matrix) -> Result<QrDecomposition, LinalgError> {
+    let m = a.rows();
+    let n = a.cols();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::InvalidArgument("empty matrix".into()));
+    }
+    if m < n {
+        return Err(LinalgError::InvalidArgument(format!(
+            "QR requires rows >= cols, got {m}x{n}"
+        )));
+    }
+
+    let mut r = a.clone();
+    let mut q = Matrix::identity(m);
+
+    for k in 0..n.min(m - 1) {
+        // Build the Householder reflector for column k.
+        let mut norm = 0.0;
+        for i in k..m {
+            let v = r.get(i, k);
+            norm += v * v;
+        }
+        let norm = norm.sqrt();
+        if norm == 0.0 {
+            continue; // Column already zero below the diagonal.
+        }
+        let alpha = if r.get(k, k) >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; m - k];
+        v[0] = r.get(k, k) - alpha;
+        for i in (k + 1)..m {
+            v[i - k] = r.get(i, k);
+        }
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+
+        // Apply H = I - 2 v vᵀ / (vᵀ v) to R (rows k..m).
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i - k] * r.get(i, j);
+            }
+            let scale = 2.0 * dot / vnorm2;
+            for i in k..m {
+                let cur = r.get(i, j);
+                r.set(i, j, cur - scale * v[i - k]);
+            }
+        }
+        // Accumulate Q = Q Hᵀ (H is symmetric, so Q = Q H).
+        for i in 0..m {
+            let mut dot = 0.0;
+            for j in k..m {
+                dot += q.get(i, j) * v[j - k];
+            }
+            let scale = 2.0 * dot / vnorm2;
+            for j in k..m {
+                let cur = q.get(i, j);
+                q.set(i, j, cur - scale * v[j - k]);
+            }
+        }
+    }
+
+    // Clean tiny below-diagonal residue for numerical hygiene.
+    for i in 0..m {
+        for j in 0..n.min(i) {
+            r.set(i, j, 0.0);
+        }
+    }
+
+    Ok(QrDecomposition { q, r })
+}
+
+/// Solves the least-squares problem `min ‖A x − y‖₂` via QR.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `y.len() != a.rows()`.
+/// * [`LinalgError::Singular`] if `R` has a (near-)zero diagonal entry,
+///   i.e. `A` is rank deficient to working precision.
+/// * [`LinalgError::InvalidArgument`] if `a.rows() < a.cols()`.
+pub fn qr_least_squares(a: &Matrix, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if y.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "matrix has {} rows but rhs has length {}",
+            a.rows(),
+            y.len()
+        )));
+    }
+    let qr = qr_decompose(a)?;
+    let n = a.cols();
+    // Compute Qᵀ y.
+    let qty = qr.q.transpose().matvec(y)?;
+    // Back-substitute R x = (Qᵀ y)[0..n].
+    let mut x = vec![0.0; n];
+    let scale = qr.r.frobenius_norm().max(1.0);
+    for i in (0..n).rev() {
+        let mut s = qty[i];
+        for j in (i + 1)..n {
+            s -= qr.r.get(i, j) * x[j];
+        }
+        let d = qr.r.get(i, i);
+        if d.abs() < 1e-12 * scale {
+            return Err(LinalgError::Singular(format!(
+                "R[{i},{i}] = {d:e} during back-substitution"
+            )));
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn qr_reconstructs_square_matrix() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]).unwrap();
+        let qr = qr_decompose(&a).unwrap();
+        let recon = qr.q.matmul(&qr.r).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_close(recon.get(i, j), a.get(i, j), 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 7.0]]).unwrap();
+        let qr = qr_decompose(&a).unwrap();
+        let qtq = qr.q.transpose().matmul(&qr.q).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert_close(qtq.get(i, j), expect, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 7.0]]).unwrap();
+        let qr = qr_decompose(&a).unwrap();
+        for i in 0..qr.r.rows() {
+            for j in 0..qr.r.cols().min(i) {
+                assert_eq!(qr.r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_exact_system() {
+        // x + y = 3, x - y = 1  =>  x = 2, y = 1.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]).unwrap();
+        let x = qr_least_squares(&a, &[3.0, 1.0]).unwrap();
+        assert_close(x[0], 2.0, 1e-10);
+        assert_close(x[1], 1.0, 1e-10);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_line_fit() {
+        // Fit y = 2x + 1 with noise-free samples.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let a = Matrix::from_row_vecs(&rows).unwrap();
+        let y: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let beta = qr_least_squares(&a, &y).unwrap();
+        assert_close(beta[0], 1.0, 1e-10);
+        assert_close(beta[1], 2.0, 1e-10);
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal_to_columns() {
+        let a = Matrix::from_rows(&[&[1.0, 0.5], &[1.0, 1.5], &[1.0, 3.0], &[1.0, 4.5]]).unwrap();
+        let y = [1.0, 2.0, 2.0, 5.0];
+        let beta = qr_least_squares(&a, &y).unwrap();
+        let pred = a.matvec(&beta).unwrap();
+        let resid: Vec<f64> = y.iter().zip(&pred).map(|(yi, pi)| yi - pi).collect();
+        let atr = a.t_matvec(&resid).unwrap();
+        for v in atr {
+            assert_close(v, 0.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix_is_reported_singular() {
+        // Second column is a multiple of the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        assert!(matches!(
+            qr_least_squares(&a, &[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular(_))
+        ));
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        assert!(qr_decompose(&a).is_err());
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(2);
+        assert!(qr_least_squares(&a, &[1.0]).is_err());
+    }
+}

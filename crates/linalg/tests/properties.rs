@@ -1,0 +1,117 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use opprox_linalg::lstsq::{ridge_least_squares, solve_least_squares};
+use opprox_linalg::qr::qr_decompose;
+use opprox_linalg::stats::{mean, quantile, r2_score};
+use opprox_linalg::Matrix;
+use proptest::prelude::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (-100.0f64..100.0).prop_filter("finite", |v| v.is_finite())
+}
+
+fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_cols)
+        .prop_flat_map(move |cols| {
+            (cols..=max_rows.max(cols)).prop_flat_map(move |rows| {
+                proptest::collection::vec(finite_f64(), rows * cols)
+                    .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+            })
+        })
+        .boxed()
+}
+
+proptest! {
+    #[test]
+    fn qr_reconstructs_input(a in matrix_strategy(6, 4)) {
+        let qr = qr_decompose(&a).unwrap();
+        let recon = qr.q.matmul(&qr.r).unwrap();
+        let scale = a.frobenius_norm().max(1.0);
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                prop_assert!((recon.get(i, j) - a.get(i, j)).abs() < 1e-8 * scale);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_q_is_orthogonal(a in matrix_strategy(6, 4)) {
+        let qr = qr_decompose(&a).unwrap();
+        let qtq = qr.q.transpose().matmul(&qr.q).unwrap();
+        for i in 0..qtq.rows() {
+            for j in 0..qtq.cols() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((qtq.get(i, j) - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_never_beats_truth_residual(
+        rows in 3usize..8,
+        beta0 in finite_f64(),
+        beta1 in finite_f64(),
+    ) {
+        // Build an exact linear system; the solver must recover near-zero
+        // residual.
+        let xs: Vec<f64> = (0..rows).map(|i| i as f64).collect();
+        let design: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let a = Matrix::from_row_vecs(&design).unwrap();
+        let y: Vec<f64> = xs.iter().map(|&x| beta0 + beta1 * x).collect();
+        let sol = solve_least_squares(&a, &y).unwrap();
+        let pred = a.matvec(&sol).unwrap();
+        let scale = y.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (p, t) in pred.iter().zip(y.iter()) {
+            prop_assert!((p - t).abs() < 1e-6 * scale);
+        }
+    }
+
+    #[test]
+    fn ridge_residual_is_bounded_by_zero_vector_residual(
+        a in matrix_strategy(6, 3),
+        seed in 0u64..1000,
+    ) {
+        // The ridge solution must fit at least as well as predicting from
+        // the zero coefficient vector once lambda is tiny.
+        let y: Vec<f64> = (0..a.rows()).map(|i| ((i as u64 + seed) % 7) as f64 - 3.0).collect();
+        if let Ok(x) = ridge_least_squares(&a, &y, 1e-8) {
+            let pred = a.matvec(&x).unwrap();
+            let resid: f64 = pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum();
+            let zero_resid: f64 = y.iter().map(|t| t * t).sum();
+            prop_assert!(resid <= zero_resid + 1e-6 * zero_resid.max(1.0));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in matrix_strategy(5, 5)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(xs in proptest::collection::vec(finite_f64(), 1..20)) {
+        let q25 = quantile(&xs, 0.25).unwrap();
+        let q50 = quantile(&xs, 0.50).unwrap();
+        let q75 = quantile(&xs, 0.75).unwrap();
+        prop_assert!(q25 <= q50 + 1e-12);
+        prop_assert!(q50 <= q75 + 1e-12);
+    }
+
+    #[test]
+    fn quantile_within_data_range(xs in proptest::collection::vec(finite_f64(), 1..20), q in 0.0f64..1.0) {
+        let v = quantile(&xs, q).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn mean_is_translation_equivariant(xs in proptest::collection::vec(finite_f64(), 1..20), shift in finite_f64()) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!((mean(&shifted) - (mean(&xs) + shift)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r2_of_truth_is_one(xs in proptest::collection::vec(finite_f64(), 2..20)) {
+        prop_assert!((r2_score(&xs, &xs) - 1.0).abs() < 1e-12);
+    }
+}

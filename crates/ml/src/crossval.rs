@@ -1,0 +1,161 @@
+//! k-fold cross-validation (paper Sec. 3.7).
+//!
+//! OPPROX escalates the polynomial degree until the model "finds a good R²
+//! score with 10-fold cross validation". This module implements the
+//! standard k-fold protocol with a deterministic, seeded shuffle so the
+//! whole reproduction stays bit-reproducible.
+
+use crate::error::MlError;
+use crate::polyreg::PolynomialRegression;
+use opprox_linalg::stats::r2_score;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of one cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossValScore {
+    /// Mean R² across folds.
+    pub mean_r2: f64,
+    /// Per-fold R² values.
+    pub fold_r2: Vec<f64>,
+}
+
+/// Deterministically splits `n` indices into `k` folds after a seeded
+/// shuffle. Every index appears in exactly one fold and fold sizes differ
+/// by at most one.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidHyperparameter`] if `k < 2` or `k > n`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Result<Vec<Vec<usize>>, MlError> {
+    if k < 2 {
+        return Err(MlError::InvalidHyperparameter(format!(
+            "k-fold requires k >= 2, got {k}"
+        )));
+    }
+    if k > n {
+        return Err(MlError::InvalidHyperparameter(format!(
+            "k-fold requires k <= n, got k={k}, n={n}"
+        )));
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut folds = vec![Vec::new(); k];
+    for (pos, i) in idx.into_iter().enumerate() {
+        folds[pos % k].push(i);
+    }
+    Ok(folds)
+}
+
+/// Cross-validates a polynomial regression of the given degree.
+///
+/// Follows the paper's protocol: partition the data into `k` folds, train
+/// on `k − 1`, test on the held-out fold, repeat for every fold, and
+/// average the R² scores.
+///
+/// # Errors
+///
+/// * Propagates fold-construction errors from [`kfold_indices`].
+/// * [`MlError::InvalidTrainingData`] if `xs` and `ys` differ in length.
+/// * Fit errors from [`PolynomialRegression::fit`].
+pub fn cross_validate_poly(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    degree: usize,
+    k: usize,
+    seed: u64,
+) -> Result<CrossValScore, MlError> {
+    if xs.len() != ys.len() {
+        return Err(MlError::InvalidTrainingData(format!(
+            "{} feature rows vs {} targets",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    let folds = kfold_indices(xs.len(), k, seed)?;
+    let mut fold_r2 = Vec::with_capacity(k);
+    for test_fold in &folds {
+        let test_set: std::collections::HashSet<usize> = test_fold.iter().copied().collect();
+        let mut train_x = Vec::new();
+        let mut train_y = Vec::new();
+        let mut test_x = Vec::new();
+        let mut test_y = Vec::new();
+        for i in 0..xs.len() {
+            if test_set.contains(&i) {
+                test_x.push(xs[i].clone());
+                test_y.push(ys[i]);
+            } else {
+                train_x.push(xs[i].clone());
+                train_y.push(ys[i]);
+            }
+        }
+        let model = PolynomialRegression::fit(&train_x, &train_y, degree)?;
+        let preds = model.predict(&test_x)?;
+        fold_r2.push(r2_score(&test_y, &preds));
+    }
+    let mean_r2 = fold_r2.iter().sum::<f64>() / fold_r2.len() as f64;
+    Ok(CrossValScore { mean_r2, fold_r2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_all_indices() {
+        let folds = kfold_indices(17, 5, 42).unwrap();
+        let mut seen: Vec<usize> = folds.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..17).collect::<Vec<_>>());
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = folds.iter().map(|f| f.len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn folds_are_deterministic_per_seed() {
+        assert_eq!(
+            kfold_indices(10, 3, 7).unwrap(),
+            kfold_indices(10, 3, 7).unwrap()
+        );
+        assert_ne!(
+            kfold_indices(10, 3, 7).unwrap(),
+            kfold_indices(10, 3, 8).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        assert!(kfold_indices(10, 1, 0).is_err());
+        assert!(kfold_indices(3, 4, 0).is_err());
+    }
+
+    #[test]
+    fn cv_scores_well_on_matching_degree() {
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 * 0.1]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 1.0 + 2.0 * r[0] + r[0] * r[0]).collect();
+        let score = cross_validate_poly(&xs, &ys, 2, 10, 1).unwrap();
+        assert!(score.mean_r2 > 0.999, "mean R² was {}", score.mean_r2);
+        assert_eq!(score.fold_r2.len(), 10);
+    }
+
+    #[test]
+    fn cv_scores_poorly_on_underfit_degree() {
+        // Strongly cubic data fit with a linear model.
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![(i as f64 - 30.0) * 0.2]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0].powi(3)).collect();
+        let lin = cross_validate_poly(&xs, &ys, 1, 10, 1).unwrap();
+        let cub = cross_validate_poly(&xs, &ys, 3, 10, 1).unwrap();
+        assert!(cub.mean_r2 > lin.mean_r2);
+        assert!(cub.mean_r2 > 0.999);
+    }
+
+    #[test]
+    fn cv_rejects_length_mismatch() {
+        assert!(cross_validate_poly(&[vec![1.0]], &[1.0, 2.0], 1, 2, 0).is_err());
+    }
+}

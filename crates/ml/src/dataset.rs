@@ -1,0 +1,202 @@
+//! A small named-column dataset container shared by the modeling layers.
+
+use crate::error::MlError;
+use serde::{Deserialize, Serialize};
+
+/// A tabular dataset with named feature columns and a single target.
+///
+/// # Example
+///
+/// ```
+/// use opprox_ml::Dataset;
+///
+/// let mut ds = Dataset::new(vec!["al".into(), "mesh".into()]);
+/// ds.push(vec![1.0, 30.0], 0.05).unwrap();
+/// ds.push(vec![2.0, 30.0], 0.09).unwrap();
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.column(0), vec![1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    rows: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given feature names.
+    pub fn new(feature_names: Vec<String>) -> Self {
+        Dataset {
+            feature_names,
+            rows: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Appends one observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureMismatch`] if the row length differs from
+    /// the number of feature names.
+    pub fn push(&mut self, row: Vec<f64>, target: f64) -> Result<(), MlError> {
+        if row.len() != self.feature_names.len() {
+            return Err(MlError::FeatureMismatch {
+                expected: self.feature_names.len(),
+                actual: row.len(),
+            });
+        }
+        self.rows.push(row);
+        self.targets.push(target);
+        Ok(())
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The feature names, in column order.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// All feature rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Extracts column `c` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.feature_names.len(), "column {c} out of range");
+        self.rows.iter().map(|r| r[c]).collect()
+    }
+
+    /// Returns a new dataset restricted to the given feature columns
+    /// (e.g. after MIC filtering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_features(&self, keep: &[usize]) -> Dataset {
+        let feature_names = keep
+            .iter()
+            .map(|&c| self.feature_names[c].clone())
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| keep.iter().map(|&c| r[c]).collect())
+            .collect();
+        Dataset {
+            feature_names,
+            rows,
+            targets: self.targets.clone(),
+        }
+    }
+
+    /// Splits into (train, test) by index parity of a deterministic
+    /// interleave: even positions go to train, odd to test. Produces the
+    /// paper's "randomly partitioned data into two equal-sized
+    /// non-overlapping parts" evaluation split in a reproducible way when
+    /// the row order is already randomized.
+    pub fn split_half(&self) -> (Dataset, Dataset) {
+        let mut train = Dataset::new(self.feature_names.clone());
+        let mut test = Dataset::new(self.feature_names.clone());
+        for (i, (row, &t)) in self.rows.iter().zip(self.targets.iter()).enumerate() {
+            let dst = if i % 2 == 0 { &mut train } else { &mut test };
+            dst.rows.push(row.clone());
+            dst.targets.push(t);
+        }
+        (train, test)
+    }
+
+    /// Returns the subset of rows whose column `c` value lies in
+    /// `[lo, hi)` — used for sub-model splitting (paper Sec. 3.7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn filter_by_range(&self, c: usize, lo: f64, hi: f64) -> Dataset {
+        assert!(c < self.feature_names.len(), "column {c} out of range");
+        let mut out = Dataset::new(self.feature_names.clone());
+        for (row, &t) in self.rows.iter().zip(self.targets.iter()) {
+            if row[c] >= lo && row[c] < hi {
+                out.rows.push(row.clone());
+                out.targets.push(t);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..6 {
+            ds.push(vec![i as f64, (i * 2) as f64], i as f64 * 10.0)
+                .unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn push_validates_arity() {
+        let mut ds = Dataset::new(vec!["a".into()]);
+        assert!(ds.push(vec![1.0, 2.0], 0.0).is_err());
+        assert!(ds.push(vec![1.0], 0.0).is_ok());
+        assert_eq!(ds.len(), 1);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn column_extraction() {
+        let ds = sample();
+        assert_eq!(ds.column(1), vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn select_features_projects_rows_and_names() {
+        let ds = sample();
+        let proj = ds.select_features(&[1]);
+        assert_eq!(proj.feature_names(), &["b".to_string()]);
+        assert_eq!(proj.rows()[2], vec![4.0]);
+        assert_eq!(proj.targets(), ds.targets());
+    }
+
+    #[test]
+    fn split_half_partitions_rows() {
+        let ds = sample();
+        let (train, test) = ds.split_half();
+        assert_eq!(train.len(), 3);
+        assert_eq!(test.len(), 3);
+        assert_eq!(train.rows()[0], ds.rows()[0]);
+        assert_eq!(test.rows()[0], ds.rows()[1]);
+    }
+
+    #[test]
+    fn filter_by_range_selects_half_open_interval() {
+        let ds = sample();
+        let f = ds.filter_by_range(0, 2.0, 4.0);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.rows()[0][0], 2.0);
+        assert_eq!(f.rows()[1][0], 3.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! From-scratch machine-learning substrate for the OPPROX reproduction.
+//!
+//! OPPROX (CGO 2017) builds its phase-aware performance and error models
+//! out of four classical ingredients, all implemented here without
+//! external ML dependencies:
+//!
+//! * [`polyreg`] — polynomial regression (Sec. 3.6 of the paper), the
+//!   model family used for speedup, QoS-degradation, and outer-loop
+//!   iteration-count estimation.
+//! * [`dtree`] — a decision-tree classifier (Sec. 3.4), used to predict
+//!   the application's control-flow class from its input parameters.
+//! * [`mic`] — the Maximal Information Coefficient (Sec. 3.7), used to
+//!   filter out input features with no association to the modeling target.
+//! * [`crossval`] — k-fold cross-validation (Sec. 3.7), used to drive the
+//!   automatic polynomial-degree escalation.
+//! * [`confidence`] — empirical confidence intervals (Sec. 3.6,
+//!   "Confidence Analysis of Models"), used to derive conservative QoS and
+//!   speedup estimates.
+//! * [`model_select`] — the degree-escalation and sub-model-splitting
+//!   loop that combines all of the above.
+//! * [`m5`] — M5-style model trees (the model family of the related
+//!   Capri system), used by the ablation benches.
+//! * [`features`] — polynomial feature expansion and z-score
+//!   standardization shared by the regression models.
+//! * [`dataset`] — a small named-column dataset container.
+//!
+//! # Example: fitting a quadratic
+//!
+//! ```
+//! use opprox_ml::polyreg::PolynomialRegression;
+//!
+//! let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 2.0]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|r| 3.0 + 2.0 * r[0] - 0.5 * r[0] * r[0]).collect();
+//! let model = PolynomialRegression::fit(&xs, &ys, 2).unwrap();
+//! let pred = model.predict_one(&[4.0]).unwrap();
+//! assert!((pred - (3.0 + 8.0 - 8.0)).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod confidence;
+pub mod crossval;
+pub mod dataset;
+pub mod dtree;
+pub mod error;
+pub mod features;
+pub mod m5;
+pub mod mic;
+pub mod model_select;
+pub mod polyreg;
+
+pub use dataset::Dataset;
+pub use error::MlError;

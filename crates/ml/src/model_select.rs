@@ -1,0 +1,539 @@
+//! Automatic model selection: MIC filtering, degree escalation, and
+//! sub-model splitting (paper Sec. 3.7, "Improving Modeling Accuracy").
+//!
+//! The paper's recipe, reproduced here:
+//!
+//! 1. Filter input features with no MIC association to the target.
+//! 2. Gradually increase the polynomial degree until 10-fold
+//!    cross-validation reaches a good R² (the paper uses > 0.9 and found
+//!    degrees 2–6 sufficient across its applications).
+//! 3. If no single model reaches the target, split the value range of a
+//!    feature into `k` magnitude-ordered subsets and learn one sub-model
+//!    per subset.
+//! 4. Wrap the final model in an empirical confidence band (p = 0.99) so
+//!    the optimizer can use conservative bounds.
+
+use crate::confidence::ConfidenceBand;
+use crate::crossval::kfold_indices;
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::mic::filter_features_by_mic;
+use crate::polyreg::PolynomialRegression;
+use opprox_linalg::stats::r2_score;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`TargetModel::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoFitConfig {
+    /// Smallest polynomial degree to try (paper starts at 2).
+    pub min_degree: usize,
+    /// Largest polynomial degree to try (paper observed up to 6).
+    pub max_degree: usize,
+    /// Cross-validated R² considered "good" (paper: > 0.9).
+    pub target_r2: f64,
+    /// Number of cross-validation folds (paper: 10).
+    pub folds: usize,
+    /// Confidence level for the empirical error band (paper: 0.99).
+    pub confidence_level: f64,
+    /// Maximum number of sub-models when splitting a feature's range.
+    pub max_submodels: usize,
+    /// MIC threshold below which a feature is dropped; `None` disables
+    /// MIC filtering.
+    pub mic_threshold: Option<f64>,
+    /// Seed for the deterministic fold shuffle.
+    pub seed: u64,
+}
+
+impl Default for AutoFitConfig {
+    fn default() -> Self {
+        AutoFitConfig {
+            min_degree: 2,
+            max_degree: 6,
+            target_r2: 0.9,
+            folds: 10,
+            confidence_level: 0.99,
+            max_submodels: 4,
+            mic_threshold: Some(0.15),
+            seed: 0x0bb0c5,
+        }
+    }
+}
+
+/// One fitted polynomial model with its cross-validated score and
+/// confidence band.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SingleModel {
+    regression: PolynomialRegression,
+    band: ConfidenceBand,
+    cv_r2: f64,
+}
+
+impl SingleModel {
+    /// Point prediction for a (feature-selected) row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureMismatch`] on a wrong-length row.
+    pub fn predict(&self, row: &[f64]) -> Result<f64, MlError> {
+        self.regression.predict_one(row)
+    }
+
+    /// The model's confidence band.
+    pub fn band(&self) -> &ConfidenceBand {
+        &self.band
+    }
+
+    /// Cross-validated R² achieved during fitting.
+    pub fn cv_r2(&self) -> f64 {
+        self.cv_r2
+    }
+
+    /// Degree of the underlying polynomial.
+    pub fn degree(&self) -> usize {
+        self.regression.degree()
+    }
+}
+
+/// The fitted structure: either one global model or range-split
+/// sub-models over a single feature.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Structure {
+    Single(SingleModel),
+    Split {
+        /// Index (within the *selected* features) of the split feature.
+        feature: usize,
+        /// Ascending boundaries; row goes to sub-model `i` when its value
+        /// is below `boundaries[i]`, and to the last sub-model otherwise.
+        boundaries: Vec<f64>,
+        models: Vec<SingleModel>,
+    },
+}
+
+/// A complete, self-describing model for one target (speedup, QoS
+/// degradation, or iteration count) over the full feature row.
+///
+/// `TargetModel` remembers which original columns survived MIC filtering,
+/// so prediction always takes a *full* feature row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TargetModel {
+    kept_features: Vec<usize>,
+    feature_names: Vec<String>,
+    structure: Structure,
+    overall_cv_r2: f64,
+    reached_target: bool,
+}
+
+impl TargetModel {
+    /// Fits a model per the paper's recipe (see module docs). Never fails
+    /// on merely noisy data: when the target R² is unreachable, the best
+    /// model found is returned with [`TargetModel::reached_target`] set to
+    /// `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] when the dataset has fewer
+    /// than four rows or degenerate shapes.
+    pub fn fit(dataset: &Dataset, config: &AutoFitConfig) -> Result<Self, MlError> {
+        if dataset.len() < 4 {
+            return Err(MlError::InvalidTrainingData(format!(
+                "need at least 4 rows to fit a model, got {}",
+                dataset.len()
+            )));
+        }
+        // Step 1: MIC feature filtering.
+        let all: Vec<usize> = (0..dataset.feature_names().len()).collect();
+        let kept = match config.mic_threshold {
+            Some(t) => {
+                let keep = filter_features_by_mic(dataset.rows(), dataset.targets(), t)?;
+                if keep.is_empty() {
+                    all.clone()
+                } else {
+                    keep
+                }
+            }
+            None => all.clone(),
+        };
+        let selected = dataset.select_features(&kept);
+        let feature_names = selected.feature_names().to_vec();
+
+        // Step 2: degree escalation on a single global model.
+        let (best_single, best_r2) = fit_best_degree(&selected, config)?;
+        if best_r2 >= config.target_r2 {
+            return Ok(TargetModel {
+                kept_features: kept,
+                feature_names,
+                structure: Structure::Single(best_single),
+                overall_cv_r2: best_r2,
+                reached_target: true,
+            });
+        }
+
+        // Step 3: sub-model splitting on the widest-ranged feature.
+        if let Some((structure, split_r2)) = try_split(&selected, config)? {
+            if split_r2 > best_r2 {
+                return Ok(TargetModel {
+                    kept_features: kept,
+                    feature_names,
+                    structure,
+                    overall_cv_r2: split_r2,
+                    reached_target: split_r2 >= config.target_r2,
+                });
+            }
+        }
+
+        Ok(TargetModel {
+            kept_features: kept,
+            feature_names,
+            structure: Structure::Single(best_single),
+            overall_cv_r2: best_r2,
+            reached_target: false,
+        })
+    }
+
+    /// Point prediction for a full feature row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureMismatch`] if the row is shorter than the
+    /// highest kept feature index.
+    pub fn predict(&self, full_row: &[f64]) -> Result<f64, MlError> {
+        let row = self.project(full_row)?;
+        match &self.structure {
+            Structure::Single(m) => m.predict(&row),
+            Structure::Split {
+                feature,
+                boundaries,
+                models,
+            } => {
+                let v = row[*feature];
+                let mut idx = boundaries.iter().filter(|&&b| v >= b).count();
+                if idx >= models.len() {
+                    idx = models.len() - 1;
+                }
+                models[idx].predict(&row)
+            }
+        }
+    }
+
+    /// Conservative upper bound (prediction plus the p-quantile error) —
+    /// used for QoS degradation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TargetModel::predict`].
+    pub fn predict_upper(&self, full_row: &[f64]) -> Result<f64, MlError> {
+        let p = self.predict(full_row)?;
+        Ok(self.active_band(full_row)?.upper(p))
+    }
+
+    /// Conservative lower bound (prediction minus the p-quantile error) —
+    /// used for speedup.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TargetModel::predict`].
+    pub fn predict_lower(&self, full_row: &[f64]) -> Result<f64, MlError> {
+        let p = self.predict(full_row)?;
+        Ok(self.active_band(full_row)?.lower(p))
+    }
+
+    /// The cross-validated R² of the final structure.
+    pub fn cv_r2(&self) -> f64 {
+        self.overall_cv_r2
+    }
+
+    /// Whether the configured target R² was reached.
+    pub fn reached_target(&self) -> bool {
+        self.reached_target
+    }
+
+    /// Indices of the original feature columns the model uses.
+    pub fn kept_features(&self) -> &[usize] {
+        &self.kept_features
+    }
+
+    /// Names of the kept features.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Whether the fitted structure uses range-split sub-models.
+    pub fn is_split(&self) -> bool {
+        matches!(self.structure, Structure::Split { .. })
+    }
+
+    fn project(&self, full_row: &[f64]) -> Result<Vec<f64>, MlError> {
+        let max = self.kept_features.iter().copied().max().unwrap_or(0);
+        if full_row.len() <= max {
+            return Err(MlError::FeatureMismatch {
+                expected: max + 1,
+                actual: full_row.len(),
+            });
+        }
+        Ok(self.kept_features.iter().map(|&c| full_row[c]).collect())
+    }
+
+    fn active_band(&self, full_row: &[f64]) -> Result<&ConfidenceBand, MlError> {
+        let row = self.project(full_row)?;
+        Ok(match &self.structure {
+            Structure::Single(m) => m.band(),
+            Structure::Split {
+                feature,
+                boundaries,
+                models,
+            } => {
+                let v = row[*feature];
+                let mut idx = boundaries.iter().filter(|&&b| v >= b).count();
+                if idx >= models.len() {
+                    idx = models.len() - 1;
+                }
+                models[idx].band()
+            }
+        })
+    }
+}
+
+/// Escalates the degree and returns the best single model with its CV R².
+fn fit_best_degree(
+    dataset: &Dataset,
+    config: &AutoFitConfig,
+) -> Result<(SingleModel, f64), MlError> {
+    let n = dataset.len();
+    let folds = config.folds.clamp(2, n);
+    let mut best: Option<(SingleModel, f64)> = None;
+    for degree in config.min_degree..=config.max_degree {
+        let (cv_r2, residuals) =
+            cv_with_residuals(dataset.rows(), dataset.targets(), degree, folds, config.seed)?;
+        let improved = best.as_ref().map_or(true, |(_, r)| cv_r2 > *r);
+        if improved {
+            let regression = PolynomialRegression::fit(dataset.rows(), dataset.targets(), degree)?;
+            let band = ConfidenceBand::from_residuals(&residuals, config.confidence_level)?;
+            best = Some((
+                SingleModel {
+                    regression,
+                    band,
+                    cv_r2,
+                },
+                cv_r2,
+            ));
+        }
+        if cv_r2 >= config.target_r2 {
+            break;
+        }
+    }
+    best.ok_or_else(|| MlError::InvalidTrainingData("no degree could be fitted".into()))
+}
+
+/// Runs k-fold CV collecting held-out residuals alongside the mean R².
+fn cv_with_residuals(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    degree: usize,
+    k: usize,
+    seed: u64,
+) -> Result<(f64, Vec<f64>), MlError> {
+    let folds = kfold_indices(xs.len(), k, seed)?;
+    let mut fold_r2 = Vec::with_capacity(k);
+    let mut residuals = Vec::with_capacity(xs.len());
+    for test_fold in &folds {
+        let test_set: std::collections::HashSet<usize> = test_fold.iter().copied().collect();
+        let mut train_x = Vec::new();
+        let mut train_y = Vec::new();
+        let mut test_x = Vec::new();
+        let mut test_y = Vec::new();
+        for i in 0..xs.len() {
+            if test_set.contains(&i) {
+                test_x.push(xs[i].clone());
+                test_y.push(ys[i]);
+            } else {
+                train_x.push(xs[i].clone());
+                train_y.push(ys[i]);
+            }
+        }
+        let model = PolynomialRegression::fit(&train_x, &train_y, degree)?;
+        let preds = model.predict(&test_x)?;
+        for (p, t) in preds.iter().zip(test_y.iter()) {
+            residuals.push(t - p);
+        }
+        fold_r2.push(r2_score(&test_y, &preds));
+    }
+    let mean = fold_r2.iter().sum::<f64>() / fold_r2.len() as f64;
+    Ok((mean, residuals))
+}
+
+/// Attempts range-splitting each feature into 2..=max_submodels subsets
+/// and returns the best split structure with its weighted CV R².
+fn try_split(
+    dataset: &Dataset,
+    config: &AutoFitConfig,
+) -> Result<Option<(Structure, f64)>, MlError> {
+    let dim = dataset.feature_names().len();
+    let mut best: Option<(Structure, f64)> = None;
+    for feature in 0..dim {
+        let mut vals = dataset.column(feature);
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        for k in 2..=config.max_submodels {
+            if vals.len() < k {
+                break;
+            }
+            // Magnitude-ordered equal-count boundaries over distinct values.
+            let boundaries: Vec<f64> = (1..k)
+                .map(|i| {
+                    let pos = i * vals.len() / k;
+                    vals[pos.min(vals.len() - 1)]
+                })
+                .collect();
+            let mut models = Vec::with_capacity(k);
+            let mut weighted_r2 = 0.0;
+            let mut total = 0usize;
+            let mut feasible = true;
+            for sub in 0..k {
+                let lo = if sub == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    boundaries[sub - 1]
+                };
+                let hi = if sub == k - 1 {
+                    f64::INFINITY
+                } else {
+                    boundaries[sub]
+                };
+                let subset = dataset.filter_by_range(feature, lo, hi);
+                if subset.len() < 4 {
+                    feasible = false;
+                    break;
+                }
+                let (m, r2) = fit_best_degree(&subset, config)?;
+                weighted_r2 += r2 * subset.len() as f64;
+                total += subset.len();
+                models.push(m);
+            }
+            if !feasible || total == 0 {
+                continue;
+            }
+            let score = weighted_r2 / total as f64;
+            if best.as_ref().map_or(true, |(_, r)| score > *r) {
+                best = Some((
+                    Structure::Split {
+                        feature,
+                        boundaries,
+                        models,
+                    },
+                    score,
+                ));
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::new(vec!["x".into(), "noise".into()]);
+        for i in 0..n {
+            let x = i as f64 * 0.2;
+            // A deterministic pseudo-noise column that MIC should drop.
+            let noise = ((i * 2654435761) % 97) as f64 / 97.0;
+            ds.push(vec![x, noise], 1.0 + 2.0 * x + 0.5 * x * x)
+                .unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn fits_quadratic_and_reaches_target() {
+        let ds = quadratic_dataset(80);
+        let model = TargetModel::fit(&ds, &AutoFitConfig::default()).unwrap();
+        assert!(model.reached_target());
+        assert!(model.cv_r2() > 0.9);
+        let p = model.predict(&[3.0, 0.5]).unwrap();
+        let truth = 1.0 + 6.0 + 4.5;
+        assert!((p - truth).abs() < 0.5, "{p} vs {truth}");
+    }
+
+    #[test]
+    fn mic_filter_drops_noise_feature() {
+        let ds = quadratic_dataset(80);
+        let model = TargetModel::fit(&ds, &AutoFitConfig::default()).unwrap();
+        assert_eq!(model.kept_features(), &[0]);
+        assert_eq!(model.feature_names(), &["x".to_string()]);
+    }
+
+    #[test]
+    fn conservative_bounds_bracket_prediction() {
+        let ds = quadratic_dataset(60);
+        let model = TargetModel::fit(&ds, &AutoFitConfig::default()).unwrap();
+        let row = [2.0, 0.1];
+        let p = model.predict(&row).unwrap();
+        assert!(model.predict_lower(&row).unwrap() <= p);
+        assert!(model.predict_upper(&row).unwrap() >= p);
+    }
+
+    #[test]
+    fn degree_escalation_stops_at_first_good_degree() {
+        let ds = quadratic_dataset(60);
+        let cfg = AutoFitConfig {
+            mic_threshold: None,
+            ..AutoFitConfig::default()
+        };
+        let model = TargetModel::fit(&ds, &cfg).unwrap();
+        // A quadratic target should not need degree > 2.
+        match &model.structure {
+            Structure::Single(m) => assert_eq!(m.degree(), 2),
+            _ => panic!("expected single model"),
+        }
+    }
+
+    #[test]
+    fn piecewise_target_triggers_split_or_best_effort() {
+        // Discontinuous target: very hard for one low-degree polynomial.
+        let mut ds = Dataset::new(vec!["x".into()]);
+        for i in 0..120 {
+            let x = i as f64 * 0.1;
+            let y = if x < 6.0 { x } else { 100.0 + x * x };
+            ds.push(vec![x], y).unwrap();
+        }
+        let cfg = AutoFitConfig {
+            max_degree: 3,
+            mic_threshold: None,
+            ..AutoFitConfig::default()
+        };
+        let model = TargetModel::fit(&ds, &cfg).unwrap();
+        // Either the split reached the target or we got a best-effort fit;
+        // in both cases prediction should roughly track the two regimes.
+        let low = model.predict(&[2.0]).unwrap();
+        let high = model.predict(&[10.0]).unwrap();
+        assert!(high > low + 50.0, "low={low} high={high}");
+    }
+
+    #[test]
+    fn rejects_tiny_dataset() {
+        let mut ds = Dataset::new(vec!["x".into()]);
+        ds.push(vec![1.0], 1.0).unwrap();
+        assert!(TargetModel::fit(&ds, &AutoFitConfig::default()).is_err());
+    }
+
+    #[test]
+    fn predict_checks_row_length() {
+        let ds = quadratic_dataset(40);
+        let model = TargetModel::fit(&ds, &AutoFitConfig::default()).unwrap();
+        assert!(model.predict(&[]).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let ds = quadratic_dataset(50);
+        let model = TargetModel::fit(&ds, &AutoFitConfig::default()).unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: TargetModel = serde_json::from_str(&json).unwrap();
+        let row = [1.5, 0.3];
+        assert_eq!(model.predict(&row).unwrap(), back.predict(&row).unwrap());
+    }
+}

@@ -1,0 +1,216 @@
+//! Polynomial regression — OPPROX's model family (paper Sec. 3.6).
+
+use crate::error::MlError;
+use crate::features::{PolynomialFeatures, Standardizer};
+use opprox_linalg::lstsq::ridge_least_squares;
+use opprox_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A fitted polynomial-regression model.
+///
+/// Raw inputs are z-score standardized, expanded into all monomials up to
+/// the chosen total degree, and fitted by (mildly ridge-regularized) least
+/// squares. The paper reports degrees between 2 and 6 across its
+/// applications.
+///
+/// The model is `serde`-serializable, mirroring the paper's storage of
+/// trained models (as Python pickles) for the runtime optimizer.
+///
+/// # Example
+///
+/// ```
+/// use opprox_ml::polyreg::PolynomialRegression;
+///
+/// let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.3]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|r| 1.0 + r[0] * r[0]).collect();
+/// let m = PolynomialRegression::fit(&xs, &ys, 2).unwrap();
+/// assert!((m.predict_one(&[2.0]).unwrap() - 5.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolynomialRegression {
+    standardizer: Standardizer,
+    features: PolynomialFeatures,
+    coefficients: Vec<f64>,
+    degree: usize,
+}
+
+impl PolynomialRegression {
+    /// Fits a polynomial of the given total degree with the default ridge
+    /// strength (`1e-8`).
+    ///
+    /// # Errors
+    ///
+    /// See [`PolynomialRegression::fit_with_ridge`].
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], degree: usize) -> Result<Self, MlError> {
+        Self::fit_with_ridge(xs, ys, degree, 1e-8)
+    }
+
+    /// Fits a polynomial of the given total degree with an explicit ridge
+    /// strength.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::InvalidTrainingData`] if `xs` is empty, ragged, or its
+    ///   length differs from `ys`.
+    /// * [`MlError::InvalidHyperparameter`] if `degree == 0` and there is
+    ///   nothing to fit, or `lambda < 0`.
+    /// * [`MlError::Numeric`] if the normal equations cannot be solved.
+    pub fn fit_with_ridge(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        degree: usize,
+        lambda: f64,
+    ) -> Result<Self, MlError> {
+        if xs.is_empty() {
+            return Err(MlError::InvalidTrainingData("no rows".into()));
+        }
+        if xs.len() != ys.len() {
+            return Err(MlError::InvalidTrainingData(format!(
+                "{} feature rows vs {} targets",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        if lambda < 0.0 {
+            return Err(MlError::InvalidHyperparameter(format!(
+                "ridge strength must be non-negative, got {lambda}"
+            )));
+        }
+        let standardizer = Standardizer::fit(xs)?;
+        let std_xs = standardizer.transform(xs)?;
+        let features = PolynomialFeatures::new(xs[0].len(), degree);
+        let expanded = features.transform(&std_xs)?;
+        let design = Matrix::from_row_vecs(&expanded).map_err(MlError::from)?;
+        let coefficients = ridge_least_squares(&design, ys, lambda)?;
+        Ok(PolynomialRegression {
+            standardizer,
+            features,
+            coefficients,
+            degree,
+        })
+    }
+
+    /// The total polynomial degree of the fitted model.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of raw input features the model expects.
+    pub fn num_inputs(&self) -> usize {
+        self.features.num_inputs()
+    }
+
+    /// The fitted coefficient vector (constant term first).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Predicts the target for one raw feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureMismatch`] on a wrong-length input.
+    pub fn predict_one(&self, x: &[f64]) -> Result<f64, MlError> {
+        let std_x = self.standardizer.transform_one(x)?;
+        let expanded = self.features.transform_one(&std_x)?;
+        Ok(expanded
+            .iter()
+            .zip(self.coefficients.iter())
+            .map(|(f, c)| f * c)
+            .sum())
+    }
+
+    /// Predicts targets for a batch of raw feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureMismatch`] on the first malformed row.
+    pub fn predict(&self, xs: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+        xs.iter().map(|x| self.predict_one(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opprox_linalg::stats::r2_score;
+
+    fn grid2(n: usize) -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                out.push(vec![i as f64, j as f64]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_linear_function() {
+        let xs = grid2(5);
+        let ys: Vec<f64> = xs.iter().map(|r| 2.0 + 3.0 * r[0] - r[1]).collect();
+        let m = PolynomialRegression::fit(&xs, &ys, 1).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert!((m.predict_one(x).unwrap() - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn recovers_quadratic_with_interaction() {
+        let xs = grid2(6);
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|r| 1.0 + r[0] * r[1] + 0.5 * r[1] * r[1])
+            .collect();
+        let m = PolynomialRegression::fit(&xs, &ys, 2).unwrap();
+        let preds = m.predict(&xs).unwrap();
+        assert!(r2_score(&ys, &preds) > 0.999999);
+    }
+
+    #[test]
+    fn higher_degree_fits_cubic() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 * 0.25]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0].powi(3) - 2.0 * r[0]).collect();
+        let m2 = PolynomialRegression::fit(&xs, &ys, 2).unwrap();
+        let m3 = PolynomialRegression::fit(&xs, &ys, 3).unwrap();
+        let r2_2 = r2_score(&ys, &m2.predict(&xs).unwrap());
+        let r2_3 = r2_score(&ys, &m3.predict(&xs).unwrap());
+        assert!(r2_3 > r2_2);
+        assert!(r2_3 > 0.999999);
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert!(PolynomialRegression::fit(&[vec![1.0]], &[1.0, 2.0], 1).is_err());
+        assert!(PolynomialRegression::fit(&[], &[], 1).is_err());
+    }
+
+    #[test]
+    fn predict_checks_arity() {
+        let m = PolynomialRegression::fit(&grid2(3), &vec![1.0; 9], 1).unwrap();
+        assert!(m.predict_one(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn serializes_and_round_trips() {
+        let xs = grid2(4);
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] + r[1]).collect();
+        let m = PolynomialRegression::fit(&xs, &ys, 2).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: PolynomialRegression = serde_json::from_str(&json).unwrap();
+        for x in &xs {
+            let a = m.predict_one(x).unwrap();
+            let b = back.predict_one(x).unwrap();
+            // JSON float text round-trips can lose the last ULP.
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn constant_target_fits_constant() {
+        let xs = grid2(3);
+        let ys = vec![7.5; 9];
+        let m = PolynomialRegression::fit(&xs, &ys, 2).unwrap();
+        assert!((m.predict_one(&[1.0, 1.0]).unwrap() - 7.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: train OPPROX on an application, optimize for a QoS
+//! budget, and run the resulting phase-aware schedule.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use opprox::approx_rt::{ApproxApp, InputParams};
+use opprox::core::pipeline::{Opprox, TrainingOptions};
+use opprox::core::report::percent_less_work;
+use opprox::core::AccuracySpec;
+use opprox_apps::Pso;
+
+fn main() {
+    // 1. Pick an application with tunable approximable blocks. The five
+    //    paper benchmarks live in `opprox_apps`; your own app just needs
+    //    to implement the `ApproxApp` trait (see examples/custom_app.rs).
+    let app = Pso::new();
+    println!("application: {}", app.meta().name);
+    for (i, b) in app.meta().blocks.iter().enumerate() {
+        println!("  block {i}: {} ({}, levels 0..={})", b.name, b.technique, b.max_level);
+    }
+
+    // 2. Offline: profile the representative inputs and fit the
+    //    phase-aware speedup/QoS models (paper Sec. 3.3–3.7).
+    println!("\ntraining …");
+    let trained = Opprox::train(&app, &TrainingOptions::default()).expect("training");
+    println!(
+        "trained {} phases; per-phase model R² (speedup, qos): {:?}",
+        trained.num_phases(),
+        trained
+            .models()
+            .accuracy_summary()
+            .iter()
+            .map(|(p, s, q)| format!("phase {p}: ({s:.2}, {q:.2})"))
+            .collect::<Vec<_>>()
+    );
+
+    // 3. Online: for a production input and error budget, solve the
+    //    phase-specific optimization problem (Algorithm 2) with bounded
+    //    empirical validation, then run the chosen schedule.
+    let input = InputParams::new(vec![20.0, 4.0]); // swarm size, dimension
+    let spec = AccuracySpec::new(10.0); // tolerate 10% QoS degradation
+    let (plan, outcome) = trained
+        .optimize_validated(&app, &input, &spec)
+        .expect("optimization");
+
+    println!("\nchosen per-phase levels:");
+    for (phase, cfg) in plan.schedule.configs().iter().enumerate() {
+        println!("  phase {}: {:?}", phase + 1, cfg.levels());
+    }
+    println!(
+        "\nmeasured: {:.1}% less work at {:.2}% QoS degradation (budget {:.1}%)",
+        percent_less_work(outcome.speedup),
+        outcome.qos,
+        spec.error_budget()
+    );
+    assert!(outcome.qos <= spec.error_budget());
+}

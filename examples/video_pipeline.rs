@@ -1,0 +1,59 @@
+//! Streaming scenario: a video filter-and-encode pipeline with a PSNR
+//! quality target and input-dependent control flow.
+//!
+//! The pipeline's `filter_order` input parameter selects between two
+//! filter chains (edge→deflate vs deflate→edge); OPPROX's decision-tree
+//! classifier learns this and keeps separate models per control flow.
+//! Budgets are expressed as PSNR targets like the paper's FFmpeg
+//! evaluation.
+//!
+//! ```bash
+//! cargo run --release --example video_pipeline
+//! ```
+
+use opprox::approx_rt::qos::PSNR_CAP;
+use opprox::approx_rt::{ApproxApp, InputParams};
+use opprox::core::pipeline::{Opprox, TrainingOptions};
+use opprox::core::report::percent_less_work;
+use opprox::core::AccuracySpec;
+use opprox_apps::VideoPipeline;
+
+fn main() {
+    let app = VideoPipeline::new();
+    println!("training OPPROX on the video pipeline …");
+    let trained = Opprox::train(&app, &TrainingOptions::default()).expect("training");
+
+    println!(
+        "control-flow classes learned: {}",
+        trained.models().control_flow().num_classes()
+    );
+
+    for order in [0.0, 1.0] {
+        // 16 fps × 5 s at 600 kbit with the selected filter order.
+        let input = InputParams::new(vec![16.0, 5.0, 600.0, order]);
+        let class = trained
+            .models()
+            .control_flow()
+            .predict(&input)
+            .expect("class prediction");
+        println!(
+            "\nfilter order {order}: predicted control-flow class {class} \
+             (signature {:?})",
+            trained.models().control_flow().signature(class)
+        );
+        for target_psnr in [30.0, 20.0] {
+            let spec = AccuracySpec::new(PSNR_CAP - target_psnr);
+            let (_, outcome) = trained
+                .optimize_validated(&app, &input, &spec)
+                .expect("optimization");
+            let achieved_psnr = PSNR_CAP - outcome.qos;
+            println!(
+                "  target PSNR ≥ {target_psnr:>4.1} dB: {:.1}% less work, \
+                 achieved PSNR {:.1} dB",
+                percent_less_work(outcome.speedup),
+                achieved_psnr
+            );
+            assert!(achieved_psnr + 1e-9 >= target_psnr);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end integration tests: train → optimize → evaluate across the
+//! full application suite, with small training plans so the suite stays
+//! fast.
+
+use opprox::approx_rt::{ApproxApp, InputParams};
+use opprox::core::pipeline::{Opprox, TrainingOptions};
+use opprox::core::sampling::SamplingPlan;
+use opprox::core::AccuracySpec;
+use opprox_apps::registry::all_apps;
+
+fn fast_options(num_phases: usize) -> TrainingOptions {
+    TrainingOptions {
+        num_phases: Some(num_phases),
+        sampling: SamplingPlan {
+            num_phases,
+            sparse_samples: 10,
+            whole_run_samples: 0,
+            seed: 0xE2E,
+        },
+        ..TrainingOptions::default()
+    }
+}
+
+/// A cheap-but-representative production input per app.
+fn prod_input(name: &str) -> InputParams {
+    InputParams::new(match name {
+        "LULESH" => vec![48.0, 2.0],
+        "FFmpeg" => vec![12.0, 4.0, 600.0, 0.0],
+        "Bodytrack" => vec![3.0, 120.0, 20.0],
+        "PSO" => vec![16.0, 3.0],
+        "CoMD" => vec![3.0, 1.2, 100.0],
+        other => panic!("unknown app {other}"),
+    })
+}
+
+#[test]
+fn validated_optimization_respects_budget_for_every_app() {
+    for app in all_apps() {
+        let name = app.meta().name.clone();
+        let trained = Opprox::train(app.as_ref(), &fast_options(2))
+            .unwrap_or_else(|e| panic!("{name}: training failed: {e}"));
+        let input = prod_input(&name);
+        let budget = if name == "FFmpeg" { 40.0 } else { 15.0 };
+        let spec = AccuracySpec::new(budget);
+        let (plan, outcome) = trained
+            .optimize_validated(app.as_ref(), &input, &spec)
+            .unwrap_or_else(|e| panic!("{name}: optimization failed: {e}"));
+        assert!(
+            outcome.qos <= budget,
+            "{name}: measured QoS {} exceeds budget {budget}",
+            outcome.qos
+        );
+        assert!(outcome.speedup >= 1.0, "{name}: plan slowed the app down");
+        assert_eq!(plan.schedule.num_phases(), 2, "{name}: wrong phase count");
+    }
+}
+
+#[test]
+fn zero_budget_always_yields_accurate_execution() {
+    let app = opprox_apps::Pso::new();
+    let trained = Opprox::train(&app, &fast_options(2)).expect("training");
+    let input = prod_input("PSO");
+    let (plan, outcome) = trained
+        .optimize_validated(&app, &input, &AccuracySpec::new(0.0))
+        .expect("optimization");
+    assert!(plan.schedule.is_accurate());
+    assert_eq!(outcome.speedup, 1.0);
+    assert_eq!(outcome.qos, 0.0);
+}
+
+#[test]
+fn training_is_deterministic() {
+    let app = opprox_apps::Pso::new();
+    let input = prod_input("PSO");
+    let spec = AccuracySpec::new(10.0);
+    let a = Opprox::train(&app, &fast_options(2))
+        .unwrap()
+        .optimize(&input, &spec)
+        .unwrap();
+    let b = Opprox::train(&app, &fast_options(2))
+        .unwrap()
+        .optimize(&input, &spec)
+        .unwrap();
+    assert_eq!(a.schedule, b.schedule);
+}
+
+#[test]
+fn four_phase_training_works_on_the_heavier_apps() {
+    for name in ["LULESH", "CoMD"] {
+        let app = opprox_apps::registry::by_name(name).expect("registered");
+        let trained =
+            Opprox::train(app.as_ref(), &fast_options(4)).expect("4-phase training");
+        assert_eq!(trained.num_phases(), 4);
+        let plan = trained
+            .optimize(&prod_input(name), &AccuracySpec::new(10.0))
+            .expect("optimize");
+        assert_eq!(plan.schedule.num_phases(), 4);
+    }
+}
+
+#[test]
+fn golden_iteration_estimator_tracks_inputs() {
+    let app = opprox_apps::CoMd::new();
+    let trained = Opprox::train(&app, &fast_options(2)).expect("training");
+    // CoMD's iteration count equals its timesteps parameter; the
+    // estimator must follow it across inputs.
+    let short = trained
+        .estimate_golden_iters(&InputParams::new(vec![3.0, 1.2, 120.0]))
+        .expect("estimate");
+    let long = trained
+        .estimate_golden_iters(&InputParams::new(vec![3.0, 1.2, 180.0]))
+        .expect("estimate");
+    assert!(long > short, "estimates: short {short}, long {long}");
+}
+
+#[test]
+fn canary_validation_optimizes_for_production_but_validates_cheaply() {
+    let app = opprox_apps::CoMd::new();
+    let trained = Opprox::train(&app, &fast_options(2)).expect("training");
+    // Production input: 180 timesteps; canary: 60 timesteps (same physics,
+    // a third of the cost).
+    let production = InputParams::new(vec![3.0, 1.2, 180.0]);
+    let canary = InputParams::new(vec![3.0, 1.2, 60.0]);
+    let budget = 15.0;
+    let (plan, canary_outcome) = trained
+        .optimize_validated_on(&app, &production, &canary, &AccuracySpec::new(budget))
+        .expect("canary optimization");
+    assert!(canary_outcome.qos <= budget);
+    // The plan must still be runnable on the production input.
+    let production_outcome = trained
+        .evaluate(&app, &production, &plan)
+        .expect("production evaluation");
+    assert!(production_outcome.speedup > 0.0);
+    assert!(production_outcome.qos.is_finite());
+}

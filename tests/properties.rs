@@ -1,0 +1,86 @@
+//! Cross-crate property tests on the runtime/optimizer invariants.
+
+use opprox::approx_rt::config::{config_space_size, enumerate_configs, sample_configs};
+use opprox::approx_rt::{ApproxApp, InputParams, LevelConfig, PhaseSchedule};
+use opprox_apps::Pso;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every iteration belongs to exactly one phase and phases are
+    /// contiguous and non-decreasing.
+    #[test]
+    fn phase_assignment_is_monotone_partition(
+        num_phases in 1usize..8,
+        expected in 1u64..500,
+    ) {
+        let configs = vec![LevelConfig::accurate(2); num_phases];
+        let s = PhaseSchedule::new(configs, expected).unwrap();
+        let mut prev = 0usize;
+        for it in 0..expected {
+            let ph = s.phase_of(it);
+            prop_assert!(ph < num_phases);
+            prop_assert!(ph >= prev, "phase regressed at iteration {it}");
+            prop_assert!(ph <= prev + 1, "phase skipped at iteration {it}");
+            prev = ph;
+        }
+        // Iterations beyond the expected end stay in the final phase.
+        prop_assert_eq!(s.phase_of(expected * 3 + 1), num_phases - 1);
+    }
+
+    /// The enumerated configuration space has exactly the advertised size
+    /// and contains no duplicates.
+    #[test]
+    fn config_enumeration_matches_size(levels in proptest::collection::vec(0u8..4, 1..4)) {
+        use opprox::approx_rt::block::{BlockDescriptor, TechniqueKind};
+        let blocks: Vec<BlockDescriptor> = levels
+            .iter()
+            .map(|&l| BlockDescriptor::new("b", TechniqueKind::LoopPerforation, l))
+            .collect();
+        let all = enumerate_configs(&blocks);
+        prop_assert_eq!(all.len() as u64, config_space_size(&blocks));
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        prop_assert_eq!(set.len(), all.len());
+    }
+
+    /// Sampled configurations are always valid and never accurate.
+    #[test]
+    fn sampled_configs_are_valid(seed in 0u64..1000, count in 1usize..12) {
+        use opprox::approx_rt::block::{BlockDescriptor, TechniqueKind};
+        let blocks = vec![
+            BlockDescriptor::new("a", TechniqueKind::LoopPerforation, 5),
+            BlockDescriptor::new("b", TechniqueKind::Memoization, 3),
+        ];
+        for c in sample_configs(&blocks, count, seed) {
+            prop_assert!(c.validate(&blocks).is_ok());
+            prop_assert!(!c.is_accurate());
+        }
+    }
+
+    /// PSO is a pure function of (input, schedule): work, iterations and
+    /// output never vary between repeated runs.
+    #[test]
+    fn pso_runs_are_reproducible(swarm in 8u32..24, dim in 2u32..5, seed in 0u64..50) {
+        let app = Pso::new();
+        let input = InputParams::new(vec![swarm as f64, dim as f64]);
+        let cfg = sample_configs(&app.meta().blocks, 1, seed).remove(0);
+        let schedule = PhaseSchedule::constant(cfg);
+        let a = app.run(&input, &schedule).unwrap();
+        let b = app.run(&input, &schedule).unwrap();
+        prop_assert_eq!(a.work, b.work);
+        prop_assert_eq!(a.outer_iters, b.outer_iters);
+        prop_assert_eq!(a.output, b.output);
+    }
+
+    /// QoS degradation of a run against itself is always zero, and
+    /// speedup against itself is exactly 1.
+    #[test]
+    fn self_comparison_is_neutral(swarm in 8u32..20, dim in 2u32..4) {
+        let app = Pso::new();
+        let input = InputParams::new(vec![swarm as f64, dim as f64]);
+        let g = app.golden(&input).unwrap();
+        prop_assert_eq!(app.qos_degradation(&g, &g), 0.0);
+        prop_assert_eq!(g.speedup_over(&g), 1.0);
+    }
+}
