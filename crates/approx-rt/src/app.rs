@@ -142,7 +142,8 @@ pub trait ApproxApp: Sync {
     ///
     /// Implementations reject malformed inputs and schedules with
     /// [`RuntimeError`].
-    fn run(&self, input: &InputParams, schedule: &PhaseSchedule) -> Result<RunResult, RuntimeError>;
+    fn run(&self, input: &InputParams, schedule: &PhaseSchedule)
+        -> Result<RunResult, RuntimeError>;
 
     /// QoS degradation (lower is better, 0 = perfect) of an approximate
     /// run against the exact run. The default is the paper's relative

@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn technique_kind_displays_paper_names() {
-        assert_eq!(TechniqueKind::LoopPerforation.to_string(), "loop perforation");
+        assert_eq!(
+            TechniqueKind::LoopPerforation.to_string(),
+            "loop perforation"
+        );
         assert_eq!(TechniqueKind::Memoization.to_string(), "memoization");
     }
 

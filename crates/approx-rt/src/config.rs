@@ -127,10 +127,7 @@ pub fn enumerate_configs(blocks: &[BlockDescriptor]) -> Vec<LevelConfig> {
 
 /// Total number of level combinations without materializing them.
 pub fn config_space_size(blocks: &[BlockDescriptor]) -> u64 {
-    blocks
-        .iter()
-        .map(|b| b.num_levels() as u64)
-        .product()
+    blocks.iter().map(|b| b.num_levels() as u64).product()
 }
 
 /// Draws `count` random sparse configurations (paper Sec. 3.3: "random

@@ -131,7 +131,10 @@ mod tests {
     fn signature_is_first_iteration_sequence() {
         let log = sample_log();
         assert_eq!(log.control_flow_signature(), vec![0, 1, 2]);
-        assert_eq!(CallContextLog::new().control_flow_signature(), Vec::<usize>::new());
+        assert_eq!(
+            CallContextLog::new().control_flow_signature(),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]

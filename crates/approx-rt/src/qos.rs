@@ -72,7 +72,11 @@ pub fn relative_distortion(exact: &[f64], approx: &[f64]) -> f64 {
 /// assert!(psnr(&[0.0, 255.0], &[255.0, 0.0], 255.0) < 1.0);
 /// ```
 pub fn psnr(exact: &[f64], approx: &[f64], peak: f64) -> f64 {
-    assert_eq!(exact.len(), approx.len(), "psnr inputs must have equal length");
+    assert_eq!(
+        exact.len(),
+        approx.len(),
+        "psnr inputs must have equal length"
+    );
     assert!(peak > 0.0, "psnr peak must be positive");
     if exact.is_empty() {
         return PSNR_CAP;
@@ -106,7 +110,10 @@ mod tests {
 
     #[test]
     fn distortion_of_identical_outputs_is_zero() {
-        assert_eq!(relative_distortion(&[1.0, -2.0, 3.0], &[1.0, -2.0, 3.0]), 0.0);
+        assert_eq!(
+            relative_distortion(&[1.0, -2.0, 3.0], &[1.0, -2.0, 3.0]),
+            0.0
+        );
         assert_eq!(relative_distortion(&[], &[]), 0.0);
     }
 

@@ -169,11 +169,10 @@ mod tests {
     fn new_validates_shape() {
         assert!(PhaseSchedule::new(vec![], 10).is_err());
         assert!(PhaseSchedule::new(vec![LevelConfig::accurate(2)], 0).is_err());
-        assert!(PhaseSchedule::new(
-            vec![LevelConfig::accurate(2), LevelConfig::accurate(3)],
-            10
-        )
-        .is_err());
+        assert!(
+            PhaseSchedule::new(vec![LevelConfig::accurate(2), LevelConfig::accurate(3)], 10)
+                .is_err()
+        );
     }
 
     #[test]

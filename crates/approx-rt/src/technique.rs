@@ -124,7 +124,7 @@ impl<T: Clone> Memoizer<T> {
     ///
     /// The first iteration always computes (there is nothing cached yet).
     pub fn must_compute(&self, i: usize, level: u8) -> bool {
-        self.cached.is_none() || level == 0 || i % (level as usize + 1) == 0
+        self.cached.is_none() || level == 0 || i.is_multiple_of(level as usize + 1)
     }
 
     /// Returns the cached value or computes (and caches) a fresh one

@@ -177,11 +177,9 @@ impl ApproxApp for Bodytrack {
             let mut active = num_particles;
             for layer in 0..layers_in {
                 let cfg = schedule.config_at(iter).clone();
-                let layer_drop =
-                    tuned_parameter(&LAYER_DROPS, cfg.level(BLOCK_LAYERS)) as usize;
+                let layer_drop = tuned_parameter(&LAYER_DROPS, cfg.level(BLOCK_LAYERS)) as usize;
                 let effective_layers = layers_in.saturating_sub(layer_drop).max(1);
-                let frac =
-                    tuned_parameter(&PARTICLE_FRACTIONS, cfg.level(BLOCK_MIN_PARTICLES));
+                let frac = tuned_parameter(&PARTICLE_FRACTIONS, cfg.level(BLOCK_MIN_PARTICLES));
                 active = ((num_particles as f64 * frac) as usize).max(10);
                 if layer >= effective_layers {
                     // Tuned away: the annealing layer is skipped outright.
@@ -197,11 +195,11 @@ impl ApproxApp for Bodytrack {
                 let mut w: u64 = 0;
                 let mut noise_rng =
                     StdRng::seed_from_u64(base_seed ^ (frame as u64) << 20 ^ layer as u64);
-                for j in 0..NUM_FEATURES {
+                for (j, feature) in features.iter_mut().enumerate() {
                     let noise = noise_rng.gen::<f64>() * 0.04 - 0.02;
                     // Perforated features keep the previous frame's value.
                     if perforated_hit(j, lvl_f) {
-                        features[j] = project(&truth, j) + noise;
+                        *feature = project(&truth, j) + noise;
                         w += 8;
                     }
                 }
@@ -271,8 +269,7 @@ impl ApproxApp for Bodytrack {
             }
             output.extend_from_slice(&estimate);
             // Motion model: diffuse all particles towards the next frame.
-            let mut motion_rng =
-                StdRng::seed_from_u64(base_seed ^ 0xbeef ^ (frame as u64) << 8);
+            let mut motion_rng = StdRng::seed_from_u64(base_seed ^ 0xbeef ^ (frame as u64) << 8);
             for p in particles.iter_mut() {
                 for v in p.iter_mut() {
                     *v += motion_rng.gen::<f64>() * 0.16 - 0.08;
@@ -317,7 +314,7 @@ impl ApproxApp for Bodytrack {
 
 /// Whether index `j` is visited by a perforated loop at `level`.
 fn perforated_hit(j: usize, level: u8) -> bool {
-    j % (level as usize + 1) == 0
+    j.is_multiple_of(level as usize + 1)
 }
 
 #[cfg(test)]
@@ -418,8 +415,12 @@ mod tests {
     #[test]
     fn input_validation() {
         let app = Bodytrack::new();
-        assert!(app.golden(&InputParams::new(vec![1.0, 120.0, 24.0])).is_err());
+        assert!(app
+            .golden(&InputParams::new(vec![1.0, 120.0, 24.0]))
+            .is_err());
         assert!(app.golden(&InputParams::new(vec![3.0, 5.0, 24.0])).is_err());
-        assert!(app.golden(&InputParams::new(vec![3.0, 120.0, 1.0])).is_err());
+        assert!(app
+            .golden(&InputParams::new(vec![3.0, 120.0, 1.0]))
+            .is_err());
     }
 }

@@ -239,8 +239,8 @@ impl ApproxApp for CoMd {
             let lvl_e = cfg.level(BLOCK_ENERGY);
             let mut w: u64 = 0;
             for i in perforated_indices(n, lvl_e) {
-                let ke = 0.5
-                    * (vel[i][0] * vel[i][0] + vel[i][1] * vel[i][1] + vel[i][2] * vel[i][2]);
+                let ke =
+                    0.5 * (vel[i][0] * vel[i][0] + vel[i][1] * vel[i][1] + vel[i][2] * vel[i][2]);
                 energy[i] = ke + pe[i];
                 w += 5;
             }
@@ -386,8 +386,12 @@ mod tests {
     #[test]
     fn input_validation() {
         let app = CoMd::new();
-        assert!(app.golden(&InputParams::new(vec![1.0, 1.1, 100.0])).is_err());
-        assert!(app.golden(&InputParams::new(vec![3.0, 0.1, 100.0])).is_err());
+        assert!(app
+            .golden(&InputParams::new(vec![1.0, 1.1, 100.0]))
+            .is_err());
+        assert!(app
+            .golden(&InputParams::new(vec![3.0, 0.1, 100.0]))
+            .is_err());
         assert!(app.golden(&InputParams::new(vec![3.0, 1.1, 0.0])).is_err());
         assert!(app.golden(&InputParams::new(vec![3.0])).is_err());
     }

@@ -239,16 +239,14 @@ impl ApproxApp for Lulesh {
             // Compute viscosity on the perforated sample, then fill the
             // gaps by linear interpolation between computed neighbours —
             // sampling the result space, as loop perforation does.
-            let samples: Vec<usize> =
-                perforated_indices_offset(n, lvl_f, iter as usize).collect();
+            let samples: Vec<usize> = perforated_indices_offset(n, lvl_f, iter as usize).collect();
             for &j in &samples {
                 let du = s.u[j + 1] - s.u[j];
                 s.q[j] = if du < 0.0 {
                     // Viscosity is capped at a multiple of the pressure so a
                     // perturbed velocity field cannot collapse `dt` without
                     // bound.
-                    (Q_QUADRATIC * s.rho[j] * du * du
-                        + Q_LINEAR * s.rho[j] * s.cs[j] * (-du))
+                    (Q_QUADRATIC * s.rho[j] * du * du + Q_LINEAR * s.rho[j] * s.cs[j] * (-du))
                         .min(2.0 * s.p[j] + 0.5)
                 } else {
                     0.0
@@ -274,8 +272,8 @@ impl ApproxApp for Lulesh {
                 }
             }
             // Assemble nodal forces from element stress.
-            for i in 1..n {
-                f[i] = (s.p[i - 1] + s.q[i - 1]) - (s.p[i] + s.q[i]);
+            for (i, fi) in f.iter_mut().enumerate().take(n).skip(1) {
+                *fi = (s.p[i - 1] + s.q[i - 1]) - (s.p[i] + s.q[i]);
                 w += 4;
             }
             f[0] = 0.0;
@@ -285,10 +283,10 @@ impl ApproxApp for Lulesh {
 
             // --- Block 1: position_of_elements (memoization) ------------
             let lvl_pos = cfg.level(BLOCK_POSITIONS);
-            let recompute = lvl_pos == 0 || iter % (lvl_pos as u64 + 1) == 0;
+            let recompute = lvl_pos == 0 || iter.is_multiple_of(lvl_pos as u64 + 1);
             let mut w: u64 = 0;
             if recompute {
-                for i in 0..=n {
+                for (i, &fi) in f.iter().enumerate().take(n + 1) {
                     let m_node = if i == 0 {
                         s.m[0] / 2.0
                     } else if i == n {
@@ -296,7 +294,7 @@ impl ApproxApp for Lulesh {
                     } else {
                         (s.m[i - 1] + s.m[i]) / 2.0
                     };
-                    s.a[i] = f[i] / m_node;
+                    s.a[i] = fi / m_node;
                     w += 5;
                 }
             } else {
@@ -312,13 +310,11 @@ impl ApproxApp for Lulesh {
             // Mild unconditional velocity filtering (the 1D analogue of
             // LULESH's hourglass damping) keeps the scheme from ringing
             // when approximated blocks inject non-smooth stress.
-            for i in 1..n {
-                f[i] = s.u[i] + 0.08 * (s.u[i - 1] - 2.0 * s.u[i] + s.u[i + 1]);
+            for (i, fi) in f.iter_mut().enumerate().take(n).skip(1) {
+                *fi = s.u[i] + 0.08 * (s.u[i - 1] - 2.0 * s.u[i] + s.u[i + 1]);
                 w += 2;
             }
-            for i in 1..n {
-                s.u[i] = f[i];
-            }
+            s.u[1..n].copy_from_slice(&f[1..n]);
             for i in 0..=n {
                 s.x[i] += dt * s.u[i];
                 w += 2;
@@ -335,8 +331,7 @@ impl ApproxApp for Lulesh {
             // --- Block 2: strain_of_elements (perforation) ---------------
             let lvl_s = cfg.level(BLOCK_STRAIN);
             let mut w: u64 = 0;
-            let samples: Vec<usize> =
-                perforated_indices_offset(n, lvl_s, iter as usize).collect();
+            let samples: Vec<usize> = perforated_indices_offset(n, lvl_s, iter as usize).collect();
             let mut de = vec![0.0f64; n];
             for &j in &samples {
                 let du = s.u[j + 1] - s.u[j];
@@ -362,8 +357,8 @@ impl ApproxApp for Lulesh {
                     w += 1;
                 }
             }
-            for j in 0..n {
-                s.e[j] = (s.e[j] + de[j]).clamp(1e-9, E_MAX);
+            for (j, &dej) in de.iter().enumerate() {
+                s.e[j] = (s.e[j] + dej).clamp(1e-9, E_MAX);
                 s.update_eos(j);
                 w += 4;
             }

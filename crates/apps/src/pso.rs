@@ -132,7 +132,11 @@ impl ApproxApp for Pso {
         let mut rng = StdRng::seed_from_u64(seed_from(input, 0x44));
 
         let mut pos: Vec<Vec<f64>> = (0..swarm)
-            .map(|_| (0..dim).map(|_| rng.gen::<f64>() * 2.0 * BOUND - BOUND).collect())
+            .map(|_| {
+                (0..dim)
+                    .map(|_| rng.gen::<f64>() * 2.0 * BOUND - BOUND)
+                    .collect()
+            })
             .collect();
         let mut vel: Vec<Vec<f64>> = (0..swarm)
             .map(|_| (0..dim).map(|_| rng.gen::<f64>() * 0.6 - 0.3).collect())
@@ -192,7 +196,7 @@ impl ApproxApp for Pso {
 
             // --- Block 1: velocity_update (memoization over iterations) -
             let lvl_v = cfg.level(BLOCK_VELOCITY);
-            let recompute = lvl_v == 0 || iter % (lvl_v as u64 + 1) == 0;
+            let recompute = lvl_v == 0 || iter.is_multiple_of(lvl_v as u64 + 1);
             let mut w: u64 = 0;
             if recompute {
                 for i in 0..swarm {

@@ -258,9 +258,8 @@ impl ApproxApp for VideoPipeline {
                         // to ten frames old.
                         let lvl = cfg.level(BLOCK_DEFLATE).saturating_mul(2);
                         let input_frame = frame.clone();
-                        let out = deflate_memo.get_or_compute(t, lvl, || {
-                            deflate_filter(&input_frame, &mut w)
-                        });
+                        let out = deflate_memo
+                            .get_or_compute(t, lvl, || deflate_filter(&input_frame, &mut w));
                         if w == 0 {
                             w = 2; // cache reuse cost
                         }
@@ -299,7 +298,9 @@ impl ApproxApp for VideoPipeline {
                 order.sort_by(|&a, &b| {
                     let ra = (frame[a] - recon[a]).abs();
                     let rb = (frame[b] - recon[b]).abs();
-                    rb.partial_cmp(&ra).expect("finite residuals").then(a.cmp(&b))
+                    rb.partial_cmp(&ra)
+                        .expect("finite residuals")
+                        .then(a.cmp(&b))
                 });
                 for &i in order.iter().take(frame_budget) {
                     let residual = frame[i] - recon[i];
@@ -434,9 +435,15 @@ mod tests {
     #[test]
     fn input_validation() {
         let app = VideoPipeline::new();
-        assert!(app.golden(&InputParams::new(vec![1.0, 1.0, 600.0, 0.0])).is_err());
-        assert!(app.golden(&InputParams::new(vec![12.0, 4.0, 1.0, 0.0])).is_err());
-        assert!(app.golden(&InputParams::new(vec![12.0, 4.0, 600.0, 2.0])).is_err());
+        assert!(app
+            .golden(&InputParams::new(vec![1.0, 1.0, 600.0, 0.0]))
+            .is_err());
+        assert!(app
+            .golden(&InputParams::new(vec![12.0, 4.0, 1.0, 0.0]))
+            .is_err());
+        assert!(app
+            .golden(&InputParams::new(vec![12.0, 4.0, 600.0, 2.0]))
+            .is_err());
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! phase structure the paper's evaluation rests on.
 
 use opprox_approx_rt::config::local_sweep;
+use opprox_approx_rt::{InputParams, LevelConfig, PhaseSchedule};
 use opprox_apps::registry::all_apps;
-use opprox_approx_rt::{ApproxApp, InputParams, LevelConfig, PhaseSchedule};
 
 /// A cheap input per application.
 fn cheap_input(name: &str) -> InputParams {
@@ -79,19 +79,13 @@ fn phase_one_approximation_is_never_cheaper_than_phase_four() {
         let name = app.meta().name.clone();
         let input = cheap_input(&name);
         let golden = app.golden(&input).expect("golden");
-        let probes =
-            opprox_approx_rt::config::sample_configs(&app.meta().blocks, 5, 0xBE5);
+        let probes = opprox_approx_rt::config::sample_configs(&app.meta().blocks, 5, 0xBE5);
         let mean_qos = |phase: usize| -> f64 {
             probes
                 .iter()
                 .map(|cfg| {
-                    let s = PhaseSchedule::single_phase(
-                        cfg.clone(),
-                        phase,
-                        4,
-                        golden.outer_iters,
-                    )
-                    .unwrap();
+                    let s = PhaseSchedule::single_phase(cfg.clone(), phase, 4, golden.outer_iters)
+                        .unwrap();
                     let r = app.run(&input, &s).unwrap();
                     app.qos_degradation(&golden, &r)
                 })

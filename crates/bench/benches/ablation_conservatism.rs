@@ -10,11 +10,12 @@
 //! are reported for each — showing why validation is required when model
 //! error is non-negligible.
 
-use opprox_approx_rt::{ApproxApp, InputParams};
+use opprox_approx_rt::InputParams;
 use opprox_bench::TextTable;
 use opprox_core::optimizer::{optimize_with, Conservatism};
 use opprox_core::pipeline::{Opprox, TrainingOptions};
 use opprox_core::report::percent_less_work;
+use opprox_core::request::OptimizeRequest;
 use opprox_core::sampling::SamplingPlan;
 use opprox_core::AccuracySpec;
 
@@ -81,9 +82,12 @@ fn main() {
                 if outcome.qos <= budget { "yes" } else { "NO" }
             ));
         }
-        let (_, outcome) = trained
-            .optimize_validated(app.as_ref(), &input, &spec)
-            .expect("validated");
+        let outcome = OptimizeRequest::new(input.clone(), spec)
+            .validate_on(app.as_ref())
+            .run(&trained)
+            .expect("validated")
+            .measured
+            .expect("validated requests measure");
         cells.push(format!(
             "{:+.1} ({})",
             percent_less_work(outcome.speedup),

@@ -9,10 +9,10 @@
 use opprox_apps::registry::all_apps;
 use opprox_bench::TextTable;
 use opprox_core::sampling::{collect_training_data, SamplingPlan};
+use opprox_linalg::stats::r2_score;
 use opprox_ml::m5::{ModelTree, ModelTreeParams};
 use opprox_ml::model_select::{AutoFitConfig, TargetModel};
 use opprox_ml::Dataset;
-use opprox_linalg::stats::r2_score;
 
 fn main() {
     println!("Ablation — polynomial pipeline vs M5 model tree (QoS target)\n");
@@ -76,8 +76,7 @@ fn main() {
             .collect();
 
         // M5 model tree.
-        let m5 = ModelTree::fit(&train_x, &train_y, ModelTreeParams::default())
-            .expect("m5 fit");
+        let m5 = ModelTree::fit(&train_x, &train_y, ModelTreeParams::default()).expect("m5 fit");
         let m5_preds = m5.predict(&test_x).expect("m5 predict");
 
         table.add_row(vec![

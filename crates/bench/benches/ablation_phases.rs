@@ -5,10 +5,11 @@
 //! fairest modeled baseline — so the delta from 1 → 4 phases isolates
 //! the paper's core contribution.
 
-use opprox_approx_rt::{ApproxApp, InputParams};
+use opprox_approx_rt::InputParams;
 use opprox_bench::TextTable;
 use opprox_core::pipeline::{Opprox, TrainingOptions};
 use opprox_core::report::percent_less_work;
+use opprox_core::request::OptimizeRequest;
 use opprox_core::sampling::SamplingPlan;
 use opprox_core::AccuracySpec;
 
@@ -55,10 +56,16 @@ fn main() {
                 ..TrainingOptions::default()
             };
             let trained = Opprox::train(app.as_ref(), &opts).expect("training");
-            let (_, outcome) = trained
-                .optimize_validated(app.as_ref(), &input, &AccuracySpec::new(budget))
-                .expect("optimization");
-            assert!(outcome.qos <= budget, "{name} over budget at {phases} phases");
+            let outcome = OptimizeRequest::new(input.clone(), AccuracySpec::new(budget))
+                .validate_on(app.as_ref())
+                .run(&trained)
+                .expect("optimization")
+                .measured
+                .expect("validated requests measure");
+            assert!(
+                outcome.qos <= budget,
+                "{name} over budget at {phases} phases"
+            );
             cells.push(format!("{:.1}", percent_less_work(outcome.speedup)));
         }
         table.add_row(cells);

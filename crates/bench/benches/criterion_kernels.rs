@@ -58,9 +58,7 @@ fn bench_apps(c: &mut Criterion) {
         let app = opprox_apps::registry::by_name(name).unwrap();
         let input = InputParams::new(params);
         let schedule = PhaseSchedule::accurate(app.meta().num_blocks());
-        group.bench_function(name, |b| {
-            b.iter(|| app.run(&input, &schedule).unwrap())
-        });
+        group.bench_function(name, |b| b.iter(|| app.run(&input, &schedule).unwrap()));
     }
     group.finish();
 }

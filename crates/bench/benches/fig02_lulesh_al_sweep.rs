@@ -5,9 +5,9 @@
 //! blocks accurate (whole-run application) and report the measured
 //! speedup and QoS degradation.
 
-use opprox_apps::Lulesh;
 use opprox_approx_rt::config::local_sweep;
 use opprox_approx_rt::{ApproxApp, InputParams, PhaseSchedule};
+use opprox_apps::Lulesh;
 use opprox_bench::TextTable;
 
 fn main() {

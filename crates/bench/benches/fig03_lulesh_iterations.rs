@@ -5,9 +5,9 @@
 //! 965 under some combinations (turning speedups into slowdowns). This
 //! bench sweeps random combinations and reports the iteration spread.
 
-use opprox_apps::Lulesh;
 use opprox_approx_rt::config::sample_configs;
 use opprox_approx_rt::{ApproxApp, InputParams, PhaseSchedule};
+use opprox_apps::Lulesh;
 use opprox_bench::TextTable;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
     ]);
     let mut min_iters = golden.outer_iters;
     let mut max_iters = golden.outer_iters;
-    for config in sample_configs(&app.meta().blocks, 24, 0xF16_3) {
+    for config in sample_configs(&app.meta().blocks, 24, 0xF163) {
         let result = app
             .run(&input, &PhaseSchedule::constant(config.clone()))
             .expect("approximate run");

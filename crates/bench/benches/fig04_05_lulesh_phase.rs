@@ -5,8 +5,8 @@
 //! configuration is applied to one phase at a time (all other phases
 //! accurate), and finally to the whole run ("All").
 
-use opprox_apps::Lulesh;
 use opprox_approx_rt::InputParams;
+use opprox_apps::Lulesh;
 use opprox_bench::runner::{default_probes, phase_probe_series, summarize};
 use opprox_bench::TextTable;
 

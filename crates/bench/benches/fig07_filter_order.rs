@@ -5,9 +5,9 @@
 //! two control flows respond differently, which is what motivates the
 //! per-control-flow models of Sec. 3.4.
 
-use opprox_apps::VideoPipeline;
 use opprox_approx_rt::config::sample_configs;
 use opprox_approx_rt::{ApproxApp, InputParams, PhaseSchedule};
+use opprox_apps::VideoPipeline;
 use opprox_bench::TextTable;
 
 fn main() {

@@ -5,8 +5,8 @@
 //! representative inputs (whose `filter_order` parameter selects between
 //! two filter chains) and evaluates its predictions on held-out inputs.
 
-use opprox_apps::VideoPipeline;
 use opprox_approx_rt::{ApproxApp, InputParams};
+use opprox_apps::VideoPipeline;
 use opprox_bench::TextTable;
 use opprox_core::control_flow::ControlFlowModel;
 use opprox_core::sampling::{collect_training_data, SamplingPlan};
@@ -19,8 +19,8 @@ fn main() {
         whole_run_samples: 0,
         seed: 0xF08,
     };
-    let data = collect_training_data(&app, &app.representative_inputs(), &plan)
-        .expect("training data");
+    let data =
+        collect_training_data(&app, &app.representative_inputs(), &plan).expect("training data");
     let model = ControlFlowModel::learn(&data).expect("control-flow model");
 
     println!("Figure 8 — decision-tree control-flow prediction (video pipeline)");

@@ -25,8 +25,7 @@ fn main() {
         let app = opprox_apps::registry::by_name(name).expect("registered app");
         let input = InputParams::new(params);
         let probes = default_probes(app.as_ref(), 8, 0xF09);
-        let points =
-            phase_probe_series(app.as_ref(), &input, 4, &probes).expect("probe series");
+        let points = phase_probe_series(app.as_ref(), &input, 4, &probes).expect("probe series");
         let is_video = name == "FFmpeg";
 
         let qos_header = if is_video {

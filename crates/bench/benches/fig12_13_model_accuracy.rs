@@ -43,8 +43,7 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(0xF12F13);
         indices.shuffle(&mut rng);
         let half = indices.len() / 2;
-        let train_set: std::collections::HashSet<usize> =
-            indices[..half].iter().copied().collect();
+        let train_set: std::collections::HashSet<usize> = indices[..half].iter().copied().collect();
         let mut train = TrainingData {
             goldens: data.goldens.clone(),
             records: Vec::new(),

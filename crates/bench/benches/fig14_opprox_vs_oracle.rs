@@ -13,6 +13,7 @@ use opprox_bench::TextTable;
 use opprox_core::oracle::phase_agnostic_oracle;
 use opprox_core::pipeline::{Opprox, TrainingOptions};
 use opprox_core::report::{percent_less_work, ComparisonRow};
+use opprox_core::request::OptimizeRequest;
 use opprox_core::sampling::SamplingPlan;
 use opprox_core::AccuracySpec;
 
@@ -64,9 +65,12 @@ fn main() {
                 nominal
             };
             let spec = AccuracySpec::new(budget);
-            let (_, outcome) = trained
-                .optimize_validated(app.as_ref(), &input, &spec)
-                .expect("validated optimization");
+            let outcome = OptimizeRequest::new(input.clone(), spec)
+                .validate_on(app.as_ref())
+                .run(&trained)
+                .expect("validated optimization")
+                .measured
+                .expect("validated requests measure");
             let oracle = phase_agnostic_oracle(app.as_ref(), &input, &spec).expect("oracle");
             rows.push(ComparisonRow {
                 app: name.clone(),
@@ -106,10 +110,16 @@ fn main() {
     ]);
     for budget in [5.0, 10.0, 20.0] {
         let sel: Vec<&ComparisonRow> = rows.iter().filter(|r| r.budget == budget).collect();
-        let o: f64 =
-            sel.iter().map(|r| percent_less_work(r.opprox_speedup)).sum::<f64>() / sel.len() as f64;
-        let b: f64 =
-            sel.iter().map(|r| percent_less_work(r.oracle_speedup)).sum::<f64>() / sel.len() as f64;
+        let o: f64 = sel
+            .iter()
+            .map(|r| percent_less_work(r.opprox_speedup))
+            .sum::<f64>()
+            / sel.len() as f64;
+        let b: f64 = sel
+            .iter()
+            .map(|r| percent_less_work(r.oracle_speedup))
+            .sum::<f64>()
+            / sel.len() as f64;
         avg.add_row(vec![
             format!("{budget:.0}%"),
             format!("{o:.1}"),

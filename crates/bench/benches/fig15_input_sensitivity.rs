@@ -60,7 +60,11 @@ fn main() {
                 format!("{:.2}", s[3].mean_qos),
                 format!("{:.3}", s[0].mean_speedup),
                 format!("{:.3}", s[3].mean_speedup),
-                if trend_ok { "early>late".into() } else { "INVERTED".into() },
+                if trend_ok {
+                    "early>late".into()
+                } else {
+                    "INVERTED".into()
+                },
             ]);
         }
         println!("{}", table.render());

@@ -21,8 +21,11 @@ fn main() {
     ]);
     for app in opprox_apps::registry::all_apps() {
         let meta = app.meta();
-        let mut techniques: Vec<String> =
-            meta.blocks.iter().map(|b| b.technique.to_string()).collect();
+        let mut techniques: Vec<String> = meta
+            .blocks
+            .iter()
+            .map(|b| b.technique.to_string())
+            .collect();
         techniques.sort();
         techniques.dedup();
         let per_phase = config_space_size(&meta.blocks);

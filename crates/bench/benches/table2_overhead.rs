@@ -9,6 +9,7 @@
 use opprox_approx_rt::InputParams;
 use opprox_bench::TextTable;
 use opprox_core::pipeline::{Opprox, TrainingOptions};
+use opprox_core::request::OptimizeRequest;
 use opprox_core::sampling::SamplingPlan;
 use opprox_core::AccuracySpec;
 use std::time::Instant;
@@ -63,8 +64,8 @@ fn main() {
             let trained = Opprox::train(app.as_ref(), &opts).expect("training");
             train_cells.push(format!("{:.2}", t0.elapsed().as_secs_f64()));
             let t0 = Instant::now();
-            let _ = trained
-                .optimize(&input, &AccuracySpec::new(10.0))
+            let _ = OptimizeRequest::new(input.clone(), AccuracySpec::new(10.0))
+                .run(&trained)
                 .expect("optimization");
             opt_cells.push(format!("{:.1}", t0.elapsed().as_secs_f64() * 1e3));
         }

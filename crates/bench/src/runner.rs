@@ -37,12 +37,8 @@ pub fn phase_probe_series(
     let mut out = Vec::new();
     for phase in 0..num_phases {
         for config in probes {
-            let schedule = PhaseSchedule::single_phase(
-                config.clone(),
-                phase,
-                num_phases,
-                golden.outer_iters,
-            )?;
+            let schedule =
+                PhaseSchedule::single_phase(config.clone(), phase, num_phases, golden.outer_iters)?;
             let result = app.run(input, &schedule)?;
             out.push(PhasePoint {
                 phase: Some(phase),

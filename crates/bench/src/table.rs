@@ -54,12 +54,12 @@ impl TextTable {
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
             let mut line = String::new();
-            for c in 0..cols {
+            for (c, &width) in widths.iter().enumerate().take(cols) {
                 if c > 0 {
                     line.push_str("  ");
                 }
                 let cell = cells.get(c).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{cell:<width$}", width = widths[c]));
+                line.push_str(&format!("{cell:<width$}"));
             }
             line.trim_end().to_string()
         };

@@ -1,24 +1,162 @@
-//! A small, dependency-free argument parser for the `opprox` binary.
+//! Typed argument parsing for the `opprox` binary.
 //!
-//! Grammar: `opprox <command> [--flag value]...`. Flags always take a
-//! value; unknown flags are errors so typos fail loudly.
+//! Grammar: `opprox <command> [--flag value]...`. Parsing is two-stage:
+//! the raw `--flag value` pairs are collected, then immediately checked
+//! against the selected command's flag set and converted into a typed
+//! [`Command`]. Unknown commands and unknown flags fail **at parse
+//! time** with a nearest-match suggestion, so nothing stringly-typed
+//! survives into dispatch.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// A parsed command line: the subcommand plus its `--flag value` pairs.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParsedArgs {
-    /// The subcommand (first positional argument).
-    pub command: String,
-    flags: BTreeMap<String, String>,
+/// A fully parsed, typed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the registered applications.
+    Apps,
+    /// Algorithm 1: phase-granularity search.
+    Phases {
+        /// Application name.
+        app: String,
+        /// Input parameter values.
+        input: Vec<f64>,
+        /// Probe configurations per phase.
+        probes: usize,
+        /// RNG seed for the probe configurations.
+        seed: u64,
+        /// Worker threads for the evaluation engine (`None` = all cores).
+        threads: Option<usize>,
+    },
+    /// Profile an application, fit models, save them to disk.
+    Train {
+        /// Application name.
+        app: String,
+        /// Output path for the trained model JSON.
+        out: String,
+        /// Number of phases.
+        phases: usize,
+        /// Sparse multi-block samples per (input, phase).
+        sparse: usize,
+        /// RNG seed for the sampling.
+        seed: u64,
+        /// Worker threads for the evaluation engine.
+        threads: Option<usize>,
+    },
+    /// Algorithm 2, model-only: no real executions.
+    Optimize {
+        /// Path to a trained model JSON.
+        model: String,
+        /// Input parameter values.
+        input: Vec<f64>,
+        /// QoS-degradation budget.
+        budget: f64,
+    },
+    /// Validated optimization plus real execution.
+    Run {
+        /// Path to a trained model JSON.
+        model: String,
+        /// Input parameter values.
+        input: Vec<f64>,
+        /// QoS-degradation budget.
+        budget: f64,
+        /// Optional canary input for the validation executions.
+        canary: Option<Vec<f64>>,
+        /// Cap on validation executions.
+        validations: usize,
+        /// Worker threads for the evaluation engine.
+        threads: Option<usize>,
+    },
+    /// Phase-agnostic exhaustive baseline.
+    Oracle {
+        /// Application name.
+        app: String,
+        /// Input parameter values.
+        input: Vec<f64>,
+        /// QoS-degradation budget.
+        budget: f64,
+        /// Worker threads for the evaluation engine.
+        threads: Option<usize>,
+    },
+    /// Summarize a trained model.
+    Inspect {
+        /// Path to a trained model JSON.
+        model: String,
+    },
+    /// OPPROX (validated) vs the oracle in one shot.
+    Compare {
+        /// Application name.
+        app: String,
+        /// Input parameter values.
+        input: Vec<f64>,
+        /// QoS-degradation budget.
+        budget: f64,
+        /// Number of phases for training.
+        phases: usize,
+        /// Sparse samples per (input, phase) for training.
+        sparse: usize,
+        /// RNG seed for the sampling.
+        seed: u64,
+        /// Worker threads for the evaluation engine.
+        threads: Option<usize>,
+    },
+    /// Print the usage summary.
+    Help,
 }
+
+/// `(name, allowed flags)` for every command, used for validation and
+/// suggestions.
+const COMMANDS: &[(&str, &[&str])] = &[
+    ("apps", &[]),
+    ("phases", &["app", "input", "probes", "seed", "threads"]),
+    (
+        "train",
+        &["app", "out", "phases", "sparse", "seed", "threads"],
+    ),
+    ("optimize", &["model", "input", "budget"]),
+    (
+        "run",
+        &[
+            "model",
+            "input",
+            "budget",
+            "canary",
+            "validations",
+            "threads",
+        ],
+    ),
+    ("oracle", &["app", "input", "budget", "threads"]),
+    ("inspect", &["model"]),
+    (
+        "compare",
+        &[
+            "app", "input", "budget", "phases", "sparse", "seed", "threads",
+        ],
+    ),
+    ("help", &[]),
+];
 
 /// Errors from argument parsing and flag extraction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ArgError {
     /// No subcommand was given.
     MissingCommand,
+    /// The subcommand is not recognized.
+    UnknownCommand {
+        /// What was typed.
+        given: String,
+        /// The closest known command, if any is close enough.
+        suggestion: Option<String>,
+    },
+    /// A flag is not accepted by the selected subcommand.
+    UnknownFlag {
+        /// The subcommand.
+        command: String,
+        /// The offending flag.
+        flag: String,
+        /// The closest accepted flag, if any is close enough.
+        suggestion: Option<String>,
+    },
     /// A flag was given without a value.
     MissingValue(String),
     /// A required flag was absent.
@@ -40,6 +178,24 @@ impl fmt::Display for ArgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArgError::MissingCommand => write!(f, "missing command; try `opprox help`"),
+            ArgError::UnknownCommand { given, suggestion } => {
+                write!(f, "unknown command `{given}`")?;
+                match suggestion {
+                    Some(s) => write!(f, "; did you mean `{s}`?"),
+                    None => write!(f, "; try `opprox help`"),
+                }
+            }
+            ArgError::UnknownFlag {
+                command,
+                flag,
+                suggestion,
+            } => {
+                write!(f, "`opprox {command}` does not take --{flag}")?;
+                match suggestion {
+                    Some(s) => write!(f, "; did you mean --{s}?"),
+                    None => write!(f, "; try `opprox help`"),
+                }
+            }
             ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
             ArgError::MissingFlag(flag) => write!(f, "required flag --{flag} is missing"),
             ArgError::BadValue {
@@ -56,14 +212,28 @@ impl fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
-impl ParsedArgs {
-    /// Parses `args` (without the program name).
+impl Command {
+    /// Parses `args` (without the program name) into a typed command.
     ///
     /// # Errors
     ///
-    /// Returns [`ArgError`] on an empty command line, a flag without a
-    /// value, or a stray positional argument.
+    /// Returns [`ArgError`] on an empty command line, an unknown command
+    /// or flag (with a nearest-match suggestion), a flag without a
+    /// value, a missing or malformed required flag, or a stray
+    /// positional argument.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        RawArgs::collect(args)?.into_command()
+    }
+}
+
+/// The raw `command + flag map` stage, before typing.
+struct RawArgs {
+    command: String,
+    flags: BTreeMap<String, String>,
+}
+
+impl RawArgs {
+    fn collect<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
         let mut iter = args.into_iter();
         let command = iter.next().ok_or(ArgError::MissingCommand)?;
         let mut flags = BTreeMap::new();
@@ -77,30 +247,90 @@ impl ParsedArgs {
                 return Err(ArgError::UnexpectedPositional(arg));
             }
         }
-        Ok(ParsedArgs { command, flags })
+        Ok(RawArgs { command, flags })
     }
 
-    /// Returns a string flag, if present.
-    pub fn get(&self, flag: &str) -> Option<&str> {
+    fn into_command(self) -> Result<Command, ArgError> {
+        let Some(&(name, allowed)) = COMMANDS.iter().find(|(n, _)| *n == self.command) else {
+            return Err(ArgError::UnknownCommand {
+                suggestion: nearest(&self.command, COMMANDS.iter().map(|(n, _)| *n)),
+                given: self.command,
+            });
+        };
+        for flag in self.flags.keys() {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(ArgError::UnknownFlag {
+                    command: name.to_string(),
+                    flag: flag.clone(),
+                    suggestion: nearest(flag, allowed.iter().copied()),
+                });
+            }
+        }
+        Ok(match name {
+            "apps" => Command::Apps,
+            "phases" => Command::Phases {
+                app: self.require("app")?.to_string(),
+                input: self.require_input("input")?,
+                probes: self.usize_or("probes", 6)?,
+                seed: self.u64_or("seed", 0x9A5E)?,
+                threads: self.threads()?,
+            },
+            "train" => Command::Train {
+                app: self.require("app")?.to_string(),
+                out: self.require("out")?.to_string(),
+                phases: self.usize_or("phases", 4)?,
+                sparse: self.usize_or("sparse", 36)?,
+                seed: self.u64_or("seed", 11)?,
+                threads: self.threads()?,
+            },
+            "optimize" => Command::Optimize {
+                model: self.require("model")?.to_string(),
+                input: self.require_input("input")?,
+                budget: self.require_f64("budget")?,
+            },
+            "run" => Command::Run {
+                model: self.require("model")?.to_string(),
+                input: self.require_input("input")?,
+                budget: self.require_f64("budget")?,
+                canary: match self.get("canary") {
+                    Some(_) => Some(self.require_input("canary")?),
+                    None => None,
+                },
+                validations: self.usize_or("validations", 32)?,
+                threads: self.threads()?,
+            },
+            "oracle" => Command::Oracle {
+                app: self.require("app")?.to_string(),
+                input: self.require_input("input")?,
+                budget: self.require_f64("budget")?,
+                threads: self.threads()?,
+            },
+            "inspect" => Command::Inspect {
+                model: self.require("model")?.to_string(),
+            },
+            "compare" => Command::Compare {
+                app: self.require("app")?.to_string(),
+                input: self.require_input("input")?,
+                budget: self.require_f64("budget")?,
+                phases: self.usize_or("phases", 4)?,
+                sparse: self.usize_or("sparse", 36)?,
+                seed: self.u64_or("seed", 11)?,
+                threads: self.threads()?,
+            },
+            _ => Command::Help,
+        })
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
         self.flags.get(flag).map(String::as_str)
     }
 
-    /// Returns a required string flag.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ArgError::MissingFlag`] when absent.
-    pub fn require(&self, flag: &str) -> Result<&str, ArgError> {
+    fn require(&self, flag: &str) -> Result<&str, ArgError> {
         self.get(flag)
             .ok_or_else(|| ArgError::MissingFlag(flag.to_string()))
     }
 
-    /// Returns a required flag parsed as `f64`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ArgError`] when absent or unparsable.
-    pub fn require_f64(&self, flag: &str) -> Result<f64, ArgError> {
+    fn require_f64(&self, flag: &str) -> Result<f64, ArgError> {
         let raw = self.require(flag)?;
         raw.parse().map_err(|_| ArgError::BadValue {
             flag: flag.to_string(),
@@ -109,12 +339,7 @@ impl ParsedArgs {
         })
     }
 
-    /// Returns an optional flag parsed as `usize`, with a default.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ArgError::BadValue`] when present but unparsable.
-    pub fn usize_or(&self, flag: &str, default: usize) -> Result<usize, ArgError> {
+    fn usize_or(&self, flag: &str, default: usize) -> Result<usize, ArgError> {
         match self.get(flag) {
             None => Ok(default),
             Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
@@ -125,12 +350,7 @@ impl ParsedArgs {
         }
     }
 
-    /// Returns an optional flag parsed as `u64`, with a default.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ArgError::BadValue`] when present but unparsable.
-    pub fn u64_or(&self, flag: &str, default: u64) -> Result<u64, ArgError> {
+    fn u64_or(&self, flag: &str, default: u64) -> Result<u64, ArgError> {
         match self.get(flag) {
             None => Ok(default),
             Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
@@ -141,12 +361,23 @@ impl ParsedArgs {
         }
     }
 
-    /// Parses a required comma-separated `--input 64,2` flag into values.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ArgError`] when absent or any element fails to parse.
-    pub fn require_input(&self, flag: &str) -> Result<Vec<f64>, ArgError> {
+    /// `--threads N` (at least 1); `None` means "all cores".
+    fn threads(&self) -> Result<Option<usize>, ArgError> {
+        match self.get("threads") {
+            None => Ok(None),
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(Some(n)),
+                _ => Err(ArgError::BadValue {
+                    flag: "threads".to_string(),
+                    value: raw.to_string(),
+                    expected: "a positive integer",
+                }),
+            },
+        }
+    }
+
+    /// Parses a required comma-separated flag (e.g. `--input 64,2`).
+    fn require_input(&self, flag: &str) -> Result<Vec<f64>, ArgError> {
         let raw = self.require(flag)?;
         raw.split(',')
             .map(|part| {
@@ -160,21 +391,73 @@ impl ParsedArgs {
     }
 }
 
+/// The closest candidate by edit distance, if within a tolerance that
+/// scales with the word length (1 edit for short names, 2 for longer).
+fn nearest<'a>(given: &str, candidates: impl Iterator<Item = &'a str>) -> Option<String> {
+    let tolerance = if given.len() <= 4 { 1 } else { 2 };
+    candidates
+        .map(|c| (edit_distance(given, c), c))
+        .filter(|&(d, _)| d <= tolerance)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c.to_string())
+}
+
+/// Levenshtein distance between two short ASCII-ish strings.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            row.push(subst.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(parts: &[&str]) -> Result<ParsedArgs, ArgError> {
-        ParsedArgs::parse(parts.iter().map(|s| s.to_string()))
+    fn parse(parts: &[&str]) -> Result<Command, ArgError> {
+        Command::parse(parts.iter().map(|s| s.to_string()))
     }
 
     #[test]
-    fn parses_command_and_flags() {
-        let a = parse(&["train", "--app", "lulesh", "--phases", "4"]).unwrap();
-        assert_eq!(a.command, "train");
-        assert_eq!(a.get("app"), Some("lulesh"));
-        assert_eq!(a.usize_or("phases", 1).unwrap(), 4);
-        assert_eq!(a.usize_or("sparse", 36).unwrap(), 36);
+    fn parses_typed_commands() {
+        let c = parse(&[
+            "train", "--app", "lulesh", "--out", "m.json", "--phases", "4",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Train {
+                app: "lulesh".into(),
+                out: "m.json".into(),
+                phases: 4,
+                sparse: 36,
+                seed: 11,
+                threads: None,
+            }
+        );
+        let c = parse(&[
+            "oracle", "--app", "pso", "--input", "16,3", "--budget", "20",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Oracle {
+                app: "pso".into(),
+                input: vec![16.0, 3.0],
+                budget: 20.0,
+                threads: None,
+            }
+        );
+        assert_eq!(parse(&["apps"]).unwrap(), Command::Apps);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
     }
 
     #[test]
@@ -188,22 +471,112 @@ mod tests {
             parse(&["train", "stray"]).unwrap_err(),
             ArgError::UnexpectedPositional("stray".into())
         );
+        assert!(matches!(
+            parse(&["train", "--app", "pso"]).unwrap_err(),
+            ArgError::MissingFlag(f) if f == "out"
+        ));
     }
 
     #[test]
-    fn typed_accessors_validate() {
-        let a = parse(&["x", "--budget", "ten"]).unwrap();
-        assert!(matches!(a.require_f64("budget"), Err(ArgError::BadValue { .. })));
-        assert!(matches!(a.require("missing"), Err(ArgError::MissingFlag(_))));
-        let a = parse(&["x", "--budget", "12.5"]).unwrap();
-        assert_eq!(a.require_f64("budget").unwrap(), 12.5);
+    fn unknown_command_suggests_nearest() {
+        let err = parse(&["trian"]).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::UnknownCommand {
+                given: "trian".into(),
+                suggestion: Some("train".into()),
+            }
+        );
+        assert!(err.to_string().contains("did you mean `train`?"));
+        // Nothing close: no suggestion.
+        assert!(matches!(
+            parse(&["frobnicate"]).unwrap_err(),
+            ArgError::UnknownCommand {
+                suggestion: None,
+                ..
+            }
+        ));
     }
 
     #[test]
-    fn input_lists_parse() {
-        let a = parse(&["x", "--input", "64, 2"]).unwrap();
-        assert_eq!(a.require_input("input").unwrap(), vec![64.0, 2.0]);
-        let a = parse(&["x", "--input", "64;2"]).unwrap();
-        assert!(a.require_input("input").is_err());
+    fn unknown_flag_fails_at_parse_time_with_suggestion() {
+        let err = parse(&["train", "--app", "pso", "--out", "m", "--sprase", "9"]).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::UnknownFlag {
+                command: "train".into(),
+                flag: "sprase".into(),
+                suggestion: Some("sparse".into()),
+            }
+        );
+        assert!(err.to_string().contains("did you mean --sparse?"));
+        // `optimize` takes no --threads; the error names the command.
+        assert!(matches!(
+            parse(&["optimize", "--model", "m", "--input", "1", "--budget", "5", "--threads", "2"])
+                .unwrap_err(),
+            ArgError::UnknownFlag { command, .. } if command == "optimize"
+        ));
+    }
+
+    #[test]
+    fn typed_values_validate() {
+        assert!(matches!(
+            parse(&["oracle", "--app", "p", "--input", "1,2", "--budget", "ten"]).unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+        assert!(matches!(
+            parse(&["oracle", "--app", "p", "--input", "1;2", "--budget", "5"]).unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+        assert!(matches!(
+            parse(&[
+                "oracle",
+                "--app",
+                "p",
+                "--input",
+                "1,2",
+                "--budget",
+                "5",
+                "--threads",
+                "0"
+            ])
+            .unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+        let c = parse(&[
+            "run",
+            "--model",
+            "m",
+            "--input",
+            "64, 2",
+            "--budget",
+            "12.5",
+            "--canary",
+            "8,2",
+            "--validations",
+            "9",
+            "--threads",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Run {
+                model: "m".into(),
+                input: vec![64.0, 2.0],
+                budget: 12.5,
+                canary: Some(vec![8.0, 2.0]),
+                validations: 9,
+                threads: Some(3),
+            }
+        );
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("train", "train"), 0);
+        assert_eq!(edit_distance("trian", "train"), 2);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
     }
 }

@@ -4,13 +4,20 @@
 //! trained models are stored on disk, a job is submitted with a target
 //! error budget, the runtime loads the models, finds the best
 //! phase-specific approximation settings, and passes them to the job.
+//!
+//! Every subcommand that executes an application for real builds an
+//! [`EvalEngine`] and routes all executions through it; the engine's
+//! [`EvalMetrics`] (executions, cache hits, per-stage wall time) are
+//! printed at the end.
 
-use crate::args::ParsedArgs;
+use crate::args::Command;
 use opprox_approx_rt::{ApproxApp, InputParams};
-use opprox_core::oracle::phase_agnostic_oracle;
-use opprox_core::phases::{find_phase_granularity, PhaseSearchOptions};
+use opprox_core::evaluator::{EvalEngine, EvalMetrics};
+use opprox_core::oracle::phase_agnostic_oracle_with;
+use opprox_core::phases::{find_phase_granularity_with, PhaseSearchOptions};
 use opprox_core::pipeline::{Opprox, TrainedOpprox, TrainingOptions};
 use opprox_core::report::percent_less_work;
+use opprox_core::request::OptimizeRequest;
 use opprox_core::sampling::SamplingPlan;
 use opprox_core::AccuracySpec;
 use std::error::Error;
@@ -18,25 +25,68 @@ use std::error::Error;
 /// The result alias used by every subcommand.
 pub type CmdResult = Result<(), Box<dyn Error>>;
 
-/// Dispatches a parsed command line. Output is written to `out` so the
+/// Dispatches a typed command. Output is written to `out` so the
 /// commands are testable.
 ///
 /// # Errors
 ///
-/// Returns an error for unknown commands and propagates subcommand
-/// failures.
-pub fn dispatch(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
-    match args.command.as_str() {
-        "apps" => cmd_apps(out),
-        "phases" => cmd_phases(args, out),
-        "train" => cmd_train(args, out),
-        "optimize" => cmd_optimize(args, out),
-        "run" => cmd_run(args, out),
-        "oracle" => cmd_oracle(args, out),
-        "inspect" => cmd_inspect(args, out),
-        "compare" => cmd_compare(args, out),
-        "help" => cmd_help(out),
-        other => Err(format!("unknown command `{other}`; try `opprox help`").into()),
+/// Propagates subcommand failures.
+pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
+    match command {
+        Command::Apps => cmd_apps(out),
+        Command::Phases {
+            app,
+            input,
+            probes,
+            seed,
+            threads,
+        } => cmd_phases(app, input, *probes, *seed, *threads, out),
+        Command::Train {
+            app,
+            out: path,
+            phases,
+            sparse,
+            seed,
+            threads,
+        } => cmd_train(app, path, *phases, *sparse, *seed, *threads, out),
+        Command::Optimize {
+            model,
+            input,
+            budget,
+        } => cmd_optimize(model, input, *budget, out),
+        Command::Run {
+            model,
+            input,
+            budget,
+            canary,
+            validations,
+            threads,
+        } => cmd_run(
+            model,
+            input,
+            *budget,
+            canary.as_deref(),
+            *validations,
+            *threads,
+            out,
+        ),
+        Command::Oracle {
+            app,
+            input,
+            budget,
+            threads,
+        } => cmd_oracle(app, input, *budget, *threads, out),
+        Command::Inspect { model } => cmd_inspect(model, out),
+        Command::Compare {
+            app,
+            input,
+            budget,
+            phases,
+            sparse,
+            seed,
+            threads,
+        } => cmd_compare(app, input, *budget, *phases, *sparse, *seed, *threads, out),
+        Command::Help => cmd_help(out),
     }
 }
 
@@ -55,18 +105,23 @@ pub fn cmd_help(out: &mut dyn std::io::Write) -> CmdResult {
          COMMANDS\n\
          \x20 apps                                   list the registered applications\n\
          \x20 phases   --app A --input I             run Algorithm 1 (phase-granularity search)\n\
+         \x20          [--probes K] [--seed S] [--threads T]\n\
          \x20 train    --app A --out FILE            profile + fit models, save to FILE\n\
-         \x20          [--phases N] [--sparse K] [--seed S]\n\
+         \x20          [--phases N] [--sparse K] [--seed S] [--threads T]\n\
          \x20 optimize --model FILE --input I --budget B\n\
          \x20                                        solve Algorithm 2 (model-only)\n\
          \x20 run      --model FILE --input I --budget B\n\
+         \x20          [--canary C] [--validations V] [--threads T]\n\
          \x20                                        validated optimization + real execution\n\
          \x20 oracle   --app A --input I --budget B  phase-agnostic exhaustive baseline\n\
+         \x20          [--threads T]\n\
          \x20 inspect  --model FILE                   summarize a trained model\n\
          \x20 compare  --app A --input I --budget B   OPPROX (validated) vs oracle in one shot\n\
+         \x20          [--phases N] [--sparse K] [--seed S] [--threads T]\n\
          \n\
          Inputs are comma-separated parameter values, e.g. --input 64,2 for\n\
-         LULESH (mesh_length, num_regions)."
+         LULESH (mesh_length, num_regions). --threads bounds the evaluation\n\
+         engine's worker pool (default: all cores)."
     )?;
     Ok(())
 }
@@ -79,6 +134,20 @@ fn lookup_app(name: &str) -> Result<Box<dyn ApproxApp>, Box<dyn Error>> {
             .collect();
         format!("unknown app `{name}`; available: {}", names.join(", ")).into()
     })
+}
+
+/// An engine with an explicit thread count, or one per core.
+fn make_engine(threads: Option<usize>) -> EvalEngine {
+    match threads {
+        Some(n) => EvalEngine::new(n),
+        None => EvalEngine::default(),
+    }
+}
+
+/// Prints the engine's metrics block under a standard header.
+fn report_metrics(metrics: &EvalMetrics, out: &mut dyn std::io::Write) -> CmdResult {
+    writeln!(out, "{metrics}")?;
+    Ok(())
 }
 
 fn cmd_apps(out: &mut dyn std::io::Write) -> CmdResult {
@@ -110,103 +179,158 @@ fn cmd_apps(out: &mut dyn std::io::Write) -> CmdResult {
     Ok(())
 }
 
-fn cmd_phases(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
-    let app = lookup_app(args.require("app")?)?;
-    let input = InputParams::new(args.require_input("input")?);
+fn cmd_phases(
+    app: &str,
+    input: &[f64],
+    probes: usize,
+    seed: u64,
+    threads: Option<usize>,
+    out: &mut dyn std::io::Write,
+) -> CmdResult {
+    let app = lookup_app(app)?;
+    let input = InputParams::new(input.to_vec());
     let opts = PhaseSearchOptions {
-        probe_configs: args.usize_or("probes", 6)?,
-        seed: args.u64_or("seed", 0x9A5E)?,
+        probe_configs: probes,
+        seed,
         ..PhaseSearchOptions::default()
     };
-    let n = find_phase_granularity(app.as_ref(), &input, &opts)?;
+    let engine = make_engine(threads);
+    let n = find_phase_granularity_with(&engine, app.as_ref(), &input, &opts)?;
     writeln!(out, "Algorithm 1 chose {n} phases for {}", app.meta().name)?;
-    Ok(())
+    report_metrics(&engine.metrics(), out)
 }
 
-fn training_options(args: &ParsedArgs) -> Result<TrainingOptions, Box<dyn Error>> {
-    let phases = args.usize_or("phases", 4)?;
-    Ok(TrainingOptions {
+fn training_options(phases: usize, sparse: usize, seed: u64) -> TrainingOptions {
+    TrainingOptions {
         num_phases: Some(phases),
         sampling: SamplingPlan {
             num_phases: phases,
-            sparse_samples: args.usize_or("sparse", 36)?,
+            sparse_samples: sparse,
             whole_run_samples: 0,
-            seed: args.u64_or("seed", 11)?,
+            seed,
         },
         ..TrainingOptions::default()
-    })
+    }
 }
 
-fn cmd_train(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
-    let app = lookup_app(args.require("app")?)?;
-    let path = args.require("out")?;
-    let opts = training_options(args)?;
+#[allow(clippy::too_many_arguments)]
+fn cmd_train(
+    app: &str,
+    path: &str,
+    phases: usize,
+    sparse: usize,
+    seed: u64,
+    threads: Option<usize>,
+    out: &mut dyn std::io::Write,
+) -> CmdResult {
+    let app = lookup_app(app)?;
+    let opts = training_options(phases, sparse, seed);
     writeln!(out, "training OPPROX on {} …", app.meta().name)?;
-    let trained = Opprox::train(app.as_ref(), &opts)?;
+    let engine = make_engine(threads);
+    let trained = Opprox::train_with(&engine, app.as_ref(), &opts)?;
     for (phase, s_r2, q_r2) in trained.models().accuracy_summary() {
         writeln!(
             out,
             "  phase {phase}: speedup R² {s_r2:.3}, qos R² {q_r2:.3}"
         )?;
     }
+    writeln!(
+        out,
+        "golden-iteration estimator: {:.1}% mean relative error",
+        trained.golden_iter_rel_error() * 100.0
+    )?;
     std::fs::write(path, trained.to_json()?)?;
     writeln!(out, "model saved to {path}")?;
-    Ok(())
+    report_metrics(&engine.metrics(), out)
 }
 
-fn load_model(args: &ParsedArgs) -> Result<TrainedOpprox, Box<dyn Error>> {
-    let path = args.require("model")?;
+fn load_model(path: &str) -> Result<TrainedOpprox, Box<dyn Error>> {
     let json = std::fs::read_to_string(path)?;
     Ok(TrainedOpprox::from_json(&json)?)
 }
 
-fn cmd_optimize(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
-    let trained = load_model(args)?;
-    let input = InputParams::new(args.require_input("input")?);
-    let spec = AccuracySpec::try_new(args.require_f64("budget")?)?;
-    let plan = trained.optimize(&input, &spec)?;
+fn cmd_optimize(
+    model: &str,
+    input: &[f64],
+    budget: f64,
+    out: &mut dyn std::io::Write,
+) -> CmdResult {
+    let trained = load_model(model)?;
+    let input = InputParams::new(input.to_vec());
+    let spec = AccuracySpec::try_new(budget)?;
+    let outcome = OptimizeRequest::new(input, spec).run(&trained)?;
     writeln!(out, "plan for {} (model-only):", trained.app_name())?;
-    for (phase, cfg) in plan.schedule.configs().iter().enumerate() {
+    for (phase, cfg) in outcome.plan.schedule.configs().iter().enumerate() {
         writeln!(out, "  phase {}: levels {:?}", phase + 1, cfg.levels())?;
     }
     writeln!(
         out,
         "predicted: {:.2}x speedup, {:.2} QoS degradation (budget {:.2})",
-        plan.predicted_speedup,
-        plan.predicted_qos,
+        outcome.plan.predicted_speedup,
+        outcome.plan.predicted_qos,
         spec.error_budget()
     )?;
     Ok(())
 }
 
-fn cmd_run(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
-    let trained = load_model(args)?;
+fn cmd_run(
+    model: &str,
+    input: &[f64],
+    budget: f64,
+    canary: Option<&[f64]>,
+    validations: usize,
+    threads: Option<usize>,
+    out: &mut dyn std::io::Write,
+) -> CmdResult {
+    let trained = load_model(model)?;
     let app = lookup_app(trained.app_name())?;
-    let input = InputParams::new(args.require_input("input")?);
-    let spec = AccuracySpec::try_new(args.require_f64("budget")?)?;
-    let (plan, outcome) = trained.optimize_validated(app.as_ref(), &input, &spec)?;
-    writeln!(out, "validated plan for {}:", trained.app_name())?;
-    for (phase, cfg) in plan.schedule.configs().iter().enumerate() {
+    let input = InputParams::new(input.to_vec());
+    let spec = AccuracySpec::try_new(budget)?;
+    let engine = make_engine(threads);
+    let mut request = OptimizeRequest::new(input, spec)
+        .validate_on(app.as_ref())
+        .validation_budget(validations)
+        .engine(&engine);
+    if let Some(canary) = canary {
+        request = request.canary(InputParams::new(canary.to_vec()));
+    }
+    let outcome = request.run(&trained)?;
+    writeln!(
+        out,
+        "validated plan for {} ({:?} path, {} candidates tried):",
+        trained.app_name(),
+        outcome.path,
+        outcome.candidates_tried
+    )?;
+    for (phase, cfg) in outcome.plan.schedule.configs().iter().enumerate() {
         writeln!(out, "  phase {}: levels {:?}", phase + 1, cfg.levels())?;
     }
+    let measured = outcome.measured.expect("validated requests always measure");
     writeln!(
         out,
         "measured: {:.2}x speedup ({:.1}% less work), {:.2} QoS degradation \
          (budget {:.2}), {} outer iterations",
-        outcome.speedup,
-        percent_less_work(outcome.speedup),
-        outcome.qos,
+        measured.speedup,
+        percent_less_work(measured.speedup),
+        measured.qos,
         spec.error_budget(),
-        outcome.outer_iters
+        measured.outer_iters
     )?;
-    Ok(())
+    report_metrics(&engine.metrics(), out)
 }
 
-fn cmd_oracle(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
-    let app = lookup_app(args.require("app")?)?;
-    let input = InputParams::new(args.require_input("input")?);
-    let spec = AccuracySpec::try_new(args.require_f64("budget")?)?;
-    let r = phase_agnostic_oracle(app.as_ref(), &input, &spec)?;
+fn cmd_oracle(
+    app: &str,
+    input: &[f64],
+    budget: f64,
+    threads: Option<usize>,
+    out: &mut dyn std::io::Write,
+) -> CmdResult {
+    let app = lookup_app(app)?;
+    let input = InputParams::new(input.to_vec());
+    let spec = AccuracySpec::try_new(budget)?;
+    let engine = make_engine(threads);
+    let r = phase_agnostic_oracle_with(&engine, app.as_ref(), &input, &spec)?;
     match &r.config {
         Some(cfg) => writeln!(
             out,
@@ -226,17 +350,22 @@ fn cmd_oracle(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
             r.evaluated
         )?,
     }
-    Ok(())
+    report_metrics(&engine.metrics(), out)
 }
 
-fn cmd_inspect(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
-    let trained = load_model(args)?;
+fn cmd_inspect(model: &str, out: &mut dyn std::io::Write) -> CmdResult {
+    let trained = load_model(model)?;
     writeln!(out, "app: {}", trained.app_name())?;
     writeln!(out, "phases: {}", trained.num_phases())?;
     writeln!(
         out,
         "control-flow classes: {}",
         trained.models().control_flow().num_classes()
+    )?;
+    writeln!(
+        out,
+        "golden-iteration estimator: {:.1}% mean relative error",
+        trained.golden_iter_rel_error() * 100.0
     )?;
     writeln!(out, "per-phase combined-model cross-validation R²:")?;
     for (phase, s_r2, q_r2) in trained.models().accuracy_summary() {
@@ -245,20 +374,37 @@ fn cmd_inspect(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
     Ok(())
 }
 
-fn cmd_compare(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
-    let app = lookup_app(args.require("app")?)?;
-    let input = InputParams::new(args.require_input("input")?);
-    let spec = AccuracySpec::try_new(args.require_f64("budget")?)?;
-    let opts = training_options(args)?;
+#[allow(clippy::too_many_arguments)]
+fn cmd_compare(
+    app: &str,
+    input: &[f64],
+    budget: f64,
+    phases: usize,
+    sparse: usize,
+    seed: u64,
+    threads: Option<usize>,
+    out: &mut dyn std::io::Write,
+) -> CmdResult {
+    let app = lookup_app(app)?;
+    let input = InputParams::new(input.to_vec());
+    let spec = AccuracySpec::try_new(budget)?;
+    let opts = training_options(phases, sparse, seed);
     writeln!(out, "training OPPROX on {} …", app.meta().name)?;
-    let trained = Opprox::train(app.as_ref(), &opts)?;
-    let (_, outcome) = trained.optimize_validated(app.as_ref(), &input, &spec)?;
-    let oracle = phase_agnostic_oracle(app.as_ref(), &input, &spec)?;
+    // One engine end to end: the oracle sweep reuses any whole-run
+    // configurations the training or validation phases already executed.
+    let engine = make_engine(threads);
+    let trained = Opprox::train_with(&engine, app.as_ref(), &opts)?;
+    let outcome = OptimizeRequest::new(input.clone(), spec)
+        .validate_on(app.as_ref())
+        .engine(&engine)
+        .run(&trained)?;
+    let measured = outcome.measured.expect("validated requests always measure");
+    let oracle = phase_agnostic_oracle_with(&engine, app.as_ref(), &input, &spec)?;
     writeln!(
         out,
         "OPPROX : {:.1}% less work (measured qos {:.2}, budget {:.2})",
-        percent_less_work(outcome.speedup),
-        outcome.qos,
+        percent_less_work(measured.speedup),
+        measured.qos,
         spec.error_budget()
     )?;
     writeln!(
@@ -268,18 +414,18 @@ fn cmd_compare(args: &ParsedArgs, out: &mut dyn std::io::Write) -> CmdResult {
         oracle.qos,
         oracle.evaluated
     )?;
-    Ok(())
+    report_metrics(&engine.metrics(), out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::args::ParsedArgs;
+    use crate::args::Command;
 
     fn run(parts: &[&str]) -> Result<String, Box<dyn Error>> {
-        let args = ParsedArgs::parse(parts.iter().map(|s| s.to_string()))?;
+        let command = Command::parse(parts.iter().map(|s| s.to_string()))?;
         let mut buf = Vec::new();
-        dispatch(&args, &mut buf)?;
+        dispatch(&command, &mut buf)?;
         Ok(String::from_utf8(buf).unwrap())
     }
 
@@ -300,12 +446,24 @@ mod tests {
     }
 
     #[test]
-    fn oracle_runs_end_to_end() {
+    fn oracle_runs_end_to_end_and_reports_metrics() {
         let out = run(&[
-            "oracle", "--app", "pso", "--input", "16,3", "--budget", "30",
+            "oracle",
+            "--app",
+            "pso",
+            "--input",
+            "16,3",
+            "--budget",
+            "30",
+            "--threads",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("oracle"), "{out}");
+        assert!(out.contains("evaluation:"), "{out}");
+        // The winner re-measure guarantees at least one cache hit.
+        assert!(!out.contains(" 0 cache hits"), "{out}");
+        assert!(out.contains("stage oracle"), "{out}");
     }
 
     #[test]
@@ -320,12 +478,17 @@ mod tests {
         .unwrap();
         let out = run(&["inspect", "--model", model_s]).unwrap();
         assert!(out.contains("phases: 2"), "{out}");
+        assert!(out.contains("golden-iteration estimator"), "{out}");
         let out = run(&[
-            "compare", "--app", "pso", "--input", "16,3", "--budget", "20",
-            "--phases", "2", "--sparse", "6",
+            "compare", "--app", "pso", "--input", "16,3", "--budget", "20", "--phases", "2",
+            "--sparse", "6",
         ])
         .unwrap();
-        assert!(out.contains("OPPROX :") && out.contains("oracle :"), "{out}");
+        assert!(
+            out.contains("OPPROX :") && out.contains("oracle :"),
+            "{out}"
+        );
+        assert!(out.contains("evaluation:"), "{out}");
         std::fs::remove_file(model).ok();
     }
 
@@ -340,16 +503,48 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("model saved"), "{out}");
+        // The self-check re-requests each golden run: cache hits > 0.
+        assert!(out.contains("evaluation:"), "{out}");
+        assert!(!out.contains(" 0 cache hits"), "{out}");
         let out = run(&[
             "optimize", "--model", model_s, "--input", "16,3", "--budget", "10",
         ])
         .unwrap();
         assert!(out.contains("plan for PSO"), "{out}");
         let out = run(&[
-            "run", "--model", model_s, "--input", "16,3", "--budget", "10",
+            "run",
+            "--model",
+            model_s,
+            "--input",
+            "16,3",
+            "--budget",
+            "10",
+            "--validations",
+            "12",
+            "--threads",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("measured:"), "{out}");
+        assert!(out.contains("evaluation:"), "{out}");
+        std::fs::remove_file(model).ok();
+    }
+
+    #[test]
+    fn run_accepts_a_canary_input() {
+        let dir = std::env::temp_dir().join("opprox_cli_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("pso3.json");
+        let model_s = model.to_str().unwrap();
+        run(&[
+            "train", "--app", "pso", "--out", model_s, "--phases", "2", "--sparse", "6",
+        ])
+        .unwrap();
+        let out = run(&[
+            "run", "--model", model_s, "--input", "24,3", "--budget", "15", "--canary", "12,3",
+        ])
+        .unwrap();
+        assert!(out.contains("validated plan"), "{out}");
         std::fs::remove_file(model).ok();
     }
 }

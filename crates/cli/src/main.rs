@@ -15,15 +15,15 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match args::ParsedArgs::parse(argv) {
-        Ok(p) => p,
+    let command = match args::Command::parse(argv) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
     let mut stdout = std::io::stdout();
-    match commands::dispatch(&parsed, &mut stdout) {
+    match commands::dispatch(&command, &mut stdout) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

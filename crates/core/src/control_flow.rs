@@ -96,8 +96,8 @@ impl ControlFlowModel {
 mod tests {
     use super::*;
     use crate::sampling::{collect_training_data, SamplingPlan};
-    use opprox_apps::{Pso, VideoPipeline};
     use opprox_approx_rt::ApproxApp;
+    use opprox_apps::{Pso, VideoPipeline};
 
     fn plan() -> SamplingPlan {
         SamplingPlan {
@@ -118,7 +118,10 @@ mod tests {
         let data = collect_training_data(&app, &inputs, &plan()).unwrap();
         let model = ControlFlowModel::learn(&data).unwrap();
         assert_eq!(model.num_classes(), 1);
-        assert_eq!(model.predict(&InputParams::new(vec![20.0, 5.0])).unwrap(), 0);
+        assert_eq!(
+            model.predict(&InputParams::new(vec![20.0, 5.0])).unwrap(),
+            0
+        );
     }
 
     #[test]

@@ -1,0 +1,545 @@
+//! The shared parallel evaluation engine — the single path through which
+//! every real execution of an [`ApproxApp`] flows.
+//!
+//! The paper's profiling jobs run on a SLURM cluster and are embarrassingly
+//! parallel; its online search re-executes many identical configurations
+//! (goldens for every candidate validation, repeated probe settings across
+//! budgets). [`EvalEngine`] reproduces both halves of that economics in
+//! process:
+//!
+//! * **Parallel batches.** [`EvalEngine::run_batch`] executes a batch of
+//!   `(input, schedule)` jobs on a bounded work-stealing thread pool, and
+//!   assembles the results in **submission order**, so anything derived
+//!   from a batch (training data, oracle sweeps) is bit-identical to a
+//!   sequential collection regardless of thread count.
+//! * **Execution cache.** Results are memoized on
+//!   `(app, input, schedule)`. Benchmark applications are deterministic by
+//!   contract, so a cached [`RunResult`] is indistinguishable from a fresh
+//!   execution. Repeated goldens and re-probed configurations become cache
+//!   hits instead of work.
+//! * **Metrics.** The engine counts executions, cache hits, and work
+//!   units, and records wall time per pipeline stage; [`EvalMetrics`] is
+//!   surfaced through `core::report` and printed by the CLI.
+
+use crate::error::OpproxError;
+use opprox_approx_rt::error::RuntimeError;
+use opprox_approx_rt::{ApproxApp, InputParams, PhaseSchedule, RunResult};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Identity of one real execution: application, input, and schedule.
+///
+/// Inputs are keyed on the exact bit patterns of their parameters
+/// (`f64::to_bits`), so `-0.0` and `0.0` — which can produce different
+/// control flow in an application — are distinct keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    app: String,
+    input_bits: Vec<u64>,
+    phase_levels: Vec<Vec<u8>>,
+    expected_iters: u64,
+}
+
+impl CacheKey {
+    fn new(app: &dyn ApproxApp, input: &InputParams, schedule: &PhaseSchedule) -> Self {
+        CacheKey {
+            app: app.meta().name.clone(),
+            input_bits: input.values().iter().map(|v| v.to_bits()).collect(),
+            phase_levels: schedule
+                .configs()
+                .iter()
+                .map(|c| c.levels().to_vec())
+                .collect(),
+            expected_iters: schedule.expected_iters(),
+        }
+    }
+}
+
+/// Wall time and execution count attributed to one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// Stage name (e.g. `granularity`, `profiling`, `validation`).
+    pub name: String,
+    /// Real executions performed while the stage ran.
+    pub executions: u64,
+    /// Cache hits served while the stage ran.
+    pub cache_hits: u64,
+    /// Wall-clock milliseconds spent in the stage.
+    pub wall_ms: f64,
+}
+
+/// A point-in-time snapshot of an engine's counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalMetrics {
+    /// Real application executions performed.
+    pub executions: u64,
+    /// Requests served from the execution cache (including duplicate
+    /// submissions within one batch).
+    pub cache_hits: u64,
+    /// Total abstract work units across all real executions.
+    pub total_work_units: u64,
+    /// Per-stage wall time and execution counts, in first-use order.
+    pub stages: Vec<StageMetrics>,
+}
+
+impl EvalMetrics {
+    /// Fraction of requests served from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.executions + self.cache_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for EvalMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "evaluation: {} executions, {} cache hits ({:.1}% hit rate), {} work units",
+            self.executions,
+            self.cache_hits,
+            100.0 * self.hit_rate(),
+            self.total_work_units
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  stage {:<12} {:>6} exec {:>6} hits {:>10.1} ms",
+                s.name, s.executions, s.cache_hits, s.wall_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The shared evaluation engine: bounded thread pool, execution cache,
+/// and metrics. Cheap to share by reference across a whole pipeline run;
+/// all interior state is synchronized.
+///
+/// # Example
+///
+/// ```
+/// use opprox_core::evaluator::EvalEngine;
+/// use opprox_apps::Pso;
+/// use opprox_approx_rt::InputParams;
+///
+/// let engine = EvalEngine::new(2);
+/// let app = Pso::new();
+/// let input = InputParams::new(vec![12.0, 2.0]);
+/// let first = engine.golden(&app, &input).unwrap();
+/// let again = engine.golden(&app, &input).unwrap(); // served from cache
+/// assert_eq!(first.work, again.work);
+/// let m = engine.metrics();
+/// assert_eq!((m.executions, m.cache_hits), (1, 1));
+/// ```
+pub struct EvalEngine {
+    threads: usize,
+    cache: Mutex<HashMap<CacheKey, Arc<RunResult>>>,
+    executions: AtomicU64,
+    cache_hits: AtomicU64,
+    total_work: AtomicU64,
+    stages: Mutex<Vec<StageMetrics>>,
+}
+
+impl Default for EvalEngine {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        EvalEngine::new(threads)
+    }
+}
+
+impl fmt::Debug for EvalEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EvalEngine")
+            .field("threads", &self.threads)
+            .field("metrics", &self.metrics())
+            .finish()
+    }
+}
+
+impl EvalEngine {
+    /// Creates an engine with a bounded pool of `threads` workers
+    /// (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        EvalEngine {
+            threads: threads.max(1),
+            cache: Mutex::new(HashMap::new()),
+            executions: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            total_work: AtomicU64::new(0),
+            stages: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configured worker-pool bound.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes (or recalls) one run of `app` on `input` under `schedule`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates application runtime errors. Failed runs are never
+    /// cached.
+    pub fn run(
+        &self,
+        app: &dyn ApproxApp,
+        input: &InputParams,
+        schedule: &PhaseSchedule,
+    ) -> Result<Arc<RunResult>, OpproxError> {
+        let key = CacheKey::new(app, input, schedule);
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        let result = Arc::new(app.run(input, schedule)?);
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        self.total_work.fetch_add(result.work, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&result));
+        Ok(result)
+    }
+
+    /// Executes (or recalls) the fully accurate run for `input`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates application runtime errors.
+    pub fn golden(
+        &self,
+        app: &dyn ApproxApp,
+        input: &InputParams,
+    ) -> Result<Arc<RunResult>, OpproxError> {
+        let schedule = PhaseSchedule::accurate(app.meta().num_blocks());
+        self.run(app, input, &schedule)
+    }
+
+    /// Executes a batch of jobs on the worker pool and returns the
+    /// results in **submission order**.
+    ///
+    /// Duplicate jobs (by cache key) are executed once; the extra
+    /// submissions — and any jobs already in the cache — are counted as
+    /// cache hits. Because every application is deterministic and results
+    /// are assembled into pre-assigned slots, the returned vector is
+    /// bit-identical to running the jobs sequentially in submission
+    /// order, for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// If any job fails, returns the error of the earliest-submitted
+    /// failing job.
+    pub fn run_batch(
+        &self,
+        app: &dyn ApproxApp,
+        jobs: &[(InputParams, PhaseSchedule)],
+    ) -> Result<Vec<Arc<RunResult>>, OpproxError> {
+        // Resolve each submission to a cached result or a unique pending
+        // execution; duplicates alias the first occurrence.
+        enum Slot {
+            Cached(Arc<RunResult>),
+            Pending(usize),
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(jobs.len());
+        let mut pending: Vec<(CacheKey, &InputParams, &PhaseSchedule)> = Vec::new();
+        let mut seen: HashMap<CacheKey, usize> = HashMap::new();
+        let mut hits = 0u64;
+        {
+            let cache = self.cache.lock().expect("cache lock");
+            for (input, schedule) in jobs {
+                let key = CacheKey::new(app, input, schedule);
+                if let Some(hit) = cache.get(&key) {
+                    hits += 1;
+                    slots.push(Slot::Cached(Arc::clone(hit)));
+                    continue;
+                }
+                match seen.entry(key.clone()) {
+                    Entry::Occupied(e) => {
+                        hits += 1;
+                        slots.push(Slot::Pending(*e.get()));
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert(pending.len());
+                        slots.push(Slot::Pending(pending.len()));
+                        pending.push((key, input, schedule));
+                    }
+                }
+            }
+        }
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+
+        let results = self.execute_pending(app, &pending)?;
+
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for ((key, _, _), result) in pending.iter().zip(results.iter()) {
+                cache.insert(key.clone(), Arc::clone(result));
+            }
+        }
+
+        Ok(slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Cached(r) => r,
+                Slot::Pending(i) => Arc::clone(&results[i]),
+            })
+            .collect())
+    }
+
+    /// Runs the de-duplicated pending jobs on a work-stealing pool of
+    /// scoped threads and returns their results in job order.
+    fn execute_pending(
+        &self,
+        app: &dyn ApproxApp,
+        pending: &[(CacheKey, &InputParams, &PhaseSchedule)],
+    ) -> Result<Vec<Arc<RunResult>>, OpproxError> {
+        if pending.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = self.threads.min(pending.len());
+        // Per-worker deques, filled round-robin. A worker drains its own
+        // deque from the front and steals from the back of others', so
+        // contention stays low and long jobs spread across the pool.
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, _) in pending.iter().enumerate() {
+            queues[i % workers].lock().expect("queue lock").push_back(i);
+        }
+        let outcomes: Vec<Mutex<Option<Result<RunResult, RuntimeError>>>> =
+            pending.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let outcomes = &outcomes;
+                scope.spawn(move || loop {
+                    let job = queues[w]
+                        .lock()
+                        .expect("queue lock")
+                        .pop_front()
+                        .or_else(|| {
+                            (0..workers)
+                                .filter(|&v| v != w)
+                                .find_map(|v| queues[v].lock().expect("queue lock").pop_back())
+                        });
+                    let Some(i) = job else { break };
+                    let (_, input, schedule) = pending[i];
+                    let outcome = app.run(input, schedule);
+                    *outcomes[i].lock().expect("outcome lock") = Some(outcome);
+                });
+            }
+        });
+
+        let mut results = Vec::with_capacity(pending.len());
+        for slot in outcomes {
+            let outcome = slot
+                .into_inner()
+                .expect("outcome lock")
+                .expect("worker completed every claimed job");
+            let result = outcome.map_err(OpproxError::from)?;
+            self.executions.fetch_add(1, Ordering::Relaxed);
+            self.total_work.fetch_add(result.work, Ordering::Relaxed);
+            results.push(Arc::new(result));
+        }
+        Ok(results)
+    }
+
+    /// Runs `f`, attributing its wall time and the executions and cache
+    /// hits it causes to the named pipeline stage. Repeated stages
+    /// accumulate.
+    pub fn stage<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let execs_before = self.executions.load(Ordering::Relaxed);
+        let hits_before = self.cache_hits.load(Ordering::Relaxed);
+        let start = Instant::now();
+        let out = f();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let executions = self.executions.load(Ordering::Relaxed) - execs_before;
+        let cache_hits = self.cache_hits.load(Ordering::Relaxed) - hits_before;
+        let mut stages = self.stages.lock().expect("stage lock");
+        match stages.iter_mut().find(|s| s.name == name) {
+            Some(s) => {
+                s.executions += executions;
+                s.cache_hits += cache_hits;
+                s.wall_ms += wall_ms;
+            }
+            None => stages.push(StageMetrics {
+                name: name.to_string(),
+                executions,
+                cache_hits,
+                wall_ms,
+            }),
+        }
+        out
+    }
+
+    /// Snapshot of the engine's counters.
+    pub fn metrics(&self) -> EvalMetrics {
+        EvalMetrics {
+            executions: self.executions.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            total_work_units: self.total_work.load(Ordering::Relaxed),
+            stages: self.stages.lock().expect("stage lock").clone(),
+        }
+    }
+
+    /// Number of distinct executions currently memoized.
+    pub fn cached_results(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opprox_approx_rt::config::sample_configs;
+    use opprox_approx_rt::LevelConfig;
+    use opprox_apps::Pso;
+
+    fn app() -> Pso {
+        Pso::new()
+    }
+
+    fn input() -> InputParams {
+        InputParams::new(vec![12.0, 2.0])
+    }
+
+    fn schedules(n: usize) -> Vec<PhaseSchedule> {
+        sample_configs(&app().meta().blocks, n, 9)
+            .into_iter()
+            .map(PhaseSchedule::constant)
+            .collect()
+    }
+
+    #[test]
+    fn run_caches_identical_requests() {
+        let engine = EvalEngine::new(2);
+        let app = app();
+        let schedule = PhaseSchedule::constant(LevelConfig::new(vec![1, 0, 0]));
+        let a = engine.run(&app, &input(), &schedule).unwrap();
+        let b = engine.run(&app, &input(), &schedule).unwrap();
+        assert_eq!(a.output, b.output);
+        let m = engine.metrics();
+        assert_eq!(m.executions, 1);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.total_work_units, a.work);
+        assert_eq!(engine.cached_results(), 1);
+    }
+
+    #[test]
+    fn distinct_schedules_do_not_collide() {
+        let engine = EvalEngine::new(2);
+        let app = app();
+        for s in schedules(4) {
+            engine.run(&app, &input(), &s).unwrap();
+        }
+        let m = engine.metrics();
+        assert_eq!(m.executions, 4);
+        assert_eq!(m.cache_hits, 0);
+    }
+
+    #[test]
+    fn batch_deduplicates_and_counts_hits() {
+        let engine = EvalEngine::new(4);
+        let app = app();
+        let s = schedules(2);
+        // One warm entry, then a batch with that entry, a fresh one, and a
+        // duplicate submission of the fresh one.
+        engine.run(&app, &input(), &s[0]).unwrap();
+        let jobs = vec![
+            (input(), s[0].clone()),
+            (input(), s[1].clone()),
+            (input(), s[1].clone()),
+        ];
+        let results = engine.run_batch(&app, &jobs).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[1].output, results[2].output);
+        let m = engine.metrics();
+        assert_eq!(m.executions, 2, "warm run + one fresh batch execution");
+        assert_eq!(m.cache_hits, 2, "warm entry + duplicate submission");
+    }
+
+    #[test]
+    fn batch_order_matches_sequential_execution() {
+        let app = app();
+        let jobs: Vec<(InputParams, PhaseSchedule)> =
+            schedules(6).into_iter().map(|s| (input(), s)).collect();
+        let sequential: Vec<RunResult> = jobs.iter().map(|(i, s)| app.run(i, s).unwrap()).collect();
+        for threads in [1, 2, 8] {
+            let engine = EvalEngine::new(threads);
+            let parallel = engine.run_batch(&app, &jobs).unwrap();
+            for (p, s) in parallel.iter().zip(sequential.iter()) {
+                assert_eq!(p.as_ref(), s, "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_errors_surface_earliest_failure() {
+        let engine = EvalEngine::new(2);
+        let app = app();
+        let good = PhaseSchedule::constant(LevelConfig::new(vec![1, 0, 0]));
+        let bad = PhaseSchedule::constant(LevelConfig::new(vec![99, 99, 99]));
+        let jobs = vec![(input(), good), (input(), bad)];
+        assert!(engine.run_batch(&app, &jobs).is_err());
+    }
+
+    #[test]
+    fn stages_accumulate_time_and_counts() {
+        let engine = EvalEngine::new(2);
+        let app = app();
+        let s = schedules(1).remove(0);
+        engine.stage("probe", || engine.run(&app, &input(), &s).unwrap());
+        engine.stage("probe", || engine.run(&app, &input(), &s).unwrap());
+        let m = engine.metrics();
+        assert_eq!(m.stages.len(), 1);
+        assert_eq!(m.stages[0].name, "probe");
+        assert_eq!(m.stages[0].executions, 1);
+        assert_eq!(m.stages[0].cache_hits, 1);
+        assert!(m.stages[0].wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn metrics_render_and_serialize() {
+        let engine = EvalEngine::new(1);
+        let app = app();
+        engine.stage("golden", || engine.golden(&app, &input()).unwrap());
+        engine.golden(&app, &input()).unwrap();
+        let m = engine.metrics();
+        let text = m.to_string();
+        assert!(text.contains("1 executions"), "{text}");
+        assert!(text.contains("1 cache hits"), "{text}");
+        assert!(text.contains("golden"), "{text}");
+        let json = serde_json::to_string(&m).unwrap();
+        let back: EvalMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert!((m.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_signs_distinguish_inputs() {
+        // -0.0 and 0.0 must key differently (bit-pattern identity).
+        let engine = EvalEngine::new(1);
+        let app = app();
+        engine
+            .golden(&app, &InputParams::new(vec![12.0, 2.0]))
+            .unwrap();
+        let before = engine.metrics().executions;
+        engine
+            .golden(&app, &InputParams::new(vec![12.0 + 0.0, 2.0]))
+            .unwrap();
+        assert_eq!(engine.metrics().executions, before, "same bits must hit");
+    }
+}

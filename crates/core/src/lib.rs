@@ -16,12 +16,17 @@
 //!
 //! The phase-agnostic exhaustive-search oracle that prior work used as an
 //! idealized baseline lives in [`oracle`]. The end-to-end system — train
-//! once, optimize for any budget — is [`pipeline::Opprox`].
+//! once, optimize for any budget — is [`pipeline::Opprox`]. Every real
+//! execution of an application routes through the shared
+//! [`evaluator::EvalEngine`] — a work-stealing pool with an execution
+//! cache and per-stage metrics — and optimization requests are expressed
+//! with the [`request::OptimizeRequest`] builder.
 //!
 //! # Example
 //!
 //! ```no_run
 //! use opprox_core::pipeline::{Opprox, TrainingOptions};
+//! use opprox_core::request::OptimizeRequest;
 //! use opprox_core::spec::AccuracySpec;
 //! use opprox_apps::Pso;
 //! use opprox_approx_rt::InputParams;
@@ -29,25 +34,30 @@
 //! let app = Pso::new();
 //! let spec = AccuracySpec::new(10.0); // 10% QoS-degradation budget
 //! let trained = Opprox::train(&app, &TrainingOptions::default()).unwrap();
-//! let plan = trained
-//!     .optimize(&InputParams::new(vec![20.0, 4.0]), &spec)
+//! let outcome = OptimizeRequest::new(InputParams::new(vec![20.0, 4.0]), spec)
+//!     .validate_on(&app)
+//!     .run(&trained)
 //!     .unwrap();
-//! println!("predicted speedup {:.2}", plan.predicted_speedup);
+//! println!("predicted speedup {:.2}", outcome.plan.predicted_speedup);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod control_flow;
 pub mod error;
+pub mod evaluator;
 pub mod modeling;
 pub mod optimizer;
 pub mod oracle;
 pub mod phases;
 pub mod pipeline;
 pub mod report;
+pub mod request;
 pub mod sampling;
 pub mod spec;
 
 pub use error::OpproxError;
+pub use evaluator::{EvalEngine, EvalMetrics};
 pub use pipeline::Opprox;
+pub use request::{OptimizeOutcome, OptimizePath, OptimizeRequest};
 pub use spec::AccuracySpec;

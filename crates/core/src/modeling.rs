@@ -412,7 +412,7 @@ fn fit_phase_models(
     let golden_weight = (records.len() / goldens.len().max(1)).clamp(1, 8);
     for g in goldens {
         let mut row = g.input.values().to_vec();
-        row.extend(std::iter::repeat(0.0).take(num_blocks));
+        row.extend(std::iter::repeat_n(0.0, num_blocks));
         for _ in 0..golden_weight {
             iters_ds
                 .push(row.clone(), (g.outer_iters as f64).max(1.0).ln())
@@ -448,9 +448,11 @@ fn fit_phase_models(
         / records.len() as f64;
 
     let fold_range = |f: fn(&SampleRecord) -> f64| {
-        records.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), r| {
-            (lo.min(f(r)), hi.max(f(r)))
-        })
+        records
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), r| {
+                (lo.min(f(r)), hi.max(f(r)))
+            })
     };
     let speedup_range = fold_range(|r| r.speedup);
     let qos_range = fold_range(|r| r.qos);
@@ -531,13 +533,12 @@ fn fit_two_step(
     // which the paper applies to *raw* input features — stays off here so
     // no block's contribution can silently vanish.
     let combined = TargetModel::fit(&ds, &local_autofit)?;
-    let range_t = records.iter().fold(
-        (f64::INFINITY, f64::NEG_INFINITY),
-        |(lo, hi), r| {
+    let range_t = records
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), r| {
             let t = target(r);
             (lo.min(t), hi.max(t))
-        },
-    );
+        });
 
     Ok(TwoStepModel {
         locals,

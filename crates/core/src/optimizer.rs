@@ -91,7 +91,14 @@ pub fn optimize(
     spec: &AccuracySpec,
     expected_iters: u64,
 ) -> Result<OptimizationPlan, OpproxError> {
-    optimize_with(models, blocks, input, spec, expected_iters, Conservatism::Band)
+    optimize_with(
+        models,
+        blocks,
+        input,
+        spec,
+        expected_iters,
+        Conservatism::Band,
+    )
 }
 
 /// [`optimize`] with an explicit conservatism mode.
@@ -242,10 +249,9 @@ fn exhaustive_phase(
         if config.is_accurate() {
             continue;
         }
-        if let Some((speedup, qos)) = evaluate(models, input, phase, &config, budget, conservatism)? {
-            let better = best
-                .as_ref()
-                .map_or(true, |b| speedup > b.predicted_speedup);
+        if let Some((speedup, qos)) = evaluate(models, input, phase, &config, budget, conservatism)?
+        {
+            let better = best.as_ref().is_none_or(|b| speedup > b.predicted_speedup);
             if better {
                 best = Some(PhasePlan {
                     phase,
@@ -273,8 +279,8 @@ fn coordinate_ascent_phase(
     let mut improved = true;
     while improved {
         improved = false;
-        for b in 0..blocks.len() {
-            for level in 0..=blocks[b].max_level {
+        for (b, block) in blocks.iter().enumerate() {
+            for level in 0..=block.max_level {
                 if level == current.level(b) {
                     continue;
                 }
@@ -282,7 +288,9 @@ fn coordinate_ascent_phase(
                 if candidate.is_accurate() {
                     continue;
                 }
-                if let Some((speedup, _)) = evaluate(models, input, phase, &candidate, budget, conservatism)? {
+                if let Some((speedup, _)) =
+                    evaluate(models, input, phase, &candidate, budget, conservatism)?
+                {
                     if speedup > current_score + 1e-9 {
                         current = candidate;
                         current_score = speedup;
@@ -310,8 +318,8 @@ mod tests {
     use super::*;
     use crate::modeling::ModelingOptions;
     use crate::sampling::{collect_training_data, SamplingPlan};
-    use opprox_apps::Pso;
     use opprox_approx_rt::ApproxApp;
+    use opprox_apps::Pso;
 
     fn setup() -> (Pso, AppModels, u64) {
         let app = Pso::new();
@@ -387,8 +395,18 @@ mod tests {
         let plan = optimize(&models, &app.meta().blocks, &input, &spec, iters).unwrap();
         // With PSO's phase profile, the late phase carries the bulk of the
         // approximation.
-        let early_sum: u32 = plan.phases[0].config.levels().iter().map(|&l| l as u32).sum();
-        let late_sum: u32 = plan.phases[1].config.levels().iter().map(|&l| l as u32).sum();
+        let early_sum: u32 = plan.phases[0]
+            .config
+            .levels()
+            .iter()
+            .map(|&l| l as u32)
+            .sum();
+        let late_sum: u32 = plan.phases[1]
+            .config
+            .levels()
+            .iter()
+            .map(|&l| l as u32)
+            .sum();
         assert!(
             late_sum >= early_sum,
             "expected aggressive late phase, got early {early_sum} late {late_sum}"

@@ -9,6 +9,7 @@
 //! soon as refining stops revealing new structure.
 
 use crate::error::OpproxError;
+use crate::evaluator::EvalEngine;
 use opprox_approx_rt::config::sample_configs;
 use opprox_approx_rt::{ApproxApp, InputParams, PhaseSchedule};
 use serde::{Deserialize, Serialize};
@@ -52,20 +53,46 @@ pub fn max_qos_diff(
     n: usize,
     opts: &PhaseSearchOptions,
 ) -> Result<f64, OpproxError> {
-    let golden = app.golden(input)?;
+    max_qos_diff_with(&EvalEngine::default(), app, input, n, opts)
+}
+
+/// [`max_qos_diff`] on a shared [`EvalEngine`]: all probe executions run
+/// as one parallel batch, and probes repeated across granularities (the
+/// doubling loop re-probes the same configurations at each `N`) come out
+/// of the execution cache.
+///
+/// # Errors
+///
+/// Propagates application runtime errors.
+pub fn max_qos_diff_with(
+    engine: &EvalEngine,
+    app: &dyn ApproxApp,
+    input: &InputParams,
+    n: usize,
+    opts: &PhaseSearchOptions,
+) -> Result<f64, OpproxError> {
+    let golden = engine.golden(app, input)?;
     let blocks = &app.meta().blocks;
     let probes = sample_configs(blocks, opts.probe_configs, opts.seed);
-    let mut phase_means = Vec::with_capacity(n);
+    let mut jobs = Vec::with_capacity(n * probes.len());
     for phase in 0..n {
-        let mut sum = 0.0;
         for config in &probes {
             let schedule =
                 PhaseSchedule::single_phase(config.clone(), phase, n, golden.outer_iters)?;
-            let result = app.run(input, &schedule)?;
-            sum += app.qos_degradation(&golden, &result);
+            jobs.push((input.clone(), schedule));
         }
-        phase_means.push(sum / probes.len().max(1) as f64);
     }
+    let results = engine.run_batch(app, &jobs)?;
+    let phase_means: Vec<f64> = results
+        .chunks(probes.len().max(1))
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|r| app.qos_degradation(&golden, r))
+                .sum::<f64>()
+                / probes.len().max(1) as f64
+        })
+        .collect();
     Ok(phase_means
         .windows(2)
         .map(|w| (w[0] - w[1]).abs())
@@ -83,21 +110,37 @@ pub fn find_phase_granularity(
     input: &InputParams,
     opts: &PhaseSearchOptions,
 ) -> Result<usize, OpproxError> {
-    let mut n = 2usize;
-    let mut max_diff_prev = max_qos_diff(app, input, n, opts)?;
-    loop {
-        let new_n = n * 2;
-        if new_n > opts.max_phases {
-            return Ok(n);
+    find_phase_granularity_with(&EvalEngine::default(), app, input, opts)
+}
+
+/// Algorithm 1 on a shared [`EvalEngine`] (see [`max_qos_diff_with`]).
+///
+/// # Errors
+///
+/// Propagates application runtime errors.
+pub fn find_phase_granularity_with(
+    engine: &EvalEngine,
+    app: &dyn ApproxApp,
+    input: &InputParams,
+    opts: &PhaseSearchOptions,
+) -> Result<usize, OpproxError> {
+    engine.stage("granularity", || {
+        let mut n = 2usize;
+        let mut max_diff_prev = max_qos_diff_with(engine, app, input, n, opts)?;
+        loop {
+            let new_n = n * 2;
+            if new_n > opts.max_phases {
+                return Ok(n);
+            }
+            let max_diff_new = max_qos_diff_with(engine, app, input, new_n, opts)?;
+            if (max_diff_prev - max_diff_new).abs() > opts.threshold {
+                n = new_n;
+                max_diff_prev = max_diff_new;
+            } else {
+                return Ok(n);
+            }
         }
-        let max_diff_new = max_qos_diff(app, input, new_n, opts)?;
-        if (max_diff_prev - max_diff_new).abs() > opts.threshold {
-            n = new_n;
-            max_diff_prev = max_diff_new;
-        } else {
-            return Ok(n);
-        }
-    }
+    })
 }
 
 #[cfg(test)]

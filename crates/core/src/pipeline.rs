@@ -8,10 +8,12 @@
 //! environment-variable settings passed to the SLURM job.
 
 use crate::error::OpproxError;
+use crate::evaluator::EvalEngine;
 use crate::modeling::{AppModels, ModelingOptions};
-use crate::optimizer::{optimize, optimize_with, Conservatism, OptimizationPlan};
-use crate::phases::{find_phase_granularity, PhaseSearchOptions};
-use crate::sampling::{collect_training_data, SamplingPlan, TrainingData};
+use crate::optimizer::OptimizationPlan;
+use crate::phases::{find_phase_granularity_with, PhaseSearchOptions};
+use crate::request::OptimizeRequest;
+use crate::sampling::{collect_training_data_with, SamplingPlan, TrainingData};
 use crate::spec::AccuracySpec;
 use opprox_approx_rt::block::BlockDescriptor;
 use opprox_approx_rt::{ApproxApp, InputParams, LevelConfig, PhaseSchedule};
@@ -55,6 +57,9 @@ pub struct TrainedOpprox {
     blocks: Vec<BlockDescriptor>,
     num_phases: usize,
     models: AppModels,
+    /// Mean relative error of the golden-iteration estimator over the
+    /// training inputs, measured by the post-fit self-check.
+    golden_iter_rel_error: f64,
 }
 
 /// The measured outcome of running a plan for real.
@@ -78,6 +83,25 @@ impl Opprox {
         app: &dyn ApproxApp,
         options: &TrainingOptions,
     ) -> Result<TrainedOpprox, OpproxError> {
+        Self::train_with(&EvalEngine::default(), app, options)
+    }
+
+    /// [`Opprox::train`] on a shared [`EvalEngine`]: phase-granularity
+    /// probes, profiling runs, and the post-fit self-check all route
+    /// through the engine's pool and execution cache. The self-check
+    /// re-requests each training input's golden run — a guaranteed cache
+    /// hit against the profiling batch — and records the
+    /// golden-iteration estimator's mean relative error on
+    /// [`TrainedOpprox::golden_iter_rel_error`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling and fitting errors.
+    pub fn train_with(
+        engine: &EvalEngine,
+        app: &dyn ApproxApp,
+        options: &TrainingOptions,
+    ) -> Result<TrainedOpprox, OpproxError> {
         let inputs = app.representative_inputs();
         if inputs.is_empty() {
             return Err(OpproxError::InsufficientData(
@@ -86,14 +110,25 @@ impl Opprox {
         }
         let num_phases = match options.num_phases {
             Some(n) => n.max(1),
-            None => find_phase_granularity(app, &inputs[0], &options.phase_search)?,
+            None => find_phase_granularity_with(engine, app, &inputs[0], &options.phase_search)?,
         };
         let plan = SamplingPlan {
             num_phases,
             ..options.sampling
         };
-        let data = collect_training_data(app, &inputs, &plan)?;
-        Self::train_from_data(app, &data, num_phases, &options.modeling)
+        let data = collect_training_data_with(engine, app, &inputs, &plan)?;
+        let mut trained = Self::train_from_data(app, &data, num_phases, &options.modeling)?;
+        trained.golden_iter_rel_error = engine.stage("self-check", || {
+            let mut total = 0.0f64;
+            for input in &inputs {
+                let golden = engine.golden(app, input)?;
+                let est = trained.estimate_golden_iters(input)?;
+                let real = golden.outer_iters.max(1) as f64;
+                total += (est as f64 - real).abs() / real;
+            }
+            Ok::<f64, OpproxError>(total / inputs.len() as f64)
+        })?;
+        Ok(trained)
     }
 
     /// Trains from already-collected data (used by the experiment harness
@@ -109,12 +144,25 @@ impl Opprox {
         modeling: &ModelingOptions,
     ) -> Result<TrainedOpprox, OpproxError> {
         let models = AppModels::fit(data, num_phases, modeling)?;
-        Ok(TrainedOpprox {
+        let mut trained = TrainedOpprox {
             app_name: app.meta().name.clone(),
             blocks: app.meta().blocks.clone(),
             num_phases,
             models,
-        })
+            golden_iter_rel_error: 0.0,
+        };
+        // Self-check against the recorded goldens (no extra executions):
+        // how far off is the iteration estimator on the training inputs?
+        if !data.goldens.is_empty() {
+            let mut total = 0.0f64;
+            for g in &data.goldens {
+                let est = trained.estimate_golden_iters(&g.input)?;
+                let real = g.outer_iters.max(1) as f64;
+                total += (est as f64 - real).abs() / real;
+            }
+            trained.golden_iter_rel_error = total / data.goldens.len() as f64;
+        }
+        Ok(trained)
     }
 }
 
@@ -132,6 +180,17 @@ impl TrainedOpprox {
     /// The fitted model set.
     pub fn models(&self) -> &AppModels {
         &self.models
+    }
+
+    /// The approximable blocks the system was trained over.
+    pub(crate) fn blocks(&self) -> &[BlockDescriptor] {
+        &self.blocks
+    }
+
+    /// Mean relative error of the golden-iteration estimator over the
+    /// training inputs, from the post-fit self-check (0.0 is perfect).
+    pub fn golden_iter_rel_error(&self) -> f64 {
+        self.golden_iter_rel_error
     }
 
     /// Estimates the accurate-run outer-loop iteration count for an input
@@ -152,13 +211,16 @@ impl TrainedOpprox {
     /// # Errors
     ///
     /// Propagates model prediction errors.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `OptimizeRequest::new(input, spec).run(trained)`"
+    )]
     pub fn optimize(
         &self,
         input: &InputParams,
         spec: &AccuracySpec,
     ) -> Result<OptimizationPlan, OpproxError> {
-        let expected_iters = self.estimate_golden_iters(input)?;
-        optimize(&self.models, &self.blocks, input, spec, expected_iters)
+        Ok(OptimizeRequest::new(input.clone(), *spec).run(self)?.plan)
     }
 
     /// Model-guided optimization with bounded empirical validation.
@@ -179,13 +241,21 @@ impl TrainedOpprox {
     /// # Errors
     ///
     /// Propagates model-prediction and application runtime errors.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `OptimizeRequest::new(input, spec).validate_on(app).run(trained)`"
+    )]
     pub fn optimize_validated(
         &self,
         app: &dyn ApproxApp,
         input: &InputParams,
         spec: &AccuracySpec,
     ) -> Result<(OptimizationPlan, MeasuredOutcome), OpproxError> {
-        self.optimize_validated_on(app, input, input, spec)
+        let outcome = OptimizeRequest::new(input.clone(), *spec)
+            .validate_on(app)
+            .run(self)?;
+        let measured = outcome.measured.expect("validated requests always measure");
+        Ok((outcome.plan, measured))
     }
 
     /// [`TrainedOpprox::optimize_validated`] with a separate *canary*
@@ -203,6 +273,10 @@ impl TrainedOpprox {
     /// # Errors
     ///
     /// Propagates model-prediction and application runtime errors.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `OptimizeRequest::new(input, spec).validate_on(app).canary(canary).run(trained)`"
+    )]
     pub fn optimize_validated_on(
         &self,
         app: &dyn ApproxApp,
@@ -210,140 +284,19 @@ impl TrainedOpprox {
         canary: &InputParams,
         spec: &AccuracySpec,
     ) -> Result<(OptimizationPlan, MeasuredOutcome), OpproxError> {
-        /// Hard cap on validation executions per optimization.
-        const MAX_VALIDATIONS: usize = 32;
-
-        let budget = spec.error_budget();
-        let expected = self.estimate_golden_iters(input)?;
-
-        // Step 1: candidate plans from geometrically scaled model-driven
-        // solves, plus structural variants of each (levels halved,
-        // last-phase-only, last-half-only) that hedge against
-        // cross-phase interactions the per-phase models cannot see.
-        let mut candidates: Vec<OptimizationPlan> = Vec::new();
-        let push = |plan: OptimizationPlan, candidates: &mut Vec<OptimizationPlan>| {
-            if !plan.schedule.is_accurate()
-                && !candidates.iter().any(|c| c.schedule == plan.schedule)
-            {
-                candidates.push(plan);
-            }
-        };
-        for scale in [1.0, 0.5, 2.0, 0.25, 4.0, 8.0] {
-            let scaled = AccuracySpec::try_new(budget * scale)?;
-            for mode in [Conservatism::Band, Conservatism::Point] {
-                let plan =
-                    optimize_with(&self.models, &self.blocks, input, &scaled, expected, mode)?;
-                for v in self.plan_variants(&plan, expected)? {
-                    push(v, &mut candidates);
-                }
-                push(plan, &mut candidates);
-            }
-        }
-        // Heuristic pool: phase-structured probes that encode the paper's
-        // central observation — later phases tolerate approximation — for
-        // the regimes where per-phase model resolution bottoms out (QoS
-        // effects smaller than the model noise floor).
-        for plan in self.heuristic_candidates(expected)? {
-            push(plan, &mut candidates);
-        }
-        candidates.truncate(MAX_VALIDATIONS);
-
-        // Step 2: validate each candidate once; keep every passing plan.
-        let mut passing: Vec<(OptimizationPlan, MeasuredOutcome)> = Vec::new();
-        for plan in candidates {
-            let outcome = self.evaluate(app, canary, &plan)?;
-            if outcome.qos <= budget && outcome.speedup > 1.0 {
-                passing.push((plan, outcome));
-            }
-        }
-        passing.sort_by(|a, b| {
-            b.1.speedup
-                .partial_cmp(&a.1.speedup)
-                .expect("finite speedups")
-        });
-
-        // Step 3: greedy composition — merge the best passing plans
-        // pairwise (levelwise max per phase) to compound independent
-        // savings, validating each merge.
-        let mut merged: Vec<OptimizationPlan> = Vec::new();
-        for i in 0..passing.len().min(3) {
-            for j in (i + 1)..passing.len().min(3) {
-                let a = passing[i].0.schedule.configs();
-                let b = passing[j].0.schedule.configs();
-                if a.len() != b.len() {
-                    continue;
-                }
-                let configs: Vec<LevelConfig> = a
-                    .iter()
-                    .zip(b.iter())
-                    .map(|(ca, cb)| {
-                        LevelConfig::new(
-                            ca.levels()
-                                .iter()
-                                .zip(cb.levels().iter())
-                                .map(|(&x, &y)| x.max(y))
-                                .collect(),
-                        )
-                    })
-                    .collect();
-                let schedule = PhaseSchedule::new(configs, expected.max(1))?;
-                if passing.iter().any(|(p, _)| p.schedule == schedule)
-                    || merged.iter().any(|p| p.schedule == schedule)
-                {
-                    continue;
-                }
-                merged.push(OptimizationPlan {
-                    phases: Vec::new(),
-                    schedule,
-                    predicted_speedup: passing[i].0.predicted_speedup,
-                    predicted_qos: passing[i].0.predicted_qos + passing[j].0.predicted_qos,
-                });
-            }
-        }
-        for plan in merged {
-            let outcome = self.evaluate(app, canary, &plan)?;
-            if outcome.qos <= budget && outcome.speedup > 1.0 {
-                passing.push((plan, outcome));
-            }
-        }
-
-        let best = passing.into_iter().max_by(|a, b| {
-            a.1.speedup
-                .partial_cmp(&b.1.speedup)
-                .expect("finite speedups")
-        });
-
-        match best {
-            Some(found) => Ok(found),
-            None => {
-                // Fall back to the fully accurate schedule.
-                let accurate = LevelConfig::accurate(self.blocks.len());
-                let expected = self.estimate_golden_iters(input)?;
-                let schedule = PhaseSchedule::new(
-                    vec![accurate; self.num_phases],
-                    expected,
-                )?;
-                let plan = OptimizationPlan {
-                    phases: Vec::new(),
-                    schedule,
-                    predicted_speedup: 1.0,
-                    predicted_qos: 0.0,
-                };
-                let outcome = MeasuredOutcome {
-                    speedup: 1.0,
-                    qos: 0.0,
-                    outer_iters: expected,
-                };
-                Ok((plan, outcome))
-            }
-        }
+        let outcome = OptimizeRequest::new(input.clone(), *spec)
+            .validate_on(app)
+            .canary(canary.clone())
+            .run(self)?;
+        let measured = outcome.measured.expect("validated requests always measure");
+        Ok((outcome.plan, measured))
     }
 
     /// Heuristic phase-structured candidates: uniform levels confined to
     /// the final phase or final half, and per-block probes. All are
     /// subject to the same empirical validation as the model-driven
     /// plans.
-    fn heuristic_candidates(
+    pub(crate) fn heuristic_candidates(
         &self,
         expected_iters: u64,
     ) -> Result<Vec<OptimizationPlan>, OpproxError> {
@@ -352,12 +305,7 @@ impl TrainedOpprox {
         let mut schedules: Vec<Vec<LevelConfig>> = Vec::new();
 
         let uniform = |level: u8| -> LevelConfig {
-            LevelConfig::new(
-                self.blocks
-                    .iter()
-                    .map(|b| level.min(b.max_level))
-                    .collect(),
-            )
+            LevelConfig::new(self.blocks.iter().map(|b| level.min(b.max_level)).collect())
         };
         // Final phase only, escalating uniform levels.
         for level in [1u8, 2, 3, 5] {
@@ -408,7 +356,7 @@ impl TrainedOpprox {
 
     /// Structural variants of a plan used during validated optimization:
     /// halved levels, last-phase-only, and last-half-only schedules.
-    fn plan_variants(
+    pub(crate) fn plan_variants(
         &self,
         plan: &OptimizationPlan,
         expected_iters: u64,
@@ -433,8 +381,7 @@ impl TrainedOpprox {
             variants.push(v);
             // Only the later half keeps its configuration.
             if n > 2 {
-                let mut v: Vec<LevelConfig> =
-                    vec![LevelConfig::accurate(self.blocks.len()); n];
+                let mut v: Vec<LevelConfig> = vec![LevelConfig::accurate(self.blocks.len()); n];
                 for (p, slot) in v.iter_mut().enumerate().take(n).skip(n / 2) {
                     *slot = configs[p].clone();
                 }
@@ -468,13 +415,28 @@ impl TrainedOpprox {
         input: &InputParams,
         plan: &OptimizationPlan,
     ) -> Result<MeasuredOutcome, OpproxError> {
-        let golden = app.golden(input)?;
+        self.evaluate_with(&EvalEngine::default(), app, input, plan)
+    }
+
+    /// [`TrainedOpprox::evaluate`] on a shared [`EvalEngine`]: both the
+    /// golden run and the plan execution hit the engine's cache when the
+    /// same configuration was measured before.
+    ///
+    /// # Errors
+    ///
+    /// Propagates application runtime errors.
+    pub fn evaluate_with(
+        &self,
+        engine: &EvalEngine,
+        app: &dyn ApproxApp,
+        input: &InputParams,
+        plan: &OptimizationPlan,
+    ) -> Result<MeasuredOutcome, OpproxError> {
+        let golden = engine.golden(app, input)?;
         // Re-anchor the schedule on the real golden iteration count.
-        let schedule = PhaseSchedule::new(
-            plan.schedule.configs().to_vec(),
-            golden.outer_iters.max(1),
-        )?;
-        let result = app.run(input, &schedule)?;
+        let schedule =
+            PhaseSchedule::new(plan.schedule.configs().to_vec(), golden.outer_iters.max(1))?;
+        let result = engine.run(app, input, &schedule)?;
         Ok(MeasuredOutcome {
             speedup: golden.speedup_over(&result),
             qos: app.qos_degradation(&golden, &result),
@@ -504,6 +466,7 @@ impl TrainedOpprox {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::OptimizeRequest;
     use opprox_apps::Pso;
 
     fn fast_options() -> TrainingOptions {
@@ -527,10 +490,15 @@ mod tests {
         assert_eq!(trained.num_phases(), 2);
         let input = InputParams::new(vec![20.0, 3.0]);
         let spec = AccuracySpec::new(20.0);
-        let plan = trained.optimize(&input, &spec).unwrap();
+        let plan = OptimizeRequest::new(input.clone(), spec)
+            .run(&trained)
+            .unwrap()
+            .plan;
         let outcome = trained.evaluate(&app, &input, &plan).unwrap();
         assert!(outcome.speedup > 0.0);
         assert!(outcome.qos.is_finite());
+        assert!(trained.golden_iter_rel_error() >= 0.0);
+        assert!(trained.golden_iter_rel_error().is_finite());
     }
 
     #[test]
@@ -557,9 +525,15 @@ mod tests {
         let back = TrainedOpprox::from_json(&json).unwrap();
         let input = InputParams::new(vec![16.0, 3.0]);
         let spec = AccuracySpec::new(10.0);
-        let a = trained.optimize(&input, &spec).unwrap();
-        let b = back.optimize(&input, &spec).unwrap();
-        assert_eq!(a.phases, b.phases);
+        let a = OptimizeRequest::new(input.clone(), spec)
+            .run(&trained)
+            .unwrap();
+        let b = OptimizeRequest::new(input, spec).run(&back).unwrap();
+        assert_eq!(a.plan.phases, b.plan.phases);
+        assert_eq!(
+            trained.golden_iter_rel_error().to_bits(),
+            back.golden_iter_rel_error().to_bits()
+        );
     }
 
     #[test]

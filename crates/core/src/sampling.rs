@@ -14,6 +14,7 @@
 //! degradation, and outer-loop iteration count.
 
 use crate::error::OpproxError;
+use crate::evaluator::EvalEngine;
 use opprox_approx_rt::config::{local_sweep, sample_configs};
 use opprox_approx_rt::{ApproxApp, InputParams, LevelConfig, PhaseSchedule};
 use serde::{Deserialize, Serialize};
@@ -115,11 +116,6 @@ impl Default for SamplingPlan {
 
 /// Profiles `app` on the given inputs according to the plan.
 ///
-/// Inputs are profiled in parallel (one thread per representative input —
-/// the analogue of the paper's cluster-parallel profiling jobs); the
-/// result is assembled in input order, so the training data is exactly
-/// the same as a sequential collection.
-///
 /// # Errors
 ///
 /// Propagates application runtime errors; returns
@@ -129,96 +125,102 @@ pub fn collect_training_data(
     inputs: &[InputParams],
     plan: &SamplingPlan,
 ) -> Result<TrainingData, OpproxError> {
+    collect_training_data_with(&EvalEngine::default(), app, inputs, plan)
+}
+
+/// [`collect_training_data`] on a shared [`EvalEngine`].
+///
+/// All profiling runs — goldens, per-phase sweeps, sparse samples, and
+/// whole-run samples — are submitted as engine batches and execute on the
+/// work-stealing pool (the analogue of the paper's cluster-parallel
+/// profiling jobs). Results are assembled in submission order, so the
+/// training data is **bit-identical** to a sequential collection for any
+/// thread count.
+///
+/// # Errors
+///
+/// Propagates application runtime errors; returns
+/// [`OpproxError::InsufficientData`] when `inputs` is empty.
+pub fn collect_training_data_with(
+    engine: &EvalEngine,
+    app: &dyn ApproxApp,
+    inputs: &[InputParams],
+    plan: &SamplingPlan,
+) -> Result<TrainingData, OpproxError> {
     if inputs.is_empty() {
         return Err(OpproxError::InsufficientData(
             "no representative inputs provided".into(),
         ));
     }
-    let per_input: Vec<Result<(GoldenRecord, Vec<SampleRecord>), OpproxError>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = inputs
-                .iter()
-                .map(|input| scope.spawn(move || profile_one_input(app, input, plan)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("profiling thread panicked"))
-                .collect()
-        });
+    engine.stage("profiling", || {
+        let blocks = &app.meta().blocks;
 
-    let mut data = TrainingData::default();
-    for result in per_input {
-        let (golden, records) = result?;
-        data.goldens.push(golden);
-        data.records.extend(records);
-    }
-    Ok(data)
-}
+        // Golden runs for every input, as one parallel batch.
+        let accurate = PhaseSchedule::accurate(blocks.len());
+        let golden_jobs: Vec<(InputParams, PhaseSchedule)> = inputs
+            .iter()
+            .map(|input| (input.clone(), accurate.clone()))
+            .collect();
+        let goldens = engine.run_batch(app, &golden_jobs)?;
 
-/// Profiles one input: golden run, per-phase local sweeps and sparse
-/// samples, and optional whole-run samples.
-fn profile_one_input(
-    app: &dyn ApproxApp,
-    input: &InputParams,
-    plan: &SamplingPlan,
-) -> Result<(GoldenRecord, Vec<SampleRecord>), OpproxError> {
-    let blocks = &app.meta().blocks;
-    let golden = app.golden(input)?;
-    let golden_record = GoldenRecord {
-        input: input.clone(),
-        work: golden.work,
-        outer_iters: golden.outer_iters,
-        control_flow: golden.log.control_flow_signature(),
-    };
+        // Per-phase: exhaustive local sweeps + sparse multi-block samples.
+        let mut configs: Vec<LevelConfig> = Vec::new();
+        for b in 0..blocks.len() {
+            configs.extend(local_sweep(blocks, b));
+        }
+        configs.extend(sample_configs(blocks, plan.sparse_samples, plan.seed));
+        let whole = sample_configs(blocks, plan.whole_run_samples, plan.seed ^ 0xA11);
 
-    // Per-phase: exhaustive local sweeps + sparse multi-block samples.
-    let mut configs: Vec<LevelConfig> = Vec::new();
-    for b in 0..blocks.len() {
-        configs.extend(local_sweep(blocks, b));
-    }
-    configs.extend(sample_configs(blocks, plan.sparse_samples, plan.seed));
+        // One flat batch covering every (input, phase, config) sample plus
+        // the whole-run samples, in the order the records are emitted.
+        let mut jobs: Vec<(InputParams, PhaseSchedule)> = Vec::new();
+        // The sample each job produces: (input index, phase, config).
+        let mut labels: Vec<(usize, Option<usize>, LevelConfig)> = Vec::new();
+        for (ii, input) in inputs.iter().enumerate() {
+            let golden_iters = goldens[ii].outer_iters;
+            for phase in 0..plan.num_phases {
+                for config in &configs {
+                    let schedule = PhaseSchedule::single_phase(
+                        config.clone(),
+                        phase,
+                        plan.num_phases,
+                        golden_iters,
+                    )?;
+                    jobs.push((input.clone(), schedule));
+                    labels.push((ii, Some(phase), config.clone()));
+                }
+            }
+            for config in &whole {
+                jobs.push((input.clone(), PhaseSchedule::constant(config.clone())));
+                labels.push((ii, None, config.clone()));
+            }
+        }
+        let results = engine.run_batch(app, &jobs)?;
 
-    let mut records = Vec::new();
-    for phase in 0..plan.num_phases {
-        for config in &configs {
-            let schedule = PhaseSchedule::single_phase(
-                config.clone(),
-                phase,
-                plan.num_phases,
-                golden.outer_iters,
-            )?;
-            let result = app.run(input, &schedule)?;
-            records.push(SampleRecord {
+        let mut data = TrainingData::default();
+        for (input, golden) in inputs.iter().zip(goldens.iter()) {
+            data.goldens.push(GoldenRecord {
                 input: input.clone(),
-                phase: Some(phase),
-                num_phases: plan.num_phases,
-                config: config.clone(),
-                speedup: golden.speedup_over(&result),
-                qos: app.qos_degradation(&golden, &result),
+                work: golden.work,
+                outer_iters: golden.outer_iters,
+                control_flow: golden.log.control_flow_signature(),
+            });
+        }
+        for ((ii, phase, config), result) in labels.into_iter().zip(results.iter()) {
+            let golden = &goldens[ii];
+            data.records.push(SampleRecord {
+                input: inputs[ii].clone(),
+                phase,
+                num_phases: if phase.is_some() { plan.num_phases } else { 1 },
+                config,
+                speedup: golden.speedup_over(result),
+                qos: app.qos_degradation(golden, result),
                 outer_iters: result.outer_iters,
                 control_flow: result.log.control_flow_signature(),
             });
         }
-    }
-
-    // Optional whole-run samples.
-    let whole = sample_configs(blocks, plan.whole_run_samples, plan.seed ^ 0xA11);
-    for config in whole {
-        let schedule = PhaseSchedule::constant(config.clone());
-        let result = app.run(input, &schedule)?;
-        records.push(SampleRecord {
-            input: input.clone(),
-            phase: None,
-            num_phases: 1,
-            config,
-            speedup: golden.speedup_over(&result),
-            qos: app.qos_degradation(&golden, &result),
-            outer_iters: result.outer_iters,
-            control_flow: result.log.control_flow_signature(),
-        });
-    }
-
-    Ok((golden_record, records))
+        Ok(data)
+    })
 }
 
 #[cfg(test)]
@@ -266,9 +268,12 @@ mod tests {
     fn golden_lookup_and_classes() {
         let app = Pso::new();
         let input = InputParams::new(vec![16.0, 3.0]);
-        let data = collect_training_data(&app, std::slice::from_ref(&input), &small_plan()).unwrap();
+        let data =
+            collect_training_data(&app, std::slice::from_ref(&input), &small_plan()).unwrap();
         assert!(data.golden_for(&input).is_some());
-        assert!(data.golden_for(&InputParams::new(vec![99.0, 3.0])).is_none());
+        assert!(data
+            .golden_for(&InputParams::new(vec![99.0, 3.0]))
+            .is_none());
         assert_eq!(data.control_flow_classes().len(), 1);
     }
 

@@ -75,8 +75,8 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let mut z = vec![0.0; n];
     for i in 0..n {
         let mut s = b[i];
-        for k in 0..i {
-            s -= l.get(i, k) * z[k];
+        for (k, &zk) in z.iter().enumerate().take(i) {
+            s -= l.get(i, k) * zk;
         }
         z[i] = s / l.get(i, i);
     }
@@ -84,8 +84,8 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut s = z[i];
-        for k in (i + 1)..n {
-            s -= l.get(k, i) * x[k];
+        for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+            s -= l.get(k, i) * xk;
         }
         x[i] = s / l.get(i, i);
     }
@@ -108,9 +108,9 @@ mod tests {
         .unwrap();
         let l = cholesky_decompose(&a).unwrap();
         let expect = [[2.0, 0.0, 0.0], [6.0, 1.0, 0.0], [-8.0, 5.0, 3.0]];
-        for i in 0..3 {
-            for j in 0..3 {
-                assert!((l.get(i, j) - expect[i][j]).abs() < 1e-10);
+        for (i, row) in expect.iter().enumerate() {
+            for (j, &e) in row.iter().enumerate() {
+                assert!((l.get(i, j) - e).abs() < 1e-10);
             }
         }
     }

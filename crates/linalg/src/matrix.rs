@@ -110,7 +110,10 @@ impl Matrix {
     /// Panics if `r >= rows` or `c >= cols`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -121,7 +124,10 @@ impl Matrix {
     /// Panics if `r >= rows` or `c >= cols`.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -246,10 +252,9 @@ impl Matrix {
             )));
         }
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let yr = y[r];
-            for c in 0..self.cols {
-                out[c] += self.get(r, c) * yr;
+        for (r, &yr) in y.iter().enumerate() {
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += self.get(r, c) * yr;
             }
         }
         Ok(out)

@@ -136,8 +136,8 @@ pub fn qr_least_squares(a: &Matrix, y: &[f64]) -> Result<Vec<f64>, LinalgError> 
     let scale = qr.r.frobenius_norm().max(1.0);
     for i in (0..n).rev() {
         let mut s = qty[i];
-        for j in (i + 1)..n {
-            s -= qr.r.get(i, j) * x[j];
+        for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+            s -= qr.r.get(i, j) * xj;
         }
         let d = qr.r.get(i, i);
         if d.abs() < 1e-12 * scale {

@@ -113,7 +113,11 @@ pub fn r2_score(truth: &[f64], pred: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
-    assert_eq!(truth.len(), pred.len(), "rmse inputs must have equal length");
+    assert_eq!(
+        truth.len(),
+        pred.len(),
+        "rmse inputs must have equal length"
+    );
     if truth.is_empty() {
         return 0.0;
     }

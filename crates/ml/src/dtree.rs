@@ -137,7 +137,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -225,6 +229,8 @@ fn build_node(
     let dim = xs[0].len();
     let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
 
+    // Features address columns of the row-major sample matrix.
+    #[allow(clippy::needless_range_loop)]
     for f in 0..dim {
         let mut vals: Vec<f64> = idx.iter().map(|&i| xs[i][f]).collect();
         vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
@@ -247,10 +253,10 @@ fn build_node(
             if ln == 0 || rn == 0 {
                 continue;
             }
-            let weighted = (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn))
-                / idx.len() as f64;
+            let weighted =
+                (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn)) / idx.len() as f64;
             let gain = parent_gini - weighted;
-            if best.map_or(true, |(g, _, _)| gain > g + 1e-15) {
+            if best.is_none_or(|(g, _, _)| gain > g + 1e-15) {
                 best = Some((gain, f, threshold));
             }
         }
@@ -274,7 +280,14 @@ fn build_node(
             Node::Split {
                 feature,
                 threshold,
-                left: Box::new(build_node(xs, ys, &left_idx, num_classes, params, depth + 1)),
+                left: Box::new(build_node(
+                    xs,
+                    ys,
+                    &left_idx,
+                    num_classes,
+                    params,
+                    depth + 1,
+                )),
                 right: Box::new(build_node(
                     xs,
                     ys,

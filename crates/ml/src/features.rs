@@ -99,7 +99,12 @@ impl PolynomialFeatures {
 /// Appends all exponent vectors of `num_vars` variables summing to
 /// exactly `total`, in lexicographic order.
 fn append_exponents(num_vars: usize, total: usize, out: &mut Vec<Vec<usize>>) {
-    fn rec(prefix: &mut Vec<usize>, remaining_vars: usize, remaining_total: usize, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        prefix: &mut Vec<usize>,
+        remaining_vars: usize,
+        remaining_total: usize,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if remaining_vars == 1 {
             prefix.push(remaining_total);
             out.push(prefix.clone());

@@ -153,7 +153,11 @@ impl ModelTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -221,7 +225,9 @@ fn build(
 
     // Greedy SDR split search.
     let dim = xs[0].len();
+    // Features address columns of the row-major sample matrix.
     let mut best: Option<(f64, usize, f64)> = None; // (sdr, feature, threshold)
+    #[allow(clippy::needless_range_loop)]
     for f in 0..dim {
         let mut vals: Vec<f64> = idx.iter().map(|&i| xs[i][f]).collect();
         vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
@@ -245,7 +251,7 @@ fn build(
             let sdr = sd
                 - (left.len() as f64 / n) * std_dev(&left)
                 - (right.len() as f64 / n) * std_dev(&right);
-            if best.map_or(true, |(s, _, _)| sdr > s + 1e-15) {
+            if best.is_none_or(|(s, _, _)| sdr > s + 1e-15) {
                 best = Some((sdr, f, threshold));
             }
         }
@@ -287,7 +293,11 @@ mod tests {
         let preds = t.predict(&xs).unwrap();
         // The tree may still split (any split reduces SD on a sloped
         // target), but the leaf models must track the function closely.
-        assert!(r2_score(&ys, &preds) > 0.999, "r2 {}", r2_score(&ys, &preds));
+        assert!(
+            r2_score(&ys, &preds) > 0.999,
+            "r2 {}",
+            r2_score(&ys, &preds)
+        );
     }
 
     #[test]
@@ -308,7 +318,13 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|r| if r[0] < 5.0 { 2.0 * r[0] } else { 30.0 - 4.0 * r[0] })
+            .map(|r| {
+                if r[0] < 5.0 {
+                    2.0 * r[0]
+                } else {
+                    30.0 - 4.0 * r[0]
+                }
+            })
             .collect();
         let t = ModelTree::fit(&xs, &ys, ModelTreeParams::default()).unwrap();
         let preds = t.predict(&xs).unwrap();
@@ -336,8 +352,12 @@ mod tests {
     fn rejects_bad_input() {
         assert!(ModelTree::fit(&[], &[], ModelTreeParams::default()).is_err());
         assert!(ModelTree::fit(&[vec![1.0]], &[1.0, 2.0], ModelTreeParams::default()).is_err());
-        let t = ModelTree::fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0], ModelTreeParams::default())
-            .unwrap();
+        let t = ModelTree::fit(
+            &[vec![1.0], vec![2.0]],
+            &[1.0, 2.0],
+            ModelTreeParams::default(),
+        )
+        .unwrap();
         assert!(t.predict_one(&[1.0, 2.0]).is_err());
     }
 

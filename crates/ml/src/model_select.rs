@@ -302,9 +302,14 @@ fn fit_best_degree(
     let folds = config.folds.clamp(2, n);
     let mut best: Option<(SingleModel, f64)> = None;
     for degree in config.min_degree..=config.max_degree {
-        let (cv_r2, residuals) =
-            cv_with_residuals(dataset.rows(), dataset.targets(), degree, folds, config.seed)?;
-        let improved = best.as_ref().map_or(true, |(_, r)| cv_r2 > *r);
+        let (cv_r2, residuals) = cv_with_residuals(
+            dataset.rows(),
+            dataset.targets(),
+            degree,
+            folds,
+            config.seed,
+        )?;
+        let improved = best.as_ref().is_none_or(|(_, r)| cv_r2 > *r);
         if improved {
             let regression = PolynomialRegression::fit(dataset.rows(), dataset.targets(), degree)?;
             let band = ConfidenceBand::from_residuals(&residuals, config.confidence_level)?;
@@ -416,7 +421,7 @@ fn try_split(
                 continue;
             }
             let score = weighted_r2 / total as f64;
-            if best.as_ref().map_or(true, |(_, r)| score > *r) {
+            if best.as_ref().is_none_or(|(_, r)| score > *r) {
                 best = Some((
                     Structure::Split {
                         feature,

@@ -187,7 +187,7 @@ mod tests {
 
     #[test]
     fn predict_checks_arity() {
-        let m = PolynomialRegression::fit(&grid2(3), &vec![1.0; 9], 1).unwrap();
+        let m = PolynomialRegression::fit(&grid2(3), &[1.0; 9], 1).unwrap();
         assert!(m.predict_one(&[1.0]).is_err());
     }
 

@@ -13,11 +13,10 @@ use opprox::approx_rt::app::AppMeta;
 use opprox::approx_rt::block::{BlockDescriptor, TechniqueKind};
 use opprox::approx_rt::log::CallContextLog;
 use opprox::approx_rt::technique::perforated_indices_offset;
-use opprox::approx_rt::{
-    ApproxApp, InputParams, PhaseSchedule, RunResult, RuntimeError,
-};
+use opprox::approx_rt::{ApproxApp, InputParams, PhaseSchedule, RunResult, RuntimeError};
 use opprox::core::pipeline::{Opprox, TrainingOptions};
 use opprox::core::report::percent_less_work;
+use opprox::core::request::OptimizeRequest;
 use opprox::core::sampling::SamplingPlan;
 use opprox::core::AccuracySpec;
 
@@ -123,14 +122,18 @@ fn main() {
     let input = InputParams::new(vec![112.0, 350.0]);
     for budget in [1.0, 5.0] {
         let spec = AccuracySpec::new(budget);
-        let (plan, outcome) = trained
-            .optimize_validated(&app, &input, &spec)
+        let result = OptimizeRequest::new(input.clone(), spec)
+            .validate_on(&app)
+            .run(&trained)
             .expect("optimization");
+        let outcome = result.measured.expect("validated requests measure");
         println!(
             "budget {budget:>4.1}%: {:.1}% less work at {:.2}% QoS degradation — levels {:?}",
             percent_less_work(outcome.speedup),
             outcome.qos,
-            plan.schedule
+            result
+                .plan
+                .schedule
                 .configs()
                 .iter()
                 .map(|c| c.levels().to_vec())

@@ -11,8 +11,10 @@
 //! ```
 
 use opprox::approx_rt::{ApproxApp, InputParams, PhaseSchedule};
+use opprox::core::evaluator::EvalEngine;
 use opprox::core::pipeline::{Opprox, TrainingOptions};
 use opprox::core::report::percent_less_work;
+use opprox::core::request::OptimizeRequest;
 use opprox::core::AccuracySpec;
 use opprox_apps::Lulesh;
 
@@ -43,12 +45,19 @@ fn main() {
     let trained = Opprox::train(&app, &TrainingOptions::default()).expect("training");
 
     println!("\nphase-aware plans per error budget:");
+    // One engine across all budgets: candidate plans shared between
+    // budgets come out of the execution cache instead of re-running.
+    let engine = EvalEngine::default();
     for budget in [5.0, 10.0, 20.0] {
         let spec = AccuracySpec::new(budget);
-        let (plan, outcome) = trained
-            .optimize_validated(&app, &input, &spec)
+        let result = OptimizeRequest::new(input.clone(), spec)
+            .validate_on(&app)
+            .engine(&engine)
+            .run(&trained)
             .expect("optimization");
-        let configs: Vec<_> = plan
+        let outcome = result.measured.expect("validated requests measure");
+        let configs: Vec<_> = result
+            .plan
             .schedule
             .configs()
             .iter()
@@ -63,6 +72,7 @@ fn main() {
         );
         assert!(outcome.qos <= budget);
     }
+    println!("\n{}", engine.metrics());
     println!(
         "\nNote how the early phases stay (nearly) accurate while the\n\
          approximation concentrates in the later phases, where the blast\n\

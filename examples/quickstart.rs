@@ -8,6 +8,7 @@
 use opprox::approx_rt::{ApproxApp, InputParams};
 use opprox::core::pipeline::{Opprox, TrainingOptions};
 use opprox::core::report::percent_less_work;
+use opprox::core::request::OptimizeRequest;
 use opprox::core::AccuracySpec;
 use opprox_apps::Pso;
 
@@ -18,7 +19,10 @@ fn main() {
     let app = Pso::new();
     println!("application: {}", app.meta().name);
     for (i, b) in app.meta().blocks.iter().enumerate() {
-        println!("  block {i}: {} ({}, levels 0..={})", b.name, b.technique, b.max_level);
+        println!(
+            "  block {i}: {} ({}, levels 0..={})",
+            b.name, b.technique, b.max_level
+        );
     }
 
     // 2. Offline: profile the representative inputs and fit the
@@ -41,12 +45,14 @@ fn main() {
     //    empirical validation, then run the chosen schedule.
     let input = InputParams::new(vec![20.0, 4.0]); // swarm size, dimension
     let spec = AccuracySpec::new(10.0); // tolerate 10% QoS degradation
-    let (plan, outcome) = trained
-        .optimize_validated(&app, &input, &spec)
+    let result = OptimizeRequest::new(input, spec)
+        .validate_on(&app)
+        .run(&trained)
         .expect("optimization");
+    let outcome = result.measured.expect("validated requests measure");
 
-    println!("\nchosen per-phase levels:");
-    for (phase, cfg) in plan.schedule.configs().iter().enumerate() {
+    println!("\nchosen per-phase levels ({:?} path):", result.path);
+    for (phase, cfg) in result.plan.schedule.configs().iter().enumerate() {
         println!("  phase {}: {:?}", phase + 1, cfg.levels());
     }
     println!(

@@ -12,9 +12,10 @@
 //! ```
 
 use opprox::approx_rt::qos::PSNR_CAP;
-use opprox::approx_rt::{ApproxApp, InputParams};
+use opprox::approx_rt::InputParams;
 use opprox::core::pipeline::{Opprox, TrainingOptions};
 use opprox::core::report::percent_less_work;
+use opprox::core::request::OptimizeRequest;
 use opprox::core::AccuracySpec;
 use opprox_apps::VideoPipeline;
 
@@ -43,9 +44,12 @@ fn main() {
         );
         for target_psnr in [30.0, 20.0] {
             let spec = AccuracySpec::new(PSNR_CAP - target_psnr);
-            let (_, outcome) = trained
-                .optimize_validated(&app, &input, &spec)
-                .expect("optimization");
+            let outcome = OptimizeRequest::new(input.clone(), spec)
+                .validate_on(&app)
+                .run(&trained)
+                .expect("optimization")
+                .measured
+                .expect("validated requests measure");
             let achieved_psnr = PSNR_CAP - outcome.qos;
             println!(
                 "  target PSNR ≥ {target_psnr:>4.1} dB: {:.1}% less work, \

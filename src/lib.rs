@@ -27,10 +27,13 @@
 //!     ..TrainingOptions::default()
 //! };
 //! let trained = Opprox::train(&app, &opts).unwrap();
-//! let plan = trained
-//!     .optimize(&InputParams::new(vec![16.0, 3.0]), &AccuracySpec::new(10.0))
-//!     .unwrap();
-//! assert_eq!(plan.schedule.num_phases(), 2);
+//! let outcome = opprox::core::request::OptimizeRequest::new(
+//!     InputParams::new(vec![16.0, 3.0]),
+//!     AccuracySpec::new(10.0),
+//! )
+//! .run(&trained)
+//! .unwrap();
+//! assert_eq!(outcome.plan.schedule.num_phases(), 2);
 //! ```
 
 #![warn(missing_docs)]

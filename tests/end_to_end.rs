@@ -2,8 +2,9 @@
 //! full application suite, with small training plans so the suite stays
 //! fast.
 
-use opprox::approx_rt::{ApproxApp, InputParams};
+use opprox::approx_rt::InputParams;
 use opprox::core::pipeline::{Opprox, TrainingOptions};
+use opprox::core::request::OptimizeRequest;
 use opprox::core::sampling::SamplingPlan;
 use opprox::core::AccuracySpec;
 use opprox_apps::registry::all_apps;
@@ -42,16 +43,22 @@ fn validated_optimization_respects_budget_for_every_app() {
         let input = prod_input(&name);
         let budget = if name == "FFmpeg" { 40.0 } else { 15.0 };
         let spec = AccuracySpec::new(budget);
-        let (plan, outcome) = trained
-            .optimize_validated(app.as_ref(), &input, &spec)
+        let result = OptimizeRequest::new(input, spec)
+            .validate_on(app.as_ref())
+            .run(&trained)
             .unwrap_or_else(|e| panic!("{name}: optimization failed: {e}"));
+        let outcome = result.measured.expect("validated requests measure");
         assert!(
             outcome.qos <= budget,
             "{name}: measured QoS {} exceeds budget {budget}",
             outcome.qos
         );
         assert!(outcome.speedup >= 1.0, "{name}: plan slowed the app down");
-        assert_eq!(plan.schedule.num_phases(), 2, "{name}: wrong phase count");
+        assert_eq!(
+            result.plan.schedule.num_phases(),
+            2,
+            "{name}: wrong phase count"
+        );
     }
 }
 
@@ -60,10 +67,16 @@ fn zero_budget_always_yields_accurate_execution() {
     let app = opprox_apps::Pso::new();
     let trained = Opprox::train(&app, &fast_options(2)).expect("training");
     let input = prod_input("PSO");
-    let (plan, outcome) = trained
-        .optimize_validated(&app, &input, &AccuracySpec::new(0.0))
+    let result = OptimizeRequest::new(input, AccuracySpec::new(0.0))
+        .validate_on(&app)
+        .run(&trained)
         .expect("optimization");
-    assert!(plan.schedule.is_accurate());
+    let outcome = result.measured.expect("validated requests measure");
+    assert!(result.plan.schedule.is_accurate());
+    assert_eq!(
+        result.path,
+        opprox::core::request::OptimizePath::AccurateFallback
+    );
     assert_eq!(outcome.speedup, 1.0);
     assert_eq!(outcome.qos, 0.0);
 }
@@ -73,28 +86,25 @@ fn training_is_deterministic() {
     let app = opprox_apps::Pso::new();
     let input = prod_input("PSO");
     let spec = AccuracySpec::new(10.0);
-    let a = Opprox::train(&app, &fast_options(2))
-        .unwrap()
-        .optimize(&input, &spec)
+    let a = OptimizeRequest::new(input.clone(), spec)
+        .run(&Opprox::train(&app, &fast_options(2)).unwrap())
         .unwrap();
-    let b = Opprox::train(&app, &fast_options(2))
-        .unwrap()
-        .optimize(&input, &spec)
+    let b = OptimizeRequest::new(input, spec)
+        .run(&Opprox::train(&app, &fast_options(2)).unwrap())
         .unwrap();
-    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.plan.schedule, b.plan.schedule);
 }
 
 #[test]
 fn four_phase_training_works_on_the_heavier_apps() {
     for name in ["LULESH", "CoMD"] {
         let app = opprox_apps::registry::by_name(name).expect("registered");
-        let trained =
-            Opprox::train(app.as_ref(), &fast_options(4)).expect("4-phase training");
+        let trained = Opprox::train(app.as_ref(), &fast_options(4)).expect("4-phase training");
         assert_eq!(trained.num_phases(), 4);
-        let plan = trained
-            .optimize(&prod_input(name), &AccuracySpec::new(10.0))
+        let outcome = OptimizeRequest::new(prod_input(name), AccuracySpec::new(10.0))
+            .run(&trained)
             .expect("optimize");
-        assert_eq!(plan.schedule.num_phases(), 4);
+        assert_eq!(outcome.plan.schedule.num_phases(), 4);
     }
 }
 
@@ -122,13 +132,16 @@ fn canary_validation_optimizes_for_production_but_validates_cheaply() {
     let production = InputParams::new(vec![3.0, 1.2, 180.0]);
     let canary = InputParams::new(vec![3.0, 1.2, 60.0]);
     let budget = 15.0;
-    let (plan, canary_outcome) = trained
-        .optimize_validated_on(&app, &production, &canary, &AccuracySpec::new(budget))
+    let result = OptimizeRequest::new(production.clone(), AccuracySpec::new(budget))
+        .validate_on(&app)
+        .canary(canary)
+        .run(&trained)
         .expect("canary optimization");
+    let canary_outcome = result.measured.expect("validated requests measure");
     assert!(canary_outcome.qos <= budget);
     // The plan must still be runnable on the production input.
     let production_outcome = trained
-        .evaluate(&app, &production, &plan)
+        .evaluate(&app, &production, &result.plan)
         .expect("production evaluation");
     assert!(production_outcome.speedup > 0.0);
     assert!(production_outcome.qos.is_finite());

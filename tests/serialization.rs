@@ -4,6 +4,7 @@
 
 use opprox::approx_rt::{InputParams, LevelConfig, PhaseSchedule};
 use opprox::core::pipeline::{Opprox, TrainedOpprox, TrainingOptions};
+use opprox::core::request::OptimizeRequest;
 use opprox::core::sampling::SamplingPlan;
 use opprox::core::AccuracySpec;
 use opprox_apps::Pso;
@@ -33,11 +34,13 @@ fn trained_system_round_trips_through_json() {
     // Decisions must be identical after the round trip.
     let input = InputParams::new(vec![20.0, 3.0]);
     for budget in [5.0, 15.0, 40.0] {
-        let a = system.optimize(&input, &AccuracySpec::new(budget)).unwrap();
-        let b = restored
-            .optimize(&input, &AccuracySpec::new(budget))
+        let a = OptimizeRequest::new(input.clone(), AccuracySpec::new(budget))
+            .run(&system)
             .unwrap();
-        assert_eq!(a.schedule, b.schedule, "budget {budget}");
+        let b = OptimizeRequest::new(input.clone(), AccuracySpec::new(budget))
+            .run(&restored)
+            .unwrap();
+        assert_eq!(a.plan.schedule, b.plan.schedule, "budget {budget}");
     }
 }
 

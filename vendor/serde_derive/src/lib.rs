@@ -1,0 +1,455 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote`, which are not
+//! available offline). Supports exactly the shapes this workspace
+//! serializes: structs with named fields, tuple structs, and enums whose
+//! variants are all unit variants. Anything else produces a compile error
+//! naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the type declaration parsed into.
+enum Shape {
+    /// `struct S { a: T, b: U }` with the field names in order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);` with the field count.
+    TupleStruct(usize),
+    /// `enum E { ... }` with the variants in order.
+    Enum(Vec<Variant>),
+}
+
+/// One enum variant, externally tagged on (de)serialization.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    /// `V` — serialized as the string `"V"`.
+    Unit,
+    /// `V(T)` — serialized as `{"V": <inner>}`.
+    Newtype,
+    /// `V { a: T, b: U }` — serialized as `{"V": {"a": .., "b": ..}}`.
+    Struct(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (the vendored, value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::value::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::value::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::value::Value::String(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Newtype => format!(
+                            "{name}::{vname}(inner) => ::serde::value::Value::Object(\
+                             ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_value(inner))]),"
+                        ),
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => \
+                                 ::serde::value::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::value::Value::Object(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the vendored, value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(entries, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "let entries = ::serde::__private::as_object(v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::value::Value::Array(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"an array of {n} elements\", \
+                 ::serde::value::Value::kind(other))),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Newtype => Some(format!(
+                            "(\"{vname}\", inner) => ::std::result::Result::Ok(\
+                             {name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::__private::field(\
+                                         entries, \"{f}\", \"{name}::{vname}\")?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "(\"{vname}\", inner) => {{\n\
+                                 let entries = ::serde::__private::as_object(\
+                                 inner, \"{name}::{vname}\")?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                 }}",
+                                inits.join(" ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::value::Value::String(s) => \
+                 match ::std::string::String::as_str(s) {{\n\
+                 {unit}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::value::Value::Object(tagged) if tagged.len() == 1 => \
+                 match (::std::string::String::as_str(&tagged[0].0), &tagged[0].1) {{\n\
+                 {data}\n\
+                 (other, _) => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"a {name} variant\", ::serde::value::Value::kind(other))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::value::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::std::compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error invocation parses")
+}
+
+/// Parses the derive input into name + shape.
+fn parse(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes and visibility down to the `struct`/`enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            None => return Err("serde derive: empty input".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    i += 1;
+                    break word;
+                }
+                i += 1; // `pub`, `crate`, …
+            }
+            Some(_) => i += 1, // visibility restriction group etc.
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde derive: missing type name".into()),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive (vendored) does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    // Skip a possible `where` clause (none in this workspace, but cheap to
+    // tolerate) by scanning to the defining group or `;`.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if matches!(g.delimiter(), Delimiter::Brace | Delimiter::Parenthesis) =>
+            {
+                break
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+
+    let shape = match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct(named_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(tuple_arity(g.stream()))
+        }
+        ("struct", _) => {
+            return Err(format!(
+                "serde derive (vendored) does not support unit struct `{name}`"
+            ))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(enum_variants(g.stream(), &name)?)
+        }
+        _ => return Err(format!("serde derive: malformed `{name}` declaration")),
+    };
+
+    Ok(Parsed { name, shape })
+}
+
+/// Extracts the field names of a named-field struct body.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        // Field name.
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde derive: expected field name, got `{other}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde derive: expected `:` after field `{name}`")),
+        }
+        fields.push(name);
+        // Skip the type up to the next comma at angle-bracket depth zero.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple-struct body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+/// Extracts the variants of an enum body: unit, newtype, and
+/// named-field variants are supported; discriminants and multi-field
+/// tuple variants are not used in this workspace and are rejected.
+fn enum_variants(body: TokenStream, enum_name: &str) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+            }
+            TokenTree::Ident(id) => {
+                let vname = id.to_string();
+                i += 1;
+                let kind = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        match tuple_arity(g.stream()) {
+                            1 => VariantKind::Newtype,
+                            n => {
+                                return Err(format!(
+                                    "serde derive (vendored) supports only 1-field tuple \
+                                     variants; `{enum_name}::{vname}` has {n}"
+                                ))
+                            }
+                        }
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantKind::Struct(named_fields(g.stream())?)
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        return Err(format!(
+                            "serde derive (vendored) does not support explicit \
+                             discriminants; `{enum_name}::{vname}` has one"
+                        ))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                match tokens.get(i) {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+                    Some(other) => {
+                        return Err(format!(
+                            "serde derive: unexpected token `{other}` after \
+                             `{enum_name}::{vname}`"
+                        ))
+                    }
+                }
+                variants.push(Variant { name: vname, kind });
+            }
+            other => {
+                return Err(format!(
+                    "serde derive: unexpected token `{other}` in enum `{enum_name}`"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
