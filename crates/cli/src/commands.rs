@@ -224,7 +224,10 @@ fn cmd_train(
     out: &mut dyn std::io::Write,
 ) -> CmdResult {
     let app = lookup_app(app)?;
-    let opts = training_options(phases, sparse, seed);
+    let mut opts = training_options(phases, sparse, seed);
+    // One knob bounds both pools: the evaluation engine's execution
+    // fan-out and the model-fitting fan-out.
+    opts.modeling.threads = threads;
     writeln!(out, "training OPPROX on {} …", app.meta().name)?;
     let engine = make_engine(threads);
     let trained = Opprox::train_with(&engine, app.as_ref(), &opts)?;
@@ -241,7 +244,9 @@ fn cmd_train(
     )?;
     std::fs::write(path, trained.to_json()?)?;
     writeln!(out, "model saved to {path}")?;
-    report_metrics(&engine.metrics(), out)
+    report_metrics(&engine.metrics(), out)?;
+    write!(out, "{}", trained.modeling_metrics())?;
+    Ok(())
 }
 
 fn load_model(path: &str) -> Result<TrainedOpprox, Box<dyn Error>> {

@@ -22,11 +22,11 @@
 //!   surfaced through `core::report` and printed by the CLI.
 
 use crate::error::OpproxError;
-use opprox_approx_rt::error::RuntimeError;
+use crate::pool::WorkPool;
 use opprox_approx_rt::{ApproxApp, InputParams, PhaseSchedule, RunResult};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -300,7 +300,8 @@ impl EvalEngine {
     }
 
     /// Runs the de-duplicated pending jobs on a work-stealing pool of
-    /// scoped threads and returns their results in job order.
+    /// scoped threads (see [`WorkPool`]) and returns their results in job
+    /// order.
     fn execute_pending(
         &self,
         app: &dyn ApproxApp,
@@ -309,46 +310,13 @@ impl EvalEngine {
         if pending.is_empty() {
             return Ok(Vec::new());
         }
-        let workers = self.threads.min(pending.len());
-        // Per-worker deques, filled round-robin. A worker drains its own
-        // deque from the front and steals from the back of others', so
-        // contention stays low and long jobs spread across the pool.
-        let queues: Vec<Mutex<VecDeque<usize>>> =
-            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-        for (i, _) in pending.iter().enumerate() {
-            queues[i % workers].lock().expect("queue lock").push_back(i);
-        }
-        let outcomes: Vec<Mutex<Option<Result<RunResult, RuntimeError>>>> =
-            pending.iter().map(|_| Mutex::new(None)).collect();
-
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let queues = &queues;
-                let outcomes = &outcomes;
-                scope.spawn(move || loop {
-                    let job = queues[w]
-                        .lock()
-                        .expect("queue lock")
-                        .pop_front()
-                        .or_else(|| {
-                            (0..workers)
-                                .filter(|&v| v != w)
-                                .find_map(|v| queues[v].lock().expect("queue lock").pop_back())
-                        });
-                    let Some(i) = job else { break };
-                    let (_, input, schedule) = pending[i];
-                    let outcome = app.run(input, schedule);
-                    *outcomes[i].lock().expect("outcome lock") = Some(outcome);
-                });
-            }
+        let outcomes = WorkPool::new(self.threads).run(pending.len(), |i| {
+            let (_, input, schedule) = pending[i];
+            app.run(input, schedule)
         });
 
         let mut results = Vec::with_capacity(pending.len());
-        for slot in outcomes {
-            let outcome = slot
-                .into_inner()
-                .expect("outcome lock")
-                .expect("worker completed every claimed job");
+        for outcome in outcomes {
             let result = outcome.map_err(OpproxError::from)?;
             self.executions.fetch_add(1, Ordering::Relaxed);
             self.total_work.fetch_add(result.work, Ordering::Relaxed);

@@ -51,6 +51,7 @@ pub mod optimizer;
 pub mod oracle;
 pub mod phases;
 pub mod pipeline;
+pub mod pool;
 pub mod report;
 pub mod request;
 pub mod sampling;

@@ -22,11 +22,16 @@
 
 use crate::control_flow::ControlFlowModel;
 use crate::error::OpproxError;
-use crate::sampling::{SampleRecord, TrainingData};
+use crate::pool::WorkPool;
+use crate::sampling::{GoldenRecord, SampleRecord, TrainingData};
 use opprox_approx_rt::{InputParams, LevelConfig};
+use opprox_ml::fitmetrics::FitCounters;
 use opprox_ml::model_select::{AutoFitConfig, TargetModel};
+use opprox_ml::polyreg::PredictScratch;
 use opprox_ml::Dataset;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
 
 /// Floor applied to QoS degradations when computing ROI ratios, so
 /// near-zero-error samples do not produce unbounded ROI.
@@ -135,6 +140,87 @@ impl TwoStepModel {
         ))
     }
 
+    /// Batched [`Self::predict_full`]: one `(point, lower, upper)` triple
+    /// per configuration, computed with one flat prediction pass per
+    /// underlying model. Bit-identical to the per-row path.
+    fn predict_full_batch(
+        &self,
+        input: &InputParams,
+        configs: &[LevelConfig],
+        iters_ln: &[f64],
+        scratch: &mut PredictScratch,
+    ) -> Result<Vec<(f64, f64, f64)>, OpproxError> {
+        let n = configs.len();
+        let num_blocks = self.locals.len();
+        let row_len = input.len() + 1;
+        let mut flat = Vec::with_capacity(n * row_len);
+        let mut local_preds: Vec<Vec<f64>> = Vec::with_capacity(num_blocks);
+        let mut local_halves: Vec<Vec<f64>> = Vec::with_capacity(num_blocks);
+        for (b, local) in self.locals.iter().enumerate() {
+            flat.clear();
+            for c in configs {
+                flat.extend_from_slice(input.values());
+                flat.push(c.level(b) as f64);
+            }
+            let mut out = Vec::with_capacity(n);
+            let mut halves = Vec::with_capacity(n);
+            local
+                .predict_batch_with_band_into(&flat, row_len, &mut out, &mut halves, scratch)
+                .map_err(OpproxError::from)?;
+            local_preds.push(out);
+            local_halves.push(halves);
+        }
+
+        flat.clear();
+        for i in 0..n {
+            for preds in &local_preds {
+                flat.push(preds[i]);
+            }
+            flat.push(iters_ln[i]);
+        }
+        let mut combined = Vec::with_capacity(n);
+        let mut combined_halves = Vec::with_capacity(n);
+        self.combined
+            .predict_batch_with_band_into(
+                &flat,
+                num_blocks + 1,
+                &mut combined,
+                &mut combined_halves,
+                scratch,
+            )
+            .map_err(OpproxError::from)?;
+
+        let mut results = Vec::with_capacity(n);
+        for (i, c) in configs.iter().enumerate() {
+            // Mirror the per-row path: a configuration that approximates a
+            // single block uses its local model directly.
+            let mut nz_count = 0usize;
+            let mut nz_block = 0usize;
+            for b in 0..num_blocks {
+                if c.level(b) > 0 {
+                    nz_count += 1;
+                    nz_block = b;
+                }
+            }
+            let (raw, half) = if nz_count == 1 {
+                let raw = local_preds[nz_block][i];
+                let upper = raw + local_halves[nz_block][i];
+                (raw, (upper - raw).max(0.0))
+            } else {
+                let raw = combined[i];
+                let upper = raw + combined_halves[i];
+                (raw, (upper - raw).max(0.0))
+            };
+            let point = clamp_to(raw, self.range_t.0, self.range_t.1);
+            results.push((
+                self.transform.inverse(point),
+                self.transform.inverse(point - half),
+                self.transform.inverse(point + half),
+            ));
+        }
+        Ok(results)
+    }
+
     /// Cross-validated R² of the combined model (in transformed space).
     pub fn combined_r2(&self) -> f64 {
         self.combined.cv_r2()
@@ -169,20 +255,72 @@ pub struct ClassModels {
 }
 
 /// The complete trained model set for an application.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AppModels {
     control_flow: ControlFlowModel,
     classes: Vec<ClassModels>,
     num_phases: usize,
     num_blocks: usize,
     num_params: usize,
+    /// Training-run statistics. Wall times are machine-dependent, so the
+    /// field is excluded from serialization (see the hand-written impls
+    /// below): serialized model sets stay bit-reproducible across machines
+    /// and thread counts.
+    metrics: ModelingMetrics,
+}
+
+// The vendored serde derive has no `#[serde(skip)]`, so these are the
+// derive expansion minus the `metrics` field.
+impl Serialize for AppModels {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Object(vec![
+            ("control_flow".to_string(), self.control_flow.to_value()),
+            ("classes".to_string(), self.classes.to_value()),
+            ("num_phases".to_string(), self.num_phases.to_value()),
+            ("num_blocks".to_string(), self.num_blocks.to_value()),
+            ("num_params".to_string(), self.num_params.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for AppModels {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::DeError> {
+        let entries = serde::__private::as_object(v, "AppModels")?;
+        Ok(AppModels {
+            control_flow: serde::__private::field(entries, "control_flow", "AppModels")?,
+            classes: serde::__private::field(entries, "classes", "AppModels")?,
+            num_phases: serde::__private::field(entries, "num_phases", "AppModels")?,
+            num_blocks: serde::__private::field(entries, "num_blocks", "AppModels")?,
+            num_params: serde::__private::field(entries, "num_params", "AppModels")?,
+            metrics: ModelingMetrics::default(),
+        })
+    }
 }
 
 /// Options for model fitting.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ModelingOptions {
     /// Auto-fit configuration shared by all models.
     pub autofit: AutoFitConfig,
+    /// Worker-thread bound for the parallel fit fan-out; `None` uses the
+    /// machine's available parallelism. The fitted models are identical
+    /// for every thread count.
+    pub threads: Option<usize>,
+}
+
+// Hand-written so option files saved before `threads` existed still
+// deserialize (the vendored serde derive has no `#[serde(default)]`).
+impl Deserialize for ModelingOptions {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::DeError> {
+        let entries = serde::__private::as_object(v, "ModelingOptions")?;
+        Ok(ModelingOptions {
+            autofit: serde::__private::field(entries, "autofit", "ModelingOptions")?,
+            threads: match entries.iter().find(|(k, _)| k == "threads") {
+                Some((_, tv)) => Deserialize::from_value(tv)?,
+                None => None,
+            },
+        })
+    }
 }
 
 impl Default for ModelingOptions {
@@ -199,7 +337,50 @@ impl Default for ModelingOptions {
                 confidence_level: 0.9,
                 ..AutoFitConfig::default()
             },
+            threads: None,
         }
+    }
+}
+
+/// Statistics of one model-training run, printed by the CLI next to the
+/// evaluation-engine metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModelingMetrics {
+    /// `TargetModel` fits attempted across all stages (including sub-model
+    /// splitting attempts).
+    pub fits_attempted: u64,
+    /// Cross-validation linear-system solves performed.
+    pub cv_solves: u64,
+    /// Polynomial degrees evaluated during escalation.
+    pub degrees_tried: u64,
+    /// Worker threads used for the fit fan-out.
+    pub threads: usize,
+    /// Wall time of the iteration-estimator and local-model stage.
+    pub base_fit_wall_ms: f64,
+    /// Wall time of the combined-model stage.
+    pub combined_fit_wall_ms: f64,
+    /// Total wall time of [`AppModels::fit`].
+    pub total_wall_ms: f64,
+}
+
+impl fmt::Display for ModelingMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "modeling: {} fits, {} CV solves, {} degrees tried, {} threads",
+            self.fits_attempted, self.cv_solves, self.degrees_tried, self.threads
+        )?;
+        writeln!(
+            f,
+            "  stage {:<12} {:>10.1} ms",
+            "base-fit", self.base_fit_wall_ms
+        )?;
+        writeln!(
+            f,
+            "  stage {:<12} {:>10.1} ms",
+            "combined-fit", self.combined_fit_wall_ms
+        )?;
+        writeln!(f, "  stage {:<12} {:>10.1} ms", "total", self.total_wall_ms)
     }
 }
 
@@ -215,6 +396,7 @@ impl AppModels {
         num_phases: usize,
         options: &ModelingOptions,
     ) -> Result<Self, OpproxError> {
+        let fit_start = Instant::now();
         let control_flow = ControlFlowModel::learn(data)?;
         let first = data
             .records
@@ -222,6 +404,7 @@ impl AppModels {
             .ok_or_else(|| OpproxError::InsufficientData("no samples collected".into()))?;
         let num_blocks = first.config.num_blocks();
         let num_params = first.input.len();
+        let param_names: Vec<String> = (0..num_params).map(|i| format!("param{i}")).collect();
 
         // Assign each record to the control-flow class of its input's
         // golden run.
@@ -231,9 +414,20 @@ impl AppModels {
                 .unwrap_or(0)
         };
 
-        let mut classes = Vec::with_capacity(control_flow.num_classes());
-        for class in 0..control_flow.num_classes() {
-            let mut phases = Vec::with_capacity(num_phases);
+        // Bucket the samples per (class, phase) up front so every fit job
+        // below is independent of the others.
+        struct Bucket<'a> {
+            records: Vec<&'a SampleRecord>,
+            goldens: Vec<&'a GoldenRecord>,
+        }
+        let num_classes = control_flow.num_classes();
+        let mut buckets: Vec<Bucket> = Vec::with_capacity(num_classes * num_phases);
+        for class in 0..num_classes {
+            let goldens: Vec<&GoldenRecord> = data
+                .goldens
+                .iter()
+                .filter(|g| class_of_input(&g.input) == class)
+                .collect();
             for phase in 0..num_phases {
                 let records: Vec<&SampleRecord> = data
                     .records
@@ -246,17 +440,141 @@ impl AppModels {
                         records.len()
                     )));
                 }
-                let goldens: Vec<&crate::sampling::GoldenRecord> = data
-                    .goldens
+                buckets.push(Bucket {
+                    records,
+                    goldens: goldens.clone(),
+                });
+            }
+        }
+
+        let threads = options
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let pool = WorkPool::new(threads);
+        let counters = FitCounters::new();
+        // MIC filtering stays off for local and combined models: their
+        // features are already curated, and no block's level may silently
+        // vanish.
+        let local_autofit = AutoFitConfig {
+            mic_threshold: None,
+            ..options.autofit
+        };
+
+        // Stage 1: the iteration estimator and the per-block local models
+        // of every (class, phase) bucket are mutually independent — fan
+        // them out across the pool. Results come back in submission order,
+        // so the assembled model set is identical to a sequential fit.
+        let stage1_start = Instant::now();
+        let jobs_per_bucket = 1 + TARGETS.len() * num_blocks;
+        let stage1 = pool.run(buckets.len() * jobs_per_bucket, |i| {
+            let bucket = &buckets[i / jobs_per_bucket];
+            match i % jobs_per_bucket {
+                0 => {
+                    let ds =
+                        iters_dataset(&bucket.records, &bucket.goldens, num_blocks, &param_names)?;
+                    TargetModel::fit_with_counters(&ds, &options.autofit, &counters)
+                        .map_err(OpproxError::from)
+                }
+                j => {
+                    let (t, b) = ((j - 1) / num_blocks, (j - 1) % num_blocks);
+                    let (transform, raw) = TARGETS[t];
+                    let ds = local_dataset(&bucket.records, b, &param_names, transform, raw)?;
+                    TargetModel::fit_with_counters(&ds, &local_autofit, &counters)
+                        .map_err(OpproxError::from)
+                }
+            }
+        });
+        let base_fit_wall_ms = stage1_start.elapsed().as_secs_f64() * 1e3;
+
+        // Deterministic assembly; the earliest-submitted error wins.
+        let mut stage1 = stage1.into_iter();
+        let mut iters_models: Vec<TargetModel> = Vec::with_capacity(buckets.len());
+        let mut locals: Vec<Vec<Vec<TargetModel>>> = Vec::with_capacity(buckets.len());
+        for _ in &buckets {
+            iters_models.push(stage1.next().expect("stage-1 job count")?);
+            let mut per_target = Vec::with_capacity(TARGETS.len());
+            for _ in TARGETS {
+                let mut per_block = Vec::with_capacity(num_blocks);
+                for _ in 0..num_blocks {
+                    per_block.push(stage1.next().expect("stage-1 job count")?);
+                }
+                per_target.push(per_block);
+            }
+            locals.push(per_target);
+        }
+
+        // Stage 2: combined models — each depends on one bucket's local
+        // models and iteration estimator, but not on any other combined
+        // fit, so they fan out the same way.
+        let stage2_start = Instant::now();
+        let stage2 = pool.run(buckets.len() * TARGETS.len(), |i| {
+            let (bi, t) = (i / TARGETS.len(), i % TARGETS.len());
+            let (transform, raw) = TARGETS[t];
+            let ds = combined_dataset(
+                &buckets[bi].records,
+                &locals[bi][t],
+                &iters_models[bi],
+                num_blocks,
+                transform,
+                raw,
+            )?;
+            TargetModel::fit_with_counters(&ds, &local_autofit, &counters)
+                .map_err(OpproxError::from)
+        });
+        let combined_fit_wall_ms = stage2_start.elapsed().as_secs_f64() * 1e3;
+
+        // Final assembly: cheap sequential scans for ROI and ranges.
+        let mut stage2 = stage2.into_iter();
+        let mut iters_models = iters_models.into_iter();
+        let mut locals = locals.into_iter();
+        let mut bucket_iter = buckets.iter();
+        let mut classes = Vec::with_capacity(num_classes);
+        for _ in 0..num_classes {
+            let mut phases = Vec::with_capacity(num_phases);
+            for _ in 0..num_phases {
+                let bucket = bucket_iter.next().expect("bucket count");
+                let iters = iters_models.next().expect("bucket count");
+                let mut per_target = locals.next().expect("bucket count").into_iter();
+                let mut two_step = |transform: TargetTransform,
+                                    raw: fn(&SampleRecord) -> f64|
+                 -> Result<TwoStepModel, OpproxError> {
+                    Ok(TwoStepModel {
+                        locals: per_target.next().expect("target count"),
+                        combined: stage2.next().expect("stage-2 job count")?,
+                        transform,
+                        range_t: target_range(&bucket.records, transform, raw),
+                    })
+                };
+                let speedup = two_step(TARGETS[0].0, TARGETS[0].1)?;
+                let qos = two_step(TARGETS[1].0, TARGETS[1].1)?;
+                // ROI (Eq. 1): mean speedup per unit QoS degradation.
+                let roi = bucket
+                    .records
                     .iter()
-                    .filter(|g| class_of_input(&g.input) == class)
-                    .collect();
-                phases.push(fit_phase_models(
-                    &records, &goldens, num_blocks, num_params, options,
-                )?);
+                    .map(|r| r.speedup / r.qos.max(ROI_QOS_FLOOR))
+                    .sum::<f64>()
+                    / bucket.records.len() as f64;
+                phases.push(PhaseModels {
+                    iters,
+                    speedup,
+                    qos,
+                    roi,
+                    speedup_range: observed_range(&bucket.records, TARGETS[0].1),
+                    qos_range: observed_range(&bucket.records, TARGETS[1].1),
+                });
             }
             classes.push(ClassModels { phases });
         }
+
+        let metrics = ModelingMetrics {
+            fits_attempted: counters.fits(),
+            cv_solves: counters.cv_solves(),
+            degrees_tried: counters.degrees_tried(),
+            threads: pool.threads(),
+            base_fit_wall_ms,
+            combined_fit_wall_ms,
+            total_wall_ms: fit_start.elapsed().as_secs_f64() * 1e3,
+        };
 
         Ok(AppModels {
             control_flow,
@@ -264,7 +582,13 @@ impl AppModels {
             num_phases,
             num_blocks,
             num_params,
+            metrics,
         })
+    }
+
+    /// Statistics of the training run that produced this model set.
+    pub fn metrics(&self) -> &ModelingMetrics {
+        &self.metrics
     }
 
     /// Number of phases the models were trained for.
@@ -323,6 +647,116 @@ impl AppModels {
             qos: clamp_to(qos_upper, 0.0, models.qos_range.1).max(0.0),
             iters,
         })
+    }
+
+    /// Batched [`Self::predict`] over many configurations of one phase.
+    ///
+    /// One flat prediction pass per underlying model replaces the per-row
+    /// scalar pipeline (standardize, expand, dot-product, band), with all
+    /// intermediates living in reusable scratch buffers. The returned
+    /// predictions are bit-identical to calling [`Self::predict`] on each
+    /// configuration in turn.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model prediction errors; `phase` must be in range.
+    pub fn predict_batch(
+        &self,
+        input: &InputParams,
+        phase: usize,
+        configs: &[LevelConfig],
+    ) -> Result<Vec<Prediction>, OpproxError> {
+        assert!(phase < self.num_phases, "phase {phase} out of range");
+        if configs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let class = self.control_flow.predict(input)?;
+        let models = &self.classes[class].phases[phase];
+        let mut scratch = PredictScratch::default();
+
+        let row_len = self.num_params + self.num_blocks;
+        let mut flat = Vec::with_capacity(configs.len() * row_len);
+        for c in configs {
+            flat.extend_from_slice(input.values());
+            flat.extend(c.levels().iter().map(|&l| l as f64));
+        }
+        let mut iters_ln = Vec::with_capacity(configs.len());
+        models
+            .iters
+            .predict_batch_into(&flat, row_len, &mut iters_ln, &mut scratch)
+            .map_err(OpproxError::from)?;
+
+        let speedup = models
+            .speedup
+            .predict_full_batch(input, configs, &iters_ln, &mut scratch)?;
+        let qos = models
+            .qos
+            .predict_full_batch(input, configs, &iters_ln, &mut scratch)?;
+
+        Ok((0..configs.len())
+            .map(|i| Prediction {
+                speedup: clamp_to(
+                    speedup[i].1,
+                    models.speedup_range.0.min(1.0),
+                    models.speedup_range.1,
+                )
+                .max(0.01),
+                qos: clamp_to(qos[i].2, 0.0, models.qos_range.1).max(0.0),
+                iters: iters_ln[i].exp().max(1.0),
+            })
+            .collect())
+    }
+
+    /// Batched [`Self::predict_point`]: the point-prediction counterpart
+    /// of [`Self::predict_batch`], bit-identical to the per-row path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model prediction errors; `phase` must be in range.
+    pub fn predict_point_batch(
+        &self,
+        input: &InputParams,
+        phase: usize,
+        configs: &[LevelConfig],
+    ) -> Result<Vec<Prediction>, OpproxError> {
+        assert!(phase < self.num_phases, "phase {phase} out of range");
+        if configs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let class = self.control_flow.predict(input)?;
+        let models = &self.classes[class].phases[phase];
+        let mut scratch = PredictScratch::default();
+
+        let row_len = self.num_params + self.num_blocks;
+        let mut flat = Vec::with_capacity(configs.len() * row_len);
+        for c in configs {
+            flat.extend_from_slice(input.values());
+            flat.extend(c.levels().iter().map(|&l| l as f64));
+        }
+        let mut iters_ln = Vec::with_capacity(configs.len());
+        models
+            .iters
+            .predict_batch_into(&flat, row_len, &mut iters_ln, &mut scratch)
+            .map_err(OpproxError::from)?;
+
+        let speedup = models
+            .speedup
+            .predict_full_batch(input, configs, &iters_ln, &mut scratch)?;
+        let qos = models
+            .qos
+            .predict_full_batch(input, configs, &iters_ln, &mut scratch)?;
+
+        Ok((0..configs.len())
+            .map(|i| Prediction {
+                speedup: clamp_to(
+                    speedup[i].0,
+                    models.speedup_range.0.min(1.0),
+                    models.speedup_range.1,
+                ),
+                qos: clamp_to(qos[i].0, 0.0, models.qos_range.1).max(0.0),
+                iters: iters_ln[i].exp().max(1.0),
+            })
+            .collect())
     }
 
     /// Point (non-conservative) prediction, used when evaluating model
@@ -386,166 +820,167 @@ fn is_local_sample(config: &LevelConfig, block: usize) -> bool {
         .all(|(b, &l)| if b == block { l > 0 } else { l == 0 })
 }
 
-fn fit_phase_models(
-    records: &[&SampleRecord],
-    goldens: &[&crate::sampling::GoldenRecord],
-    num_blocks: usize,
-    num_params: usize,
-    options: &ModelingOptions,
-) -> Result<PhaseModels, OpproxError> {
-    let param_names: Vec<String> = (0..num_params).map(|i| format!("param{i}")).collect();
+fn speedup_of(r: &SampleRecord) -> f64 {
+    r.speedup
+}
 
-    // Iteration-count estimator over params + all levels. The golden runs
-    // anchor the all-accurate corner of the level space, which the
-    // approximated samples never visit; they are repeated so the fit
-    // cannot trade their residual away against the bulk of the samples.
-    let mut iters_names = param_names.clone();
-    iters_names.extend((0..num_blocks).map(|b| format!("level{b}")));
-    let mut iters_ds = Dataset::new(iters_names);
+fn qos_of(r: &SampleRecord) -> f64 {
+    r.qos
+}
+
+/// Extracts one modeled target value from a profiling record.
+type TargetFn = fn(&SampleRecord) -> f64;
+
+/// The two modeled targets and their transforms, in fitting order.
+const TARGETS: [(TargetTransform, TargetFn); 2] = [
+    (TargetTransform::Ln, speedup_of),
+    (TargetTransform::Log1p, qos_of),
+];
+
+/// Builds the iteration-count dataset over params + all levels. The
+/// golden runs anchor the all-accurate corner of the level space, which
+/// the approximated samples never visit; they are repeated so the fit
+/// cannot trade their residual away against the bulk of the samples.
+fn iters_dataset(
+    records: &[&SampleRecord],
+    goldens: &[&GoldenRecord],
+    num_blocks: usize,
+    param_names: &[String],
+) -> Result<Dataset, OpproxError> {
+    let mut names = param_names.to_vec();
+    names.extend((0..num_blocks).map(|b| format!("level{b}")));
+    let mut ds = Dataset::new(names);
+    let golden_weight = (records.len() / goldens.len().max(1)).clamp(1, 8);
+    let mut rows = Vec::with_capacity(records.len() + goldens.len() * golden_weight);
     for r in records {
         let mut row = r.input.values().to_vec();
         row.extend(r.config.levels().iter().map(|&l| l as f64));
-        iters_ds
-            .push(row, (r.outer_iters as f64).max(1.0).ln())
-            .map_err(OpproxError::from)?;
+        rows.push((row, (r.outer_iters as f64).max(1.0).ln()));
     }
-    let golden_weight = (records.len() / goldens.len().max(1)).clamp(1, 8);
     for g in goldens {
         let mut row = g.input.values().to_vec();
         row.extend(std::iter::repeat_n(0.0, num_blocks));
+        let target = (g.outer_iters as f64).max(1.0).ln();
         for _ in 0..golden_weight {
-            iters_ds
-                .push(row.clone(), (g.outer_iters as f64).max(1.0).ln())
-                .map_err(OpproxError::from)?;
+            rows.push((row.clone(), target));
         }
     }
-    let iters = TargetModel::fit(&iters_ds, &options.autofit)?;
-
-    let speedup = fit_two_step(
-        records,
-        num_blocks,
-        &param_names,
-        &iters,
-        options,
-        TargetTransform::Ln,
-        |r| r.speedup,
-    )?;
-    let qos = fit_two_step(
-        records,
-        num_blocks,
-        &param_names,
-        &iters,
-        options,
-        TargetTransform::Log1p,
-        |r| r.qos,
-    )?;
-
-    // ROI (Eq. 1): mean speedup per unit QoS degradation.
-    let roi = records
-        .iter()
-        .map(|r| r.speedup / r.qos.max(ROI_QOS_FLOOR))
-        .sum::<f64>()
-        / records.len() as f64;
-
-    let fold_range = |f: fn(&SampleRecord) -> f64| {
-        records
-            .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), r| {
-                (lo.min(f(r)), hi.max(f(r)))
-            })
-    };
-    let speedup_range = fold_range(|r| r.speedup);
-    let qos_range = fold_range(|r| r.qos);
-
-    Ok(PhaseModels {
-        iters,
-        speedup,
-        qos,
-        roi,
-        speedup_range,
-        qos_range,
-    })
+    ds.extend_rows(rows).map_err(OpproxError::from)?;
+    Ok(ds)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn fit_two_step(
+/// Builds one block's local dataset: that block's exhaustive sweep
+/// (falling back to all records if the block has no local samples, e.g.
+/// after aggressive sub-sampling), targets in transformed space.
+fn local_dataset(
     records: &[&SampleRecord],
-    num_blocks: usize,
+    block: usize,
     param_names: &[String],
-    iters_model: &TargetModel,
-    options: &ModelingOptions,
     transform: TargetTransform,
-    raw_target: impl Fn(&SampleRecord) -> f64,
-) -> Result<TwoStepModel, OpproxError> {
-    let target = |r: &SampleRecord| transform.forward(raw_target(r));
-    // Step 1: local models, one per block, trained on that block's
-    // exhaustive sweep (falling back to all records if a block has no
-    // local samples, e.g. after aggressive sub-sampling). MIC filtering
-    // is disabled here: a local model has only the input parameters and
-    // its own level as features, and the level must never be dropped.
-    let local_autofit = opprox_ml::model_select::AutoFitConfig {
-        mic_threshold: None,
-        ..options.autofit
-    };
-    let mut locals = Vec::with_capacity(num_blocks);
-    for b in 0..num_blocks {
-        let mut names = param_names.to_vec();
-        names.push(format!("level{b}"));
-        let mut ds = Dataset::new(names);
-        let local_records: Vec<&&SampleRecord> = records
-            .iter()
-            .filter(|r| is_local_sample(&r.config, b))
-            .collect();
-        let pool: Vec<&SampleRecord> = if local_records.len() >= 4 {
-            local_records.into_iter().copied().collect()
-        } else {
-            records.to_vec()
-        };
-        for r in pool {
+    raw_target: fn(&SampleRecord) -> f64,
+) -> Result<Dataset, OpproxError> {
+    let mut names = param_names.to_vec();
+    names.push(format!("level{block}"));
+    let mut ds = Dataset::new(names);
+    let local: Vec<&SampleRecord> = records
+        .iter()
+        .copied()
+        .filter(|r| is_local_sample(&r.config, block))
+        .collect();
+    let pool: &[&SampleRecord] = if local.len() >= 4 { &local } else { records };
+    let rows: Vec<(Vec<f64>, f64)> = pool
+        .iter()
+        .map(|r| {
             let mut row = r.input.values().to_vec();
-            row.push(r.config.level(b) as f64);
-            ds.push(row, target(r)).map_err(OpproxError::from)?;
-        }
-        locals.push(TargetModel::fit(&ds, &local_autofit)?);
-    }
+            row.push(r.config.level(block) as f64);
+            (row, transform.forward(raw_target(r)))
+        })
+        .collect();
+    ds.extend_rows(rows).map_err(OpproxError::from)?;
+    Ok(ds)
+}
 
-    // Step 2: combined model over local predictions + estimated iters,
-    // trained on every sample of the phase.
+/// Builds the combined dataset — local predictions per block plus the
+/// estimated iteration count — using one batched prediction pass per
+/// model instead of a per-record, per-block scalar loop.
+fn combined_dataset(
+    records: &[&SampleRecord],
+    locals: &[TargetModel],
+    iters_model: &TargetModel,
+    num_blocks: usize,
+    transform: TargetTransform,
+    raw_target: fn(&SampleRecord) -> f64,
+) -> Result<Dataset, OpproxError> {
+    let n = records.len();
+    let num_params = records.first().map_or(0, |r| r.input.len());
     let mut names: Vec<String> = (0..num_blocks).map(|b| format!("local{b}")).collect();
     names.push("est_iters".into());
     let mut ds = Dataset::new(names);
-    for r in records {
-        let mut row = Vec::with_capacity(num_blocks + 1);
-        for (b, local) in locals.iter().enumerate() {
-            let mut lrow = r.input.values().to_vec();
-            lrow.push(r.config.level(b) as f64);
-            row.push(local.predict(&lrow)?);
+    let mut scratch = PredictScratch::default();
+
+    let local_row_len = num_params + 1;
+    let mut flat = Vec::with_capacity(n * local_row_len);
+    let mut local_preds: Vec<Vec<f64>> = Vec::with_capacity(num_blocks);
+    for (b, local) in locals.iter().enumerate() {
+        flat.clear();
+        for r in records {
+            flat.extend_from_slice(r.input.values());
+            flat.push(r.config.level(b) as f64);
         }
-        let mut iters_row = r.input.values().to_vec();
-        iters_row.extend(r.config.levels().iter().map(|&l| l as f64));
-        // The iteration estimator already works in ln space; its raw
-        // prediction is the feature.
-        row.push(iters_model.predict(&iters_row)?);
-        ds.push(row, target(r)).map_err(OpproxError::from)?;
+        let mut out = Vec::with_capacity(n);
+        local
+            .predict_batch_into(&flat, local_row_len, &mut out, &mut scratch)
+            .map_err(OpproxError::from)?;
+        local_preds.push(out);
     }
-    // The combined model's features are already curated (one local
-    // prediction per block plus the iteration estimate); MIC filtering —
-    // which the paper applies to *raw* input features — stays off here so
-    // no block's contribution can silently vanish.
-    let combined = TargetModel::fit(&ds, &local_autofit)?;
-    let range_t = records
+
+    // The iteration estimator already works in ln space; its raw
+    // prediction is the feature.
+    let iters_row_len = num_params + num_blocks;
+    flat.clear();
+    for r in records {
+        flat.extend_from_slice(r.input.values());
+        flat.extend(r.config.levels().iter().map(|&l| l as f64));
+    }
+    let mut iters_pred = Vec::with_capacity(n);
+    iters_model
+        .predict_batch_into(&flat, iters_row_len, &mut iters_pred, &mut scratch)
+        .map_err(OpproxError::from)?;
+
+    let mut rows = Vec::with_capacity(n);
+    for (i, r) in records.iter().enumerate() {
+        let mut row = Vec::with_capacity(num_blocks + 1);
+        for preds in &local_preds {
+            row.push(preds[i]);
+        }
+        row.push(iters_pred[i]);
+        rows.push((row, transform.forward(raw_target(r))));
+    }
+    ds.extend_rows(rows).map_err(OpproxError::from)?;
+    Ok(ds)
+}
+
+/// Observed `(min, max)` of a raw target over the bucket's records.
+fn observed_range(records: &[&SampleRecord], f: fn(&SampleRecord) -> f64) -> (f64, f64) {
+    records
         .iter()
         .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), r| {
-            let t = target(r);
-            (lo.min(t), hi.max(t))
-        });
+            (lo.min(f(r)), hi.max(f(r)))
+        })
+}
 
-    Ok(TwoStepModel {
-        locals,
-        combined,
-        transform,
-        range_t,
-    })
+/// Observed `(min, max)` of a target in transformed space.
+fn target_range(
+    records: &[&SampleRecord],
+    transform: TargetTransform,
+    raw_target: fn(&SampleRecord) -> f64,
+) -> (f64, f64) {
+    records
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), r| {
+            let t = transform.forward(raw_target(r));
+            (lo.min(t), hi.max(t))
+        })
 }
 
 #[cfg(test)]
@@ -653,5 +1088,75 @@ mod tests {
             AppModels::fit(&data, 2, &ModelingOptions::default()),
             Err(OpproxError::InsufficientData(_))
         ));
+    }
+
+    #[test]
+    fn predict_batch_is_bit_identical_to_per_row_predict() {
+        let (_, models, _) = trained();
+        let input = InputParams::new(vec![20.0, 3.0]);
+        // An enumeration-style sweep: every configuration over a level
+        // grid, covering all-accurate, single-block, and multi-block rows.
+        let mut configs = Vec::new();
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                for c in 0..4u8 {
+                    configs.push(LevelConfig::new(vec![a, b, c]));
+                }
+            }
+        }
+        for phase in 0..2 {
+            let batch = models.predict_batch(&input, phase, &configs).unwrap();
+            assert_eq!(batch.len(), configs.len());
+            for (cfg, got) in configs.iter().zip(&batch) {
+                let want = models.predict(&input, phase, cfg).unwrap();
+                assert_eq!(want.speedup.to_bits(), got.speedup.to_bits(), "{cfg:?}");
+                assert_eq!(want.qos.to_bits(), got.qos.to_bits(), "{cfg:?}");
+                assert_eq!(want.iters.to_bits(), got.iters.to_bits(), "{cfg:?}");
+            }
+        }
+        assert!(models.predict_batch(&input, 0, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_sequential() {
+        let app = Pso::new();
+        let inputs = vec![
+            InputParams::new(vec![16.0, 3.0]),
+            InputParams::new(vec![24.0, 4.0]),
+        ];
+        let plan = SamplingPlan {
+            num_phases: 2,
+            sparse_samples: 10,
+            whole_run_samples: 0,
+            seed: 5,
+        };
+        let data = collect_training_data(&app, &inputs, &plan).unwrap();
+        let fit_with = |threads: usize| {
+            let options = ModelingOptions {
+                threads: Some(threads),
+                ..ModelingOptions::default()
+            };
+            let models = AppModels::fit(&data, 2, &options).unwrap();
+            serde_json::to_string(&models).unwrap()
+        };
+        let sequential = fit_with(1);
+        let parallel = fit_with(4);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn metrics_are_populated_but_not_serialized() {
+        let (_, models, _) = trained();
+        let m = models.metrics();
+        assert!(m.fits_attempted > 0);
+        assert!(m.cv_solves > 0);
+        assert!(m.degrees_tried > 0);
+        assert!(m.threads >= 1);
+        assert!(m.total_wall_ms > 0.0);
+        let json = serde_json::to_string(&models).unwrap();
+        assert!(!json.contains("total_wall_ms"));
+        let back: AppModels = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.metrics(), &ModelingMetrics::default());
+        assert_eq!(back.num_phases(), models.num_phases());
     }
 }

@@ -244,23 +244,40 @@ fn exhaustive_phase(
     budget: f64,
     conservatism: Conservatism,
 ) -> Result<Option<PhasePlan>, OpproxError> {
+    // Enumerate the level space once and predict it in two batched model
+    // passes (point + conservative) instead of two scalar pipelines per
+    // configuration; the scan then applies the same feasibility gate and
+    // strictly-greater ranking in enumeration order, so the chosen plan
+    // is identical to the per-row loop's.
+    let configs: Vec<LevelConfig> = enumerate_configs(blocks)
+        .into_iter()
+        .filter(|c| !c.is_accurate())
+        .collect();
+    let points = models.predict_point_batch(input, phase, &configs)?;
+    let conservative = match conservatism {
+        Conservatism::Band => Some(models.predict_batch(input, phase, &configs)?),
+        Conservatism::Point => None,
+    };
     let mut best: Option<PhasePlan> = None;
-    for config in enumerate_configs(blocks) {
-        if config.is_accurate() {
+    for (i, (config, point)) in configs.iter().zip(&points).enumerate() {
+        let constrained_qos = match &conservative {
+            Some(cons) => cons[i].qos,
+            None => point.qos,
+        };
+        if constrained_qos > budget || point.speedup <= 1.005 {
             continue;
         }
-        if let Some((speedup, qos)) = evaluate(models, input, phase, &config, budget, conservatism)?
-        {
-            let better = best.as_ref().is_none_or(|b| speedup > b.predicted_speedup);
-            if better {
-                best = Some(PhasePlan {
-                    phase,
-                    config,
-                    allocated_budget: budget,
-                    predicted_qos: qos,
-                    predicted_speedup: speedup,
-                });
-            }
+        let better = best
+            .as_ref()
+            .is_none_or(|b| point.speedup > b.predicted_speedup);
+        if better {
+            best = Some(PhasePlan {
+                phase,
+                config: config.clone(),
+                allocated_budget: budget,
+                predicted_qos: constrained_qos,
+                predicted_speedup: point.speedup,
+            });
         }
     }
     Ok(best)

@@ -182,6 +182,14 @@ impl TrainedOpprox {
         &self.models
     }
 
+    /// Statistics of the training run that fitted the models (counters
+    /// and per-stage wall times; see [`crate::modeling::ModelingMetrics`]).
+    /// Zeroed on systems restored from JSON — the metrics describe a
+    /// training run, not the models, and are not serialized.
+    pub fn modeling_metrics(&self) -> &crate::modeling::ModelingMetrics {
+        self.models.metrics()
+    }
+
     /// The approximable blocks the system was trained over.
     pub(crate) fn blocks(&self) -> &[BlockDescriptor] {
         &self.blocks

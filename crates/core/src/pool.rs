@@ -1,0 +1,134 @@
+//! A small bounded work-stealing pool for embarrassingly-parallel jobs.
+//!
+//! Extracted from the evaluation engine so model training can fan out on
+//! the same machinery. Jobs are indexed `0..n`; per-worker deques are
+//! filled round-robin, each worker drains its own deque from the front and
+//! steals from the back of the others', and results are returned in
+//! submission order regardless of which worker ran which job — so
+//! parallel runs are output-identical to sequential ones whenever the jobs
+//! themselves are independent.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A bounded pool of scoped worker threads with work stealing.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkPool {
+    threads: usize,
+}
+
+impl WorkPool {
+    /// Creates a pool bound to at most `threads` workers (floored at 1).
+    pub fn new(threads: usize) -> Self {
+        WorkPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker bound.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(i)` for every `i in 0..n` across the pool and returns the
+    /// results in index order. With one worker (or one job) everything
+    /// runs inline on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job.
+    pub fn run<T, F>(&self, n: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(job).collect();
+        }
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for i in 0..n {
+            queues[i % workers].lock().expect("queue lock").push_back(i);
+        }
+        let outcomes: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let outcomes = &outcomes;
+                let job = &job;
+                scope.spawn(move || loop {
+                    let next = queues[w]
+                        .lock()
+                        .expect("queue lock")
+                        .pop_front()
+                        .or_else(|| {
+                            (0..workers)
+                                .filter(|&v| v != w)
+                                .find_map(|v| queues[v].lock().expect("queue lock").pop_back())
+                        });
+                    let Some(i) = next else { break };
+                    *outcomes[i].lock().expect("outcome lock") = Some(job(i));
+                });
+            }
+        });
+
+        outcomes
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("outcome lock")
+                    .expect("worker completed every claimed job")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkPool::new(4);
+        let out = pool.run(37, |i| i * i);
+        assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = WorkPool::new(1);
+        let tid = std::thread::current().id();
+        let out = pool.run(5, move |i| (i, std::thread::current().id() == tid));
+        assert!(out.iter().all(|&(_, same)| same));
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let pool = WorkPool::new(3);
+        let counter = AtomicUsize::new(0);
+        let out = pool.run(100, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn zero_jobs_is_a_no_op() {
+        let pool = WorkPool::new(4);
+        assert!(pool.run(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_output() {
+        let seq = WorkPool::new(1).run(64, |i| (i as f64).sqrt());
+        let par = WorkPool::new(8).run(64, |i| (i as f64).sqrt());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

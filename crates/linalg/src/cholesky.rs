@@ -70,7 +70,14 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         )));
     }
     let l = cholesky_decompose(a)?;
-    let n = a.rows();
+    Ok(cholesky_solve_factored(&l, b))
+}
+
+/// Solves `L Lᵀ x = b` given an already-computed lower-triangular factor
+/// `L` (two triangular solves, no factorization). `b.len()` must equal
+/// `l.rows()`; this is the caller's responsibility.
+pub fn cholesky_solve_factored(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
     // Forward solve L z = b.
     let mut z = vec![0.0; n];
     for i in 0..n {
@@ -89,7 +96,7 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         }
         x[i] = s / l.get(i, i);
     }
-    Ok(x)
+    x
 }
 
 #[cfg(test)]

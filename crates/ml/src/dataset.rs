@@ -51,6 +51,30 @@ impl Dataset {
         Ok(())
     }
 
+    /// Bulk-appends observations. Every row's arity is validated before
+    /// any mutation, so a failed call leaves the dataset unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureMismatch`] if any row length differs from
+    /// the number of feature names.
+    pub fn extend_rows(&mut self, rows: Vec<(Vec<f64>, f64)>) -> Result<(), MlError> {
+        let width = self.feature_names.len();
+        if let Some((bad, _)) = rows.iter().find(|(r, _)| r.len() != width) {
+            return Err(MlError::FeatureMismatch {
+                expected: width,
+                actual: bad.len(),
+            });
+        }
+        self.rows.reserve(rows.len());
+        self.targets.reserve(rows.len());
+        for (row, target) in rows {
+            self.rows.push(row);
+            self.targets.push(target);
+        }
+        Ok(())
+    }
+
     /// Number of observations.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -164,6 +188,21 @@ mod tests {
         assert!(ds.push(vec![1.0], 0.0).is_ok());
         assert_eq!(ds.len(), 1);
         assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn extend_rows_bulk_appends_and_validates() {
+        let mut ds = sample();
+        ds.extend_rows(vec![(vec![6.0, 12.0], 60.0), (vec![7.0, 14.0], 70.0)])
+            .unwrap();
+        assert_eq!(ds.len(), 8);
+        assert_eq!(ds.targets()[7], 70.0);
+        // A bad row anywhere in the batch rejects the whole batch.
+        let before = ds.clone();
+        assert!(ds
+            .extend_rows(vec![(vec![8.0, 16.0], 80.0), (vec![9.0], 90.0)])
+            .is_err());
+        assert_eq!(ds, before);
     }
 
     #[test]

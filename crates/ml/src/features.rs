@@ -86,6 +86,35 @@ impl PolynomialFeatures {
         Ok(out)
     }
 
+    /// Expands one raw feature vector into a caller-provided buffer,
+    /// appending `num_outputs` values. The arithmetic matches
+    /// [`PolynomialFeatures::transform_one`] exactly, so batched paths
+    /// built on this method stay bit-identical to the per-row path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureMismatch`] if `x.len() != num_inputs`.
+    pub fn transform_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<(), MlError> {
+        if x.len() != self.num_inputs {
+            return Err(MlError::FeatureMismatch {
+                expected: self.num_inputs,
+                actual: x.len(),
+            });
+        }
+        out.reserve(self.num_outputs());
+        out.push(1.0);
+        for exps in &self.exponents {
+            let mut v = 1.0;
+            for (xi, &e) in x.iter().zip(exps.iter()) {
+                for _ in 0..e {
+                    v *= xi;
+                }
+            }
+            out.push(v);
+        }
+        Ok(())
+    }
+
     /// Expands a batch of raw feature vectors.
     ///
     /// # Errors
@@ -191,6 +220,28 @@ impl Standardizer {
             .collect())
     }
 
+    /// Standardizes one row into a caller-provided buffer, appending one
+    /// value per column. Arithmetic matches
+    /// [`Standardizer::transform_one`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureMismatch`] on a wrong-length row.
+    pub fn transform_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<(), MlError> {
+        if x.len() != self.means.len() {
+            return Err(MlError::FeatureMismatch {
+                expected: self.means.len(),
+                actual: x.len(),
+            });
+        }
+        out.extend(
+            x.iter()
+                .zip(self.means.iter().zip(self.stds.iter()))
+                .map(|(v, (m, s))| (v - m) / s),
+        );
+        Ok(())
+    }
+
     /// Standardizes a batch of rows.
     ///
     /// # Errors
@@ -271,6 +322,26 @@ mod tests {
         let s = Standardizer::fit(&xs).unwrap();
         assert_eq!(s.transform_one(&[4.0]).unwrap(), vec![0.0]);
         assert_eq!(s.transform_one(&[5.0]).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn transform_into_matches_transform_one_bitwise() {
+        let pf = PolynomialFeatures::new(3, 4);
+        let s = Standardizer::fit(&[vec![1.0, 5.0, -2.0], vec![3.0, 9.0, 4.0]]).unwrap();
+        let raw = [2.5, 7.25, 0.125];
+        let std_owned = s.transform_one(&raw).unwrap();
+        let mut std_buf = Vec::new();
+        s.transform_into(&raw, &mut std_buf).unwrap();
+        assert_eq!(std_owned, std_buf);
+        let expanded = pf.transform_one(&std_owned).unwrap();
+        let mut buf = vec![9.9]; // pre-existing content must be preserved
+        pf.transform_into(&std_buf, &mut buf).unwrap();
+        assert_eq!(buf[0], 9.9);
+        for (a, b) in expanded.iter().zip(&buf[1..]) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(pf.transform_into(&[1.0], &mut buf).is_err());
+        assert!(s.transform_into(&[1.0], &mut buf).is_err());
     }
 
     #[test]

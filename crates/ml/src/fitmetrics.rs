@@ -1,0 +1,89 @@
+//! Lock-free counters instrumenting the model-fitting pipeline.
+//!
+//! Model fitting fans out across threads in the application layer, so the
+//! counters are plain relaxed atomics: cheap to bump from any worker and
+//! race-free to snapshot afterwards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared counters accumulated while fitting [`crate::model_select::TargetModel`]s.
+///
+/// One instance is typically shared (by reference) across every concurrent
+/// fit of a training run and snapshotted into the run's metrics afterwards.
+#[derive(Debug, Default)]
+pub struct FitCounters {
+    fits: AtomicU64,
+    cv_solves: AtomicU64,
+    degrees_tried: AtomicU64,
+}
+
+impl FitCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one attempted `TargetModel` fit.
+    pub fn record_fit(&self) {
+        self.fits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` cross-validation linear-system solves.
+    pub fn record_cv_solves(&self, n: u64) {
+        self.cv_solves.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one polynomial degree evaluated during escalation.
+    pub fn record_degree_tried(&self) {
+        self.degrees_tried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total attempted `TargetModel` fits.
+    pub fn fits(&self) -> u64 {
+        self.fits.load(Ordering::Relaxed)
+    }
+
+    /// Total cross-validation linear-system solves.
+    pub fn cv_solves(&self) -> u64 {
+        self.cv_solves.load(Ordering::Relaxed)
+    }
+
+    /// Total polynomial degrees evaluated.
+    pub fn degrees_tried(&self) -> u64 {
+        self.degrees_tried.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = FitCounters::new();
+        c.record_fit();
+        c.record_fit();
+        c.record_cv_solves(11);
+        c.record_degree_tried();
+        assert_eq!(c.fits(), 2);
+        assert_eq!(c.cv_solves(), 11);
+        assert_eq!(c.degrees_tried(), 1);
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let c = FitCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        c.record_fit();
+                        c.record_cv_solves(2);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.fits(), 400);
+        assert_eq!(c.cv_solves(), 800);
+    }
+}

@@ -23,6 +23,8 @@
 //! * [`features`] — polynomial feature expansion and z-score
 //!   standardization shared by the regression models.
 //! * [`dataset`] — a small named-column dataset container.
+//! * [`fitmetrics`] — lock-free counters instrumenting the fitting
+//!   pipeline (fits attempted, CV solves, degrees tried).
 //!
 //! # Example: fitting a quadratic
 //!
@@ -44,6 +46,7 @@ pub mod dataset;
 pub mod dtree;
 pub mod error;
 pub mod features;
+pub mod fitmetrics;
 pub mod m5;
 pub mod mic;
 pub mod model_select;

@@ -14,12 +14,12 @@
 //!    the optimizer can use conservative bounds.
 
 use crate::confidence::ConfidenceBand;
-use crate::crossval::kfold_indices;
+use crate::crossval::cross_validate_degree;
 use crate::dataset::Dataset;
 use crate::error::MlError;
+use crate::fitmetrics::FitCounters;
 use crate::mic::filter_features_by_mic;
-use crate::polyreg::PolynomialRegression;
-use opprox_linalg::stats::r2_score;
+use crate::polyreg::{PolynomialRegression, PredictScratch, DEFAULT_RIDGE};
 use serde::{Deserialize, Serialize};
 
 /// Configuration for [`TargetModel::fit`].
@@ -134,30 +134,54 @@ impl TargetModel {
     /// Returns [`MlError::InvalidTrainingData`] when the dataset has fewer
     /// than four rows or degenerate shapes.
     pub fn fit(dataset: &Dataset, config: &AutoFitConfig) -> Result<Self, MlError> {
+        Self::fit_with_counters(dataset, config, &FitCounters::new())
+    }
+
+    /// Like [`TargetModel::fit`], accumulating fitting statistics into the
+    /// given shared counters (see [`FitCounters`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TargetModel::fit`].
+    pub fn fit_with_counters(
+        dataset: &Dataset,
+        config: &AutoFitConfig,
+        counters: &FitCounters,
+    ) -> Result<Self, MlError> {
         if dataset.len() < 4 {
             return Err(MlError::InvalidTrainingData(format!(
                 "need at least 4 rows to fit a model, got {}",
                 dataset.len()
             )));
         }
+        counters.record_fit();
         // Step 1: MIC feature filtering.
-        let all: Vec<usize> = (0..dataset.feature_names().len()).collect();
+        let dim = dataset.feature_names().len();
         let kept = match config.mic_threshold {
             Some(t) => {
                 let keep = filter_features_by_mic(dataset.rows(), dataset.targets(), t)?;
                 if keep.is_empty() {
-                    all.clone()
+                    (0..dim).collect()
                 } else {
                     keep
                 }
             }
-            None => all.clone(),
+            None => (0..dim).collect::<Vec<usize>>(),
         };
-        let selected = dataset.select_features(&kept);
+        // Projecting is a deep copy of every row; skip it when the filter
+        // kept every column in order (the common case for small rows).
+        let selected_owned;
+        let selected: &Dataset =
+            if kept.len() == dim && kept.iter().enumerate().all(|(i, &c)| i == c) {
+                dataset
+            } else {
+                selected_owned = dataset.select_features(&kept);
+                &selected_owned
+            };
         let feature_names = selected.feature_names().to_vec();
 
         // Step 2: degree escalation on a single global model.
-        let (best_single, best_r2) = fit_best_degree(&selected, config)?;
+        let (best_single, best_r2) = fit_best_degree(selected, config, counters)?;
         if best_r2 >= config.target_r2 {
             return Ok(TargetModel {
                 kept_features: kept,
@@ -169,7 +193,7 @@ impl TargetModel {
         }
 
         // Step 3: sub-model splitting on the widest-ranged feature.
-        if let Some((structure, split_r2)) = try_split(&selected, config)? {
+        if let Some((structure, split_r2)) = try_split(selected, config, counters)? {
             if split_r2 > best_r2 {
                 return Ok(TargetModel {
                     kept_features: kept,
@@ -262,6 +286,175 @@ impl TargetModel {
         matches!(self.structure, Structure::Split { .. })
     }
 
+    /// Batched point predictions for a slice of full feature rows.
+    ///
+    /// Bit-identical to calling [`TargetModel::predict`] per row.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TargetModel::predict`].
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
+        let mut out = Vec::with_capacity(rows.len());
+        let mut scratch = PredictScratch::default();
+        for row in rows {
+            self.predict_batch_into(row, row.len(), &mut out, &mut scratch)?;
+        }
+        Ok(out)
+    }
+
+    /// Batched, allocation-free point predictions over a flat row-major
+    /// buffer of full feature rows. Appends one prediction per row to
+    /// `out`, reusing the buffers in `scratch`.
+    ///
+    /// Bit-identical to calling [`TargetModel::predict`] per row.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::FeatureMismatch`] if `row_len` does not cover the
+    ///   highest kept feature index.
+    /// * [`MlError::InvalidTrainingData`] if `rows.len()` is not a
+    ///   multiple of `row_len`.
+    pub fn predict_batch_into(
+        &self,
+        rows: &[f64],
+        row_len: usize,
+        out: &mut Vec<f64>,
+        scratch: &mut PredictScratch,
+    ) -> Result<(), MlError> {
+        self.predict_batch_impl(rows, row_len, out, None, scratch)
+    }
+
+    /// Like [`TargetModel::predict_batch_into`], additionally appending
+    /// each row's confidence-band half-width to `halves`, so callers can
+    /// form the conservative bounds `prediction ± half` exactly as
+    /// [`TargetModel::predict_upper`] / [`TargetModel::predict_lower`] do.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TargetModel::predict_batch_into`].
+    pub fn predict_batch_with_band_into(
+        &self,
+        rows: &[f64],
+        row_len: usize,
+        out: &mut Vec<f64>,
+        halves: &mut Vec<f64>,
+        scratch: &mut PredictScratch,
+    ) -> Result<(), MlError> {
+        self.predict_batch_impl(rows, row_len, out, Some(halves), scratch)
+    }
+
+    fn predict_batch_impl(
+        &self,
+        rows: &[f64],
+        row_len: usize,
+        out: &mut Vec<f64>,
+        mut halves: Option<&mut Vec<f64>>,
+        scratch: &mut PredictScratch,
+    ) -> Result<(), MlError> {
+        let max = self.kept_features.iter().copied().max().unwrap_or(0);
+        if row_len <= max {
+            return Err(MlError::FeatureMismatch {
+                expected: max + 1,
+                actual: row_len,
+            });
+        }
+        if !rows.len().is_multiple_of(row_len) {
+            return Err(MlError::InvalidTrainingData(format!(
+                "flat buffer of {} values is not a multiple of row length {row_len}",
+                rows.len()
+            )));
+        }
+        let n = rows.len() / row_len;
+        if n == 0 {
+            return Ok(());
+        }
+        let kw = self.kept_features.len();
+        let mut projected = std::mem::take(&mut scratch.projected);
+        projected.clear();
+        projected.reserve(n * kw);
+        for raw in rows.chunks_exact(row_len) {
+            for &c in &self.kept_features {
+                projected.push(raw[c]);
+            }
+        }
+        let result = match &self.structure {
+            Structure::Single(m) => {
+                let before = out.len();
+                let r = m.regression.predict_flat_into(&projected, kw, out, scratch);
+                if r.is_ok() {
+                    if let Some(h) = halves.as_deref_mut() {
+                        h.extend(std::iter::repeat_n(m.band.half_width(), out.len() - before));
+                    }
+                }
+                r
+            }
+            Structure::Split {
+                feature,
+                boundaries,
+                models,
+            } => {
+                let mut route = std::mem::take(&mut scratch.route);
+                route.clear();
+                route.reserve(n);
+                for i in 0..n {
+                    let v = projected[i * kw + *feature];
+                    let mut idx = boundaries.iter().filter(|&&b| v >= b).count();
+                    if idx >= models.len() {
+                        idx = models.len() - 1;
+                    }
+                    route.push(idx);
+                }
+                let base = out.len();
+                out.resize(base + n, 0.0);
+                let hbase = halves.as_deref_mut().map(|h| {
+                    let hb = h.len();
+                    h.resize(hb + n, 0.0);
+                    hb
+                });
+                let mut result = Ok(());
+                for (m_idx, m) in models.iter().enumerate() {
+                    let mut gathered = std::mem::take(&mut scratch.gathered);
+                    gathered.clear();
+                    for (i, &r) in route.iter().enumerate() {
+                        if r == m_idx {
+                            gathered.extend_from_slice(&projected[i * kw..(i + 1) * kw]);
+                        }
+                    }
+                    if gathered.is_empty() {
+                        scratch.gathered = gathered;
+                        continue;
+                    }
+                    let mut gout = std::mem::take(&mut scratch.gathered_out);
+                    gout.clear();
+                    result = m
+                        .regression
+                        .predict_flat_into(&gathered, kw, &mut gout, scratch);
+                    if result.is_err() {
+                        scratch.gathered = gathered;
+                        scratch.gathered_out = gout;
+                        break;
+                    }
+                    let mut cursor = 0usize;
+                    for (i, &r) in route.iter().enumerate() {
+                        if r == m_idx {
+                            out[base + i] = gout[cursor];
+                            if let (Some(h), Some(hb)) = (halves.as_deref_mut(), hbase) {
+                                h[hb + i] = m.band.half_width();
+                            }
+                            cursor += 1;
+                        }
+                    }
+                    scratch.gathered = gathered;
+                    scratch.gathered_out = gout;
+                }
+                scratch.route = route;
+                result
+            }
+        };
+        scratch.projected = projected;
+        result
+    }
+
     fn project(&self, full_row: &[f64]) -> Result<Vec<f64>, MlError> {
         let max = self.kept_features.iter().copied().max().unwrap_or(0);
         if full_row.len() <= max {
@@ -293,29 +486,56 @@ impl TargetModel {
     }
 }
 
+/// Clamps a requested fold count to what `n` rows can support.
+///
+/// [`crate::crossval::kfold_indices`] hard-errors when `k > n`; small
+/// sub-model subsets routinely have fewer rows than the configured fold
+/// count, so the call site clamps (and logs, once per process — the split
+/// search hits this thousands of times) instead of failing the fit.
+fn effective_folds(requested: usize, n: usize) -> usize {
+    let k = requested.clamp(2, n.max(2));
+    if k != requested {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "opprox-ml: clamping {requested}-fold CV to k = {k} for n = {n} rows \
+                 (further clamps not logged)"
+            );
+        });
+    }
+    k
+}
+
 /// Escalates the degree and returns the best single model with its CV R².
+///
+/// Each candidate degree costs one expand-once cross-validation pass (see
+/// [`cross_validate_degree`]), which also yields the full-data model and
+/// its out-of-fold residuals — no separate refit.
 fn fit_best_degree(
     dataset: &Dataset,
     config: &AutoFitConfig,
+    counters: &FitCounters,
 ) -> Result<(SingleModel, f64), MlError> {
-    let n = dataset.len();
-    let folds = config.folds.clamp(2, n);
+    let folds = effective_folds(config.folds, dataset.len());
     let mut best: Option<(SingleModel, f64)> = None;
     for degree in config.min_degree..=config.max_degree {
-        let (cv_r2, residuals) = cv_with_residuals(
+        counters.record_degree_tried();
+        let cv = cross_validate_degree(
             dataset.rows(),
             dataset.targets(),
             degree,
             folds,
             config.seed,
+            DEFAULT_RIDGE,
         )?;
+        counters.record_cv_solves(cv.solves);
+        let cv_r2 = cv.mean_r2;
         let improved = best.as_ref().is_none_or(|(_, r)| cv_r2 > *r);
         if improved {
-            let regression = PolynomialRegression::fit(dataset.rows(), dataset.targets(), degree)?;
-            let band = ConfidenceBand::from_residuals(&residuals, config.confidence_level)?;
+            let band = ConfidenceBand::from_residuals(&cv.residuals, config.confidence_level)?;
             best = Some((
                 SingleModel {
-                    regression,
+                    regression: cv.model,
                     band,
                     cv_r2,
                 },
@@ -329,48 +549,12 @@ fn fit_best_degree(
     best.ok_or_else(|| MlError::InvalidTrainingData("no degree could be fitted".into()))
 }
 
-/// Runs k-fold CV collecting held-out residuals alongside the mean R².
-fn cv_with_residuals(
-    xs: &[Vec<f64>],
-    ys: &[f64],
-    degree: usize,
-    k: usize,
-    seed: u64,
-) -> Result<(f64, Vec<f64>), MlError> {
-    let folds = kfold_indices(xs.len(), k, seed)?;
-    let mut fold_r2 = Vec::with_capacity(k);
-    let mut residuals = Vec::with_capacity(xs.len());
-    for test_fold in &folds {
-        let test_set: std::collections::HashSet<usize> = test_fold.iter().copied().collect();
-        let mut train_x = Vec::new();
-        let mut train_y = Vec::new();
-        let mut test_x = Vec::new();
-        let mut test_y = Vec::new();
-        for i in 0..xs.len() {
-            if test_set.contains(&i) {
-                test_x.push(xs[i].clone());
-                test_y.push(ys[i]);
-            } else {
-                train_x.push(xs[i].clone());
-                train_y.push(ys[i]);
-            }
-        }
-        let model = PolynomialRegression::fit(&train_x, &train_y, degree)?;
-        let preds = model.predict(&test_x)?;
-        for (p, t) in preds.iter().zip(test_y.iter()) {
-            residuals.push(t - p);
-        }
-        fold_r2.push(r2_score(&test_y, &preds));
-    }
-    let mean = fold_r2.iter().sum::<f64>() / fold_r2.len() as f64;
-    Ok((mean, residuals))
-}
-
 /// Attempts range-splitting each feature into 2..=max_submodels subsets
 /// and returns the best split structure with its weighted CV R².
 fn try_split(
     dataset: &Dataset,
     config: &AutoFitConfig,
+    counters: &FitCounters,
 ) -> Result<Option<(Structure, f64)>, MlError> {
     let dim = dataset.feature_names().len();
     let mut best: Option<(Structure, f64)> = None;
@@ -412,7 +596,7 @@ fn try_split(
                     feasible = false;
                     break;
                 }
-                let (m, r2) = fit_best_degree(&subset, config)?;
+                let (m, r2) = fit_best_degree(&subset, config, counters)?;
                 weighted_r2 += r2 * subset.len() as f64;
                 total += subset.len();
                 models.push(m);
@@ -530,6 +714,114 @@ mod tests {
         let ds = quadratic_dataset(40);
         let model = TargetModel::fit(&ds, &AutoFitConfig::default()).unwrap();
         assert!(model.predict(&[]).is_err());
+    }
+
+    #[test]
+    fn predict_batch_matches_per_row_bitwise_single() {
+        let ds = quadratic_dataset(60);
+        let model = TargetModel::fit(&ds, &AutoFitConfig::default()).unwrap();
+        assert!(!model.is_split());
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64 * 0.37, (i % 5) as f64 / 5.0])
+            .collect();
+        let batched = model.predict_batch(&rows).unwrap();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let mut flat_out = Vec::new();
+        let mut halves = Vec::new();
+        let mut scratch = PredictScratch::default();
+        model
+            .predict_batch_with_band_into(&flat, 2, &mut flat_out, &mut halves, &mut scratch)
+            .unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            let single = model.predict(row).unwrap();
+            assert_eq!(single.to_bits(), batched[i].to_bits());
+            assert_eq!(single.to_bits(), flat_out[i].to_bits());
+            let upper = model.predict_upper(row).unwrap();
+            assert_eq!(upper.to_bits(), (flat_out[i] + halves[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_row_bitwise_split() {
+        // Discontinuous target that forces the split structure.
+        let mut ds = Dataset::new(vec!["x".into()]);
+        for i in 0..120 {
+            let x = i as f64 * 0.1;
+            let y = if x < 6.0 { x } else { 1000.0 + x * x };
+            ds.push(vec![x], y).unwrap();
+        }
+        let cfg = AutoFitConfig {
+            max_degree: 2,
+            mic_threshold: None,
+            ..AutoFitConfig::default()
+        };
+        let model = TargetModel::fit(&ds, &cfg).unwrap();
+        assert!(model.is_split(), "test needs the split structure");
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 * 0.31]).collect();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let mut flat_out = Vec::new();
+        let mut halves = Vec::new();
+        let mut scratch = PredictScratch::default();
+        model
+            .predict_batch_with_band_into(&flat, 1, &mut flat_out, &mut halves, &mut scratch)
+            .unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            let single = model.predict(row).unwrap();
+            assert_eq!(single.to_bits(), flat_out[i].to_bits());
+            let lower = model.predict_lower(row).unwrap();
+            assert_eq!(lower.to_bits(), (flat_out[i] - halves[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_batch_validates_inputs() {
+        let ds = quadratic_dataset(40);
+        let model = TargetModel::fit(&ds, &AutoFitConfig::default()).unwrap();
+        let mut out = Vec::new();
+        let mut scratch = PredictScratch::default();
+        // Empty input is fine and appends nothing.
+        model
+            .predict_batch_into(&[], 2, &mut out, &mut scratch)
+            .unwrap();
+        assert!(out.is_empty());
+        // Too-short rows and ragged buffers are rejected.
+        assert!(model
+            .predict_batch_into(&[1.0, 2.0, 3.0], 2, &mut out, &mut scratch)
+            .is_err());
+        assert!(model
+            .predict_batch_into(&[], 0, &mut out, &mut scratch)
+            .is_err());
+    }
+
+    #[test]
+    fn fold_clamp_warns_but_fits_small_datasets() {
+        // 5 rows with 10 requested folds: must clamp instead of erroring.
+        let mut ds = Dataset::new(vec!["x".into()]);
+        for i in 0..5 {
+            ds.push(vec![i as f64], 2.0 * i as f64).unwrap();
+        }
+        let cfg = AutoFitConfig {
+            min_degree: 1,
+            max_degree: 1,
+            mic_threshold: None,
+            ..AutoFitConfig::default()
+        };
+        let model = TargetModel::fit(&ds, &cfg).unwrap();
+        assert!((model.predict(&[3.0]).unwrap() - 6.0).abs() < 1e-6);
+        assert_eq!(effective_folds(10, 5), 5);
+        assert_eq!(effective_folds(10, 20), 10);
+        assert_eq!(effective_folds(0, 20), 2);
+    }
+
+    #[test]
+    fn fit_counters_accumulate_during_fit() {
+        let ds = quadratic_dataset(60);
+        let counters = FitCounters::new();
+        TargetModel::fit_with_counters(&ds, &AutoFitConfig::default(), &counters).unwrap();
+        assert!(counters.fits() >= 1);
+        assert!(counters.degrees_tried() >= 1);
+        // 10-fold CV: at least 11 solves (10 folds + the full system).
+        assert!(counters.cv_solves() >= 11);
     }
 
     #[test]

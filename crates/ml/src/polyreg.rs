@@ -2,9 +2,34 @@
 
 use crate::error::MlError;
 use crate::features::{PolynomialFeatures, Standardizer};
-use opprox_linalg::lstsq::ridge_least_squares;
+use opprox_linalg::gram::GramSystem;
 use opprox_linalg::Matrix;
 use serde::{Deserialize, Serialize};
+
+/// The default ridge strength used by [`PolynomialRegression::fit`] and
+/// the cross-validation engine.
+pub const DEFAULT_RIDGE: f64 = 1e-8;
+
+/// Reusable scratch buffers for batched, allocation-free prediction.
+///
+/// One instance can be shared across models of different shapes; buffers
+/// are cleared and regrown as needed and keep their capacity between
+/// calls.
+#[derive(Debug, Clone, Default)]
+pub struct PredictScratch {
+    /// One standardized row.
+    pub(crate) std_row: Vec<f64>,
+    /// The expanded design of the whole batch, row-major.
+    pub(crate) design: Vec<f64>,
+    /// Projected (feature-selected) rows, row-major.
+    pub(crate) projected: Vec<f64>,
+    /// Per-row sub-model routing indices.
+    pub(crate) route: Vec<usize>,
+    /// Gathered rows belonging to one sub-model, row-major.
+    pub(crate) gathered: Vec<f64>,
+    /// Predictions for the gathered rows.
+    pub(crate) gathered_out: Vec<f64>,
+}
 
 /// A fitted polynomial-regression model.
 ///
@@ -42,7 +67,7 @@ impl PolynomialRegression {
     ///
     /// See [`PolynomialRegression::fit_with_ridge`].
     pub fn fit(xs: &[Vec<f64>], ys: &[f64], degree: usize) -> Result<Self, MlError> {
-        Self::fit_with_ridge(xs, ys, degree, 1e-8)
+        Self::fit_with_ridge(xs, ys, degree, DEFAULT_RIDGE)
     }
 
     /// Fits a polynomial of the given total degree with an explicit ridge
@@ -77,17 +102,32 @@ impl PolynomialRegression {
             )));
         }
         let standardizer = Standardizer::fit(xs)?;
-        let std_xs = standardizer.transform(xs)?;
         let features = PolynomialFeatures::new(xs[0].len(), degree);
-        let expanded = features.transform(&std_xs)?;
-        let design = Matrix::from_row_vecs(&expanded).map_err(MlError::from)?;
-        let coefficients = ridge_least_squares(&design, ys, lambda)?;
+        let design = expand_design(&standardizer, &features, xs)?;
+        let coefficients = GramSystem::from_design(&design, ys)?.solve_ridge(lambda)?;
         Ok(PolynomialRegression {
             standardizer,
             features,
             coefficients,
             degree,
         })
+    }
+
+    /// Assembles a model from already-computed parts; used by the
+    /// expand-once cross-validation engine, which solves the full-data
+    /// system as a by-product of scoring the folds.
+    pub(crate) fn from_parts(
+        standardizer: Standardizer,
+        features: PolynomialFeatures,
+        coefficients: Vec<f64>,
+        degree: usize,
+    ) -> Self {
+        PolynomialRegression {
+            standardizer,
+            features,
+            coefficients,
+            degree,
+        }
     }
 
     /// The total polynomial degree of the fitted model.
@@ -128,6 +168,83 @@ impl PolynomialRegression {
     pub fn predict(&self, xs: &[Vec<f64>]) -> Result<Vec<f64>, MlError> {
         xs.iter().map(|x| self.predict_one(x)).collect()
     }
+
+    /// Batched, allocation-free prediction over a flat row-major buffer of
+    /// raw feature rows. Appends one prediction per row to `out`, reusing
+    /// the buffers in `scratch`.
+    ///
+    /// Produces bit-identical results to calling [`predict_one`] per row.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::FeatureMismatch`] if `row_len` differs from the model's
+    ///   input arity.
+    /// * [`MlError::InvalidTrainingData`] if `rows.len()` is not a multiple
+    ///   of `row_len`.
+    ///
+    /// [`predict_one`]: PolynomialRegression::predict_one
+    pub fn predict_flat_into(
+        &self,
+        rows: &[f64],
+        row_len: usize,
+        out: &mut Vec<f64>,
+        scratch: &mut PredictScratch,
+    ) -> Result<(), MlError> {
+        if row_len != self.num_inputs() {
+            return Err(MlError::FeatureMismatch {
+                expected: self.num_inputs(),
+                actual: row_len,
+            });
+        }
+        if row_len == 0 {
+            return Err(MlError::InvalidTrainingData(
+                "zero-length prediction rows".into(),
+            ));
+        }
+        if !rows.len().is_multiple_of(row_len) {
+            return Err(MlError::InvalidTrainingData(format!(
+                "flat buffer of {} values is not a multiple of row length {row_len}",
+                rows.len()
+            )));
+        }
+        out.reserve(rows.len() / row_len);
+        for raw in rows.chunks_exact(row_len) {
+            scratch.std_row.clear();
+            self.standardizer
+                .transform_into(raw, &mut scratch.std_row)?;
+            scratch.design.clear();
+            self.features
+                .transform_into(&scratch.std_row, &mut scratch.design)?;
+            out.push(
+                scratch
+                    .design
+                    .iter()
+                    .zip(self.coefficients.iter())
+                    .map(|(f, c)| f * c)
+                    .sum(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Standardizes and polynomial-expands `xs` into one flat design matrix,
+/// built without per-row intermediate vectors. Shared by model fitting and
+/// the expand-once cross-validation engine.
+pub(crate) fn expand_design(
+    standardizer: &Standardizer,
+    features: &PolynomialFeatures,
+    xs: &[Vec<f64>],
+) -> Result<Matrix, MlError> {
+    let p = features.num_outputs();
+    let mut flat = Vec::with_capacity(xs.len() * p);
+    let mut std_row = Vec::with_capacity(features.num_inputs());
+    for x in xs {
+        std_row.clear();
+        standardizer.transform_into(x, &mut std_row)?;
+        features.transform_into(&std_row, &mut flat)?;
+    }
+    Matrix::from_vec(xs.len(), p, flat).map_err(MlError::from)
 }
 
 #[cfg(test)]
@@ -204,6 +321,30 @@ mod tests {
             // JSON float text round-trips can lose the last ULP.
             assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0));
         }
+    }
+
+    #[test]
+    fn predict_flat_into_matches_predict_one_bitwise() {
+        let xs = grid2(5);
+        let ys: Vec<f64> = xs.iter().map(|r| 1.0 + r[0] * r[1] - 0.2 * r[1]).collect();
+        let m = PolynomialRegression::fit(&xs, &ys, 3).unwrap();
+        let flat: Vec<f64> = xs.iter().flat_map(|r| r.iter().copied()).collect();
+        let mut out = vec![f64::NAN]; // pre-existing content must survive
+        let mut scratch = PredictScratch::default();
+        m.predict_flat_into(&flat, 2, &mut out, &mut scratch)
+            .unwrap();
+        assert_eq!(out.len(), xs.len() + 1);
+        assert!(out[0].is_nan());
+        for (x, batched) in xs.iter().zip(&out[1..]) {
+            assert_eq!(m.predict_one(x).unwrap().to_bits(), batched.to_bits());
+        }
+        // Malformed inputs are rejected.
+        assert!(m
+            .predict_flat_into(&flat[..3], 2, &mut out, &mut scratch)
+            .is_err());
+        assert!(m
+            .predict_flat_into(&flat, 3, &mut out, &mut scratch)
+            .is_err());
     }
 
     #[test]

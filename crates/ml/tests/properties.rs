@@ -5,7 +5,9 @@ use opprox_ml::dtree::{DecisionTree, TreeParams};
 use opprox_ml::features::{PolynomialFeatures, Standardizer};
 use opprox_ml::m5::{ModelTree, ModelTreeParams};
 use opprox_ml::mic::mic;
-use opprox_ml::polyreg::PolynomialRegression;
+use opprox_ml::model_select::{AutoFitConfig, TargetModel};
+use opprox_ml::polyreg::{PolynomialRegression, PredictScratch};
+use opprox_ml::Dataset;
 use proptest::prelude::*;
 
 fn small_f64() -> impl Strategy<Value = f64> {
@@ -101,6 +103,44 @@ proptest! {
             .collect();
         let v = mic(&xs, &ys).unwrap();
         prop_assert!((0.0..=1.0).contains(&v), "mic {v}");
+    }
+
+    /// Batched prediction is bit-identical to per-row prediction on both
+    /// the raw regression and the full TargetModel (Single structure),
+    /// for arbitrary query points.
+    #[test]
+    fn batched_prediction_is_bit_identical(
+        queries in proptest::collection::vec(
+            proptest::collection::vec(small_f64(), 2),
+            1..24
+        ),
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+    ) {
+        let mut ds = Dataset::new(vec!["x".into(), "z".into()]);
+        for i in 0..40 {
+            let x = i as f64 * 0.25;
+            let z = ((i * 7) % 11) as f64 / 11.0;
+            ds.push(vec![x, z], a * x * x + b * z + 1.0).unwrap();
+        }
+        let cfg = AutoFitConfig { mic_threshold: None, ..AutoFitConfig::default() };
+        let model = TargetModel::fit(&ds, &cfg).unwrap();
+        let flat: Vec<f64> = queries.iter().flatten().copied().collect();
+        let mut out = Vec::new();
+        let mut halves = Vec::new();
+        let mut scratch = PredictScratch::default();
+        model
+            .predict_batch_with_band_into(&flat, 2, &mut out, &mut halves, &mut scratch)
+            .unwrap();
+        prop_assert_eq!(out.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let single = model.predict(q).unwrap();
+            prop_assert_eq!(single.to_bits(), out[i].to_bits());
+            let upper = model.predict_upper(q).unwrap();
+            prop_assert_eq!(upper.to_bits(), (out[i] + halves[i]).to_bits());
+            let lower = model.predict_lower(q).unwrap();
+            prop_assert_eq!(lower.to_bits(), (out[i] - halves[i]).to_bits());
+        }
     }
 
     /// Model-tree predictions on training points never stray far outside
