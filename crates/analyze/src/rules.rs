@@ -1,0 +1,599 @@
+//! The rule registry and the semantic lint implementations.
+//!
+//! Every rule has a stable code: `A0xx` rules are semantic lints run by
+//! [`crate::analyze`]; `C0xx` rules are concurrency-correctness rules
+//! discharged outside this crate (loom model checks, Miri, TSan — see
+//! [`RuleKind`]). Each lint states which artifacts it needs and silently
+//! passes when the set lacks them; rule `A013` reports when the
+//! predictive lints were skipped for lack of inputs.
+//!
+//! Error-severity model-integrity rules (A004/A007/A012) delegate to
+//! [`opprox_core::modeling::AppModels::integrity_issues`] — the same
+//! check `TrainedOpprox::load` and the optimizer entry path enforce —
+//! and A011 delegates to [`AccuracySpec::try_new`], so the lints cannot
+//! drift from the validation the pipeline actually applies.
+
+use crate::artifact::ArtifactSet;
+use crate::diag::{Diagnostic, Report, Severity};
+use opprox_approx_rt::block::{BlockDescriptor, BlockId};
+use opprox_core::modeling::IssueKind;
+use opprox_core::AccuracySpec;
+
+/// How a rule is discharged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    /// A semantic lint executed by [`crate::analyze`].
+    Lint,
+    /// An exhaustive loom model check (`crates/core/tests/loom.rs`,
+    /// run under `RUSTFLAGS="--cfg loom"` in CI).
+    ModelCheck,
+    /// A CI job (Miri or ThreadSanitizer) over the pool/evaluator test
+    /// subset.
+    CiJob,
+}
+
+/// One registry entry: the stable code, its severity when it fires, and
+/// what it checks.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule code (`A001`, ..., `C004`).
+    pub code: &'static str,
+    /// Severity of the diagnostics the rule emits.
+    pub severity: Severity,
+    /// How the rule is discharged.
+    pub kind: RuleKind,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// Every rule, in code order. The `C0xx` entries document the
+/// concurrency rules so `opprox analyze` output, DESIGN.md, and CI stay
+/// in sync; they emit no diagnostics here.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        code: "A001",
+        severity: Severity::Error,
+        kind: RuleKind::Lint,
+        summary: "schedule assigns an approximation level above a block's maximum",
+    },
+    RuleInfo {
+        code: "A002",
+        severity: Severity::Error,
+        kind: RuleKind::Lint,
+        summary: "phase configurations disagree on the block count",
+    },
+    RuleInfo {
+        code: "A003",
+        severity: Severity::Error,
+        kind: RuleKind::Lint,
+        summary: "expected iteration count is zero (or absurdly large: warning)",
+    },
+    RuleInfo {
+        code: "A004",
+        severity: Severity::Error,
+        kind: RuleKind::Lint,
+        summary: "a model coefficient is NaN or infinite",
+    },
+    RuleInfo {
+        code: "A005",
+        severity: Severity::Warn,
+        kind: RuleKind::Lint,
+        summary: "speedup model predicts < 1.0 for the fully accurate configuration",
+    },
+    RuleInfo {
+        code: "A006",
+        severity: Severity::Warn,
+        kind: RuleKind::Lint,
+        summary: "a phase has a non-positive or non-finite ROI (breaks the Alg. 2 budget split)",
+    },
+    RuleInfo {
+        code: "A007",
+        severity: Severity::Error,
+        kind: RuleKind::Lint,
+        summary: "a confidence band is inverted (negative half-width) or has an invalid level",
+    },
+    RuleInfo {
+        code: "A008",
+        severity: Severity::Error,
+        kind: RuleKind::Lint,
+        summary: "schedule is statically infeasible under the spec's budget per the error model",
+    },
+    RuleInfo {
+        code: "A009",
+        severity: Severity::Warn,
+        kind: RuleKind::Lint,
+        summary: "an approximation level is never covered by any training sample",
+    },
+    RuleInfo {
+        code: "A010",
+        severity: Severity::Warn,
+        kind: RuleKind::Lint,
+        summary: "a control-flow class is unreachable through the decision tree",
+    },
+    RuleInfo {
+        code: "A011",
+        severity: Severity::Error,
+        kind: RuleKind::Lint,
+        summary: "accuracy spec's error budget is negative or non-finite",
+    },
+    RuleInfo {
+        code: "A012",
+        severity: Severity::Error,
+        kind: RuleKind::Lint,
+        summary: "model-set shape contradicts its declared dimensions",
+    },
+    RuleInfo {
+        code: "A013",
+        severity: Severity::Info,
+        kind: RuleKind::Lint,
+        summary: "predictive lints (A005/A008) skipped: no inputs available",
+    },
+    RuleInfo {
+        code: "C001",
+        severity: Severity::Error,
+        kind: RuleKind::ModelCheck,
+        summary: "WorkPool submit/steal/shutdown is exactly-once on every interleaving",
+    },
+    RuleInfo {
+        code: "C002",
+        severity: Severity::Error,
+        kind: RuleKind::ModelCheck,
+        summary: "EvalEngine cache insert/hit races lose no results and converge",
+    },
+    RuleInfo {
+        code: "C003",
+        severity: Severity::Error,
+        kind: RuleKind::CiJob,
+        summary: "Miri finds no undefined behaviour in the pool/evaluator test subset",
+    },
+    RuleInfo {
+        code: "C004",
+        severity: Severity::Error,
+        kind: RuleKind::CiJob,
+        summary: "ThreadSanitizer finds no data races in the pool/evaluator test subset",
+    },
+];
+
+/// Registry lookup by code.
+pub fn rule(code: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+/// Threshold above which an expected iteration count is reported as
+/// absurd (A003 warning): no modeled application runs 10¹² outer
+/// iterations; such a value is a unit error or corruption.
+pub const ABSURD_ITERS: u64 = 1_000_000_000_000;
+
+/// Accurate-configuration speedup below this triggers A005 (when no
+/// known input predicts above it): the accurate run *is* the speedup
+/// baseline, so a healthy model predicts ≈ 1.0 there; the margin absorbs
+/// regression noise and band clamping at the range edge.
+pub const ACCURATE_SPEEDUP_FLOOR: f64 = 0.9;
+
+/// Runs every semantic lint over the set and appends the findings.
+pub fn run_all(set: &ArtifactSet, report: &mut Report) {
+    lint_schedule_levels(set, report);
+    lint_block_count_mismatch(set, report);
+    lint_expected_iters(set, report);
+    lint_model_integrity(set, report);
+    lint_accurate_speedup(set, report);
+    lint_phase_roi(set, report);
+    lint_schedule_feasibility(set, report);
+    lint_training_coverage(set, report);
+    lint_unreachable_classes(set, report);
+    lint_spec_budget(set, report);
+    report.sort();
+}
+
+fn diag(report: &mut Report, code: &'static str, location: String, message: String) {
+    let info = rule(code).expect("registered rule code");
+    report.push(Diagnostic {
+        code,
+        severity: info.severity,
+        location,
+        message,
+    });
+}
+
+/// A001 — every phase's levels within each block's `0..=max_level`.
+/// Needs a schedule and block descriptors. The per-block comparison is
+/// the one [`opprox_approx_rt::LevelConfig::validate`] applies.
+fn lint_schedule_levels(set: &ArtifactSet, report: &mut Report) {
+    let (Some(schedule), Some(blocks)) = (&set.schedule, set.effective_blocks()) else {
+        return;
+    };
+    for (p, cfg) in schedule.configs().iter().enumerate() {
+        // Ragged configs are A002's finding; compare the overlap only.
+        for (b, block) in blocks.iter().enumerate().take(cfg.num_blocks()) {
+            let level = cfg.level(b);
+            if level > block.max_level {
+                diag(
+                    report,
+                    "A001",
+                    format!("schedule.phase[{p}].block[{}]", BlockId(b)),
+                    format!(
+                        "level {level} exceeds max level {} of block `{}` ({})",
+                        block.max_level, block.name, block.technique
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// A002 — all phases cover the same blocks, and as many as the
+/// descriptors (or trained model set) declare. Needs a schedule.
+fn lint_block_count_mismatch(set: &ArtifactSet, report: &mut Report) {
+    let Some(schedule) = &set.schedule else {
+        return;
+    };
+    let configs = schedule.configs();
+    let Some(first) = configs.first() else {
+        diag(
+            report,
+            "A002",
+            "schedule".into(),
+            "schedule has no phases".into(),
+        );
+        return;
+    };
+    for (p, cfg) in configs.iter().enumerate().skip(1) {
+        if cfg.num_blocks() != first.num_blocks() {
+            diag(
+                report,
+                "A002",
+                format!("schedule.phase[{p}]"),
+                format!(
+                    "covers {} blocks but phase 0 covers {}",
+                    cfg.num_blocks(),
+                    first.num_blocks()
+                ),
+            );
+        }
+    }
+    if let Some(blocks) = set.effective_blocks() {
+        if first.num_blocks() != blocks.len() {
+            diag(
+                report,
+                "A002",
+                "schedule.phase[0]".into(),
+                format!(
+                    "covers {} blocks but {} blocks are declared",
+                    first.num_blocks(),
+                    blocks.len()
+                ),
+            );
+        }
+    }
+}
+
+/// A003 — expected iteration count is positive and plausible. Needs a
+/// schedule.
+fn lint_expected_iters(set: &ArtifactSet, report: &mut Report) {
+    let Some(schedule) = &set.schedule else {
+        return;
+    };
+    let iters = schedule.expected_iters();
+    if iters == 0 {
+        diag(
+            report,
+            "A003",
+            "schedule.expected_iters".into(),
+            "expected iteration count is zero; every iteration would fall into \
+             a degenerate phase map"
+                .into(),
+        );
+    } else if iters > ABSURD_ITERS {
+        // Same rule, lower severity: a huge count is suspicious, not fatal.
+        report.push(Diagnostic {
+            code: "A003",
+            severity: Severity::Warn,
+            location: "schedule.expected_iters".into(),
+            message: format!(
+                "expected iteration count {iters} exceeds {ABSURD_ITERS}; \
+                 likely a unit error or corruption"
+            ),
+        });
+    }
+}
+
+/// A004 / A007 / A012 — non-finite coefficients, invalid confidence
+/// bands, and shape mismatches, straight from
+/// [`opprox_core::modeling::AppModels::integrity_issues`]. Needs a
+/// trained model set.
+fn lint_model_integrity(set: &ArtifactSet, report: &mut Report) {
+    let Some(trained) = &set.trained else {
+        return;
+    };
+    for issue in trained.models().integrity_issues() {
+        let code = match issue.kind {
+            IssueKind::NonFiniteCoefficient => "A004",
+            IssueKind::InvalidBand => "A007",
+            IssueKind::ShapeMismatch => "A012",
+        };
+        diag(report, code, issue.location, issue.message);
+    }
+    if trained.blocks().len() != trained.models().num_blocks() {
+        diag(
+            report,
+            "A012",
+            "blocks".into(),
+            format!(
+                "{} block descriptors for models trained over {} blocks",
+                trained.blocks().len(),
+                trained.models().num_blocks()
+            ),
+        );
+    }
+}
+
+/// A005 — the speedup model must predict ≈ 1.0 for the fully accurate
+/// configuration (the accurate run is the baseline). A noisy model can
+/// dip below on individual inputs, so the rule fires per phase only when
+/// *every* known input predicts below [`ACCURATE_SPEEDUP_FLOOR`]. Needs
+/// a trained model set and at least one input ([`ArtifactSet::inputs`]);
+/// A013 reports the skip otherwise.
+fn lint_accurate_speedup(set: &ArtifactSet, report: &mut Report) {
+    let Some(trained) = &set.trained else {
+        return;
+    };
+    if !trained.models().integrity_issues().is_empty() {
+        return; // Predictions on corrupt models would be noise.
+    }
+    let inputs = set.inputs();
+    if inputs.is_empty() {
+        diag(
+            report,
+            "A013",
+            "models".into(),
+            "predictive lint A005 skipped: no training data or registered \
+             application to draw inputs from"
+                .into(),
+        );
+        return;
+    }
+    let accurate = opprox_approx_rt::LevelConfig::accurate(trained.models().num_blocks());
+    for phase in 0..trained.models().num_phases() {
+        let mut best: Option<f64> = None;
+        for input in &inputs {
+            let Ok(pred) = trained.models().predict_point(input, phase, &accurate) else {
+                continue; // Arity errors surface through A012.
+            };
+            best = Some(best.map_or(pred.speedup, |b: f64| b.max(pred.speedup)));
+        }
+        if let Some(best) = best {
+            if best < ACCURATE_SPEEDUP_FLOOR {
+                diag(
+                    report,
+                    "A005",
+                    format!("models.phase[{phase}].speedup"),
+                    format!(
+                        "predicts at most {best:.3}x for the fully accurate \
+                         configuration across all {} known inputs (expected \
+                         ≈ 1.0): the model is miscalibrated",
+                        inputs.len()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// A006 — every phase ROI positive and finite; Algorithm 2 splits the
+/// budget proportionally to ROI, so a bad value poisons the split.
+/// Needs a trained model set.
+fn lint_phase_roi(set: &ArtifactSet, report: &mut Report) {
+    let Some(trained) = &set.trained else {
+        return;
+    };
+    for (c, class) in trained.models().classes().iter().enumerate() {
+        for (p, phase) in class.phases.iter().enumerate() {
+            if !(phase.roi.is_finite() && phase.roi > 0.0) {
+                diag(
+                    report,
+                    "A006",
+                    format!("models.class[{c}].phase[{p}].roi"),
+                    format!(
+                        "ROI {} is not a positive finite number; the Alg. 2 \
+                         ROI-proportional budget split is undefined",
+                        phase.roi
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// A008 — the schedule's summed conservative QoS prediction must fit
+/// the spec's budget for at least one known input. Needs a schedule, a
+/// spec, a trained model set, and inputs (A013 reports the skip).
+fn lint_schedule_feasibility(set: &ArtifactSet, report: &mut Report) {
+    let (Some(schedule), Some(spec), Some(trained)) = (&set.schedule, &set.spec, &set.trained)
+    else {
+        return;
+    };
+    if !trained.models().integrity_issues().is_empty() {
+        return;
+    }
+    if AccuracySpec::try_new(spec.error_budget()).is_err() {
+        return; // A011's finding; a bad budget makes feasibility moot.
+    }
+    if schedule.num_phases() != trained.models().num_phases()
+        || schedule.num_blocks() != trained.models().num_blocks()
+        || schedule
+            .configs()
+            .iter()
+            .any(|c| c.num_blocks() != schedule.num_blocks())
+    {
+        return; // Shape mismatches are A002/A012 findings.
+    }
+    let inputs = set.inputs();
+    if inputs.is_empty() {
+        diag(
+            report,
+            "A013",
+            "schedule".into(),
+            "predictive lint A008 skipped: no training data or registered \
+             application to draw inputs from"
+                .into(),
+        );
+        return;
+    }
+    let mut best: Option<f64> = None;
+    for input in &inputs {
+        let mut total = 0.0f64;
+        let mut ok = true;
+        for (p, cfg) in schedule.configs().iter().enumerate() {
+            if cfg.is_accurate() {
+                continue;
+            }
+            match trained.models().predict(input, p, cfg) {
+                Ok(pred) => total += pred.qos,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            best = Some(best.map_or(total, |b: f64| b.min(total)));
+        }
+    }
+    if let Some(best) = best {
+        if best > spec.error_budget() {
+            diag(
+                report,
+                "A008",
+                "schedule".into(),
+                format!(
+                    "statically infeasible: the trained error model predicts at \
+                     least {best:.2} QoS degradation for every known input, over \
+                     the spec's budget {:.2}",
+                    spec.error_budget()
+                ),
+            );
+        }
+    }
+}
+
+/// A009 — every approximation level of every block appears in at least
+/// one training sample; the local models extrapolate blindly at
+/// uncovered levels. Needs training data and block descriptors.
+fn lint_training_coverage(set: &ArtifactSet, report: &mut Report) {
+    let (Some(training), Some(blocks)) = (&set.training, set.effective_blocks()) else {
+        return;
+    };
+    if training.records.is_empty() {
+        return; // Nothing sampled at all is InsufficientData, not a gap.
+    }
+    for (b, block) in blocks.iter().enumerate() {
+        let missing: Vec<u8> = (1..=block.max_level)
+            .filter(|&l| {
+                !training
+                    .records
+                    .iter()
+                    .any(|r| b < r.config.num_blocks() && r.config.level(b) == l)
+            })
+            .collect();
+        if !missing.is_empty() {
+            diag(
+                report,
+                "A009",
+                format!("training.block[{}]", BlockId(b)),
+                format!(
+                    "levels {missing:?} of block `{}` appear in no training \
+                     sample; the local model extrapolates there",
+                    block.name
+                ),
+            );
+        }
+    }
+}
+
+/// A010 — every control-flow class reachable through the decision
+/// tree's leaves. Needs a trained model set.
+fn lint_unreachable_classes(set: &ArtifactSet, report: &mut Report) {
+    let Some(trained) = &set.trained else {
+        return;
+    };
+    let cf = trained.models().control_flow();
+    let reachable = cf.reachable_classes();
+    for class in 0..cf.num_classes() {
+        if !reachable.contains(&class) {
+            diag(
+                report,
+                "A010",
+                format!("models.control_flow.class[{class}]"),
+                format!(
+                    "class {class} (signature {:?}) is predicted by no decision-tree \
+                     leaf; its per-phase models can never be selected",
+                    cf.signature(class)
+                ),
+            );
+        }
+    }
+}
+
+/// A011 — the spec's budget through [`AccuracySpec::try_new`], the
+/// same validation the pipeline applies. Needs a spec.
+fn lint_spec_budget(set: &ArtifactSet, report: &mut Report) {
+    let Some(spec) = &set.spec else {
+        return;
+    };
+    if let Err(e) = AccuracySpec::try_new(spec.error_budget()) {
+        diag(report, "A011", "spec.error_budget".into(), e.to_string());
+    }
+}
+
+/// A `BlockDescriptor` list formatted for messages (used by callers
+/// building context lines).
+pub fn describe_blocks(blocks: &[BlockDescriptor]) -> String {
+    blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| format!("{}={} (0..={})", BlockId(i), b.name, b.max_level))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_codes_are_unique_and_ordered() {
+        let codes: Vec<&str> = RULES.iter().map(|r| r.code).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "codes unique and in order");
+        assert!(rule("A001").is_some());
+        assert!(rule("C004").is_some());
+        assert!(rule("Z999").is_none());
+    }
+
+    #[test]
+    fn concurrency_rules_are_not_lints() {
+        for r in RULES.iter().filter(|r| r.code.starts_with('C')) {
+            assert_ne!(
+                r.kind,
+                RuleKind::Lint,
+                "{} is discharged externally",
+                r.code
+            );
+        }
+        for r in RULES.iter().filter(|r| r.code.starts_with('A')) {
+            assert_eq!(r.kind, RuleKind::Lint, "{} is a lint", r.code);
+        }
+    }
+
+    #[test]
+    fn describe_blocks_renders_positionally() {
+        use opprox_approx_rt::block::TechniqueKind;
+        let blocks = vec![
+            BlockDescriptor::new("a", TechniqueKind::LoopPerforation, 2),
+            BlockDescriptor::new("b", TechniqueKind::Memoization, 5),
+        ];
+        assert_eq!(describe_blocks(&blocks), "AB0=a (0..=2), AB1=b (0..=5)");
+    }
+}

@@ -1,0 +1,65 @@
+//! Golden-file guard for the `--format json` schema.
+//!
+//! Downstream tooling parses `opprox analyze --format json`; this test
+//! pins the rendered bytes of a fixed report against
+//! `tests/golden/diagnostics.json`. If the schema must change, update
+//! the golden file in the same commit and call it out in the changelog.
+
+use opprox_analyze::{Diagnostic, Report, Severity};
+
+fn fixed_report() -> Report {
+    let mut r = Report::new();
+    r.push(Diagnostic {
+        code: "A003",
+        severity: Severity::Warn,
+        location: "schedule.expected_iters".into(),
+        message: "expected iteration count 2000000000000 exceeds 1000000000000; \
+                  likely a unit error or corruption"
+            .into(),
+    });
+    r.push(Diagnostic {
+        code: "A001",
+        severity: Severity::Error,
+        location: "schedule.phase[1].block[AB2]".into(),
+        message: "level 9 exceeds max level 5 of block `pbest_update` (loop perforation)".into(),
+    });
+    r.push(Diagnostic {
+        code: "A013",
+        severity: Severity::Info,
+        location: "models".into(),
+        message: "predictive lint A005 skipped: no training data or registered \
+                  application to draw inputs from"
+            .into(),
+    });
+    r.sort();
+    r
+}
+
+#[test]
+fn json_schema_matches_golden_file() {
+    let golden = include_str!("golden/diagnostics.json");
+    let rendered = fixed_report().render_json();
+    assert_eq!(
+        rendered,
+        golden.trim_end(),
+        "the JSON diagnostics schema is a stable interface; if this change \
+         is intentional, regenerate tests/golden/diagnostics.json"
+    );
+}
+
+/// Regenerates the golden file after an intentional schema change:
+/// `cargo test -p opprox-analyze --test golden_json -- --ignored regenerate`
+#[test]
+#[ignore = "writes the golden file; run explicitly after schema changes"]
+fn regenerate_golden() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/diagnostics.json");
+    std::fs::write(path, fixed_report().render_json() + "\n").unwrap();
+}
+
+#[test]
+fn golden_file_is_valid_json_with_expected_keys() {
+    let v = serde_json::parse_value(include_str!("golden/diagnostics.json")).unwrap();
+    let obj = v.as_object().unwrap();
+    let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, ["diagnostics", "errors", "warnings"]);
+}

@@ -30,6 +30,7 @@
 //! assert_eq!(sparse, vec![0, 3, 6]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod app;

@@ -187,6 +187,26 @@ mod tests {
     }
 
     #[test]
+    fn iterations_at_and_beyond_expected_end_map_to_final_phase() {
+        // The expected count came from the *accurate* run; an approximate
+        // run can converge later, so every overshoot iteration must stay
+        // in the last phase rather than index out of range.
+        let s = PhaseSchedule::new(vec![LevelConfig::accurate(1); 3], 9).unwrap();
+        assert_eq!(s.phase_of(8), 2); // last expected iteration
+        assert_eq!(s.phase_of(9), 2); // exactly the expected count
+        assert_eq!(s.phase_of(10), 2); // one past
+        assert_eq!(s.phase_of(u64::MAX), 2); // arbitrarily far past
+    }
+
+    #[test]
+    fn single_phase_schedule_accepts_any_iteration() {
+        let s = PhaseSchedule::new(vec![LevelConfig::accurate(2)], 7).unwrap();
+        for iter in [0, 6, 7, 8, 1_000_000, u64::MAX] {
+            assert_eq!(s.phase_of(iter), 0, "iteration {iter}");
+        }
+    }
+
+    #[test]
     fn divisible_iterations_split_evenly() {
         let cfgs = vec![LevelConfig::accurate(1); 4];
         let s = PhaseSchedule::new(cfgs, 8).unwrap();

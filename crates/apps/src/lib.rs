@@ -30,6 +30,7 @@
 //! assert!(approx.work < exact.work);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bodytrack;

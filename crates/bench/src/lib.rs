@@ -3,6 +3,7 @@
 //! `benches/` targets of this crate; see EXPERIMENTS.md at the repository
 //! root for the index.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod runner;

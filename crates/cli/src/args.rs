@@ -1,11 +1,13 @@
 //! Typed argument parsing for the `opprox` binary.
 //!
-//! Grammar: `opprox <command> [--flag value]...`. Parsing is two-stage:
-//! the raw `--flag value` pairs are collected, then immediately checked
-//! against the selected command's flag set and converted into a typed
-//! [`Command`]. Unknown commands and unknown flags fail **at parse
-//! time** with a nearest-match suggestion, so nothing stringly-typed
-//! survives into dispatch.
+//! Grammar: `opprox <command> [args...] [--flag value]...`. Parsing is
+//! two-stage: the raw positionals and `--flag value` pairs are
+//! collected, then immediately checked against the selected command's
+//! flag set and converted into a typed [`Command`]. Unknown commands and
+//! unknown flags fail **at parse time** with a nearest-match suggestion,
+//! so nothing stringly-typed survives into dispatch. Only `analyze`
+//! takes positional arguments (its artifact files); everywhere else a
+//! positional is an error.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -83,6 +85,15 @@ pub enum Command {
         /// Path to a trained model JSON.
         model: String,
     },
+    /// Lint serialized artifacts (schedules, specs, trained model sets).
+    Analyze {
+        /// Paths to the artifact files, in any order and combination.
+        artifacts: Vec<String>,
+        /// Report format.
+        format: OutputFormat,
+        /// Treat warnings as fatal (`--deny warnings`).
+        deny_warnings: bool,
+    },
     /// OPPROX (validated) vs the oracle in one shot.
     Compare {
         /// Application name.
@@ -102,6 +113,15 @@ pub enum Command {
     },
     /// Print the usage summary.
     Help,
+}
+
+/// How `opprox analyze` renders its report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Human-readable, compiler-style lines.
+    Text,
+    /// The stable JSON schema (golden-file tested in `opprox-analyze`).
+    Json,
 }
 
 /// `(name, allowed flags)` for every command, used for validation and
@@ -127,6 +147,7 @@ const COMMANDS: &[(&str, &[&str])] = &[
     ),
     ("oracle", &["app", "input", "budget", "threads"]),
     ("inspect", &["model"]),
+    ("analyze", &["format", "deny"]),
     (
         "compare",
         &[
@@ -172,6 +193,8 @@ pub enum ArgError {
     },
     /// A positional argument appeared where a flag was expected.
     UnexpectedPositional(String),
+    /// `opprox analyze` was invoked with no artifact files.
+    NoArtifacts,
 }
 
 impl fmt::Display for ArgError {
@@ -206,6 +229,11 @@ impl fmt::Display for ArgError {
             ArgError::UnexpectedPositional(arg) => {
                 write!(f, "unexpected argument `{arg}` (flags are --name value)")
             }
+            ArgError::NoArtifacts => write!(
+                f,
+                "`opprox analyze` needs at least one artifact file; \
+                 try `opprox analyze model.json schedule.json`"
+            ),
         }
     }
 }
@@ -226,9 +254,10 @@ impl Command {
     }
 }
 
-/// The raw `command + flag map` stage, before typing.
+/// The raw `command + positionals + flag map` stage, before typing.
 struct RawArgs {
     command: String,
+    positionals: Vec<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -236,6 +265,7 @@ impl RawArgs {
     fn collect<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
         let mut iter = args.into_iter();
         let command = iter.next().ok_or(ArgError::MissingCommand)?;
+        let mut positionals = Vec::new();
         let mut flags = BTreeMap::new();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
@@ -244,10 +274,14 @@ impl RawArgs {
                     .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
                 flags.insert(name.to_string(), value);
             } else {
-                return Err(ArgError::UnexpectedPositional(arg));
+                positionals.push(arg);
             }
         }
-        Ok(RawArgs { command, flags })
+        Ok(RawArgs {
+            command,
+            positionals,
+            flags,
+        })
     }
 
     fn into_command(self) -> Result<Command, ArgError> {
@@ -257,6 +291,11 @@ impl RawArgs {
                 given: self.command,
             });
         };
+        if name != "analyze" {
+            if let Some(stray) = self.positionals.first() {
+                return Err(ArgError::UnexpectedPositional(stray.clone()));
+            }
+        }
         for flag in self.flags.keys() {
             if !allowed.contains(&flag.as_str()) {
                 return Err(ArgError::UnknownFlag {
@@ -308,6 +347,16 @@ impl RawArgs {
             "inspect" => Command::Inspect {
                 model: self.require("model")?.to_string(),
             },
+            "analyze" => {
+                if self.positionals.is_empty() {
+                    return Err(ArgError::NoArtifacts);
+                }
+                Command::Analyze {
+                    format: self.output_format()?,
+                    deny_warnings: self.deny_warnings()?,
+                    artifacts: self.positionals,
+                }
+            }
             "compare" => Command::Compare {
                 app: self.require("app")?.to_string(),
                 input: self.require_input("input")?,
@@ -357,6 +406,32 @@ impl RawArgs {
                 flag: flag.to_string(),
                 value: raw.to_string(),
                 expected: "a non-negative integer",
+            }),
+        }
+    }
+
+    /// `--format text|json` (default `text`).
+    fn output_format(&self) -> Result<OutputFormat, ArgError> {
+        match self.get("format") {
+            None | Some("text") => Ok(OutputFormat::Text),
+            Some("json") => Ok(OutputFormat::Json),
+            Some(raw) => Err(ArgError::BadValue {
+                flag: "format".to_string(),
+                value: raw.to_string(),
+                expected: "`text` or `json`",
+            }),
+        }
+    }
+
+    /// `--deny warnings` (the only deniable class).
+    fn deny_warnings(&self) -> Result<bool, ArgError> {
+        match self.get("deny") {
+            None => Ok(false),
+            Some("warnings") => Ok(true),
+            Some(raw) => Err(ArgError::BadValue {
+                flag: "deny".to_string(),
+                value: raw.to_string(),
+                expected: "`warnings`",
             }),
         }
     }
@@ -569,6 +644,45 @@ mod tests {
                 validations: 9,
                 threads: Some(3),
             }
+        );
+    }
+
+    #[test]
+    fn analyze_takes_positionals_other_commands_do_not() {
+        let c = parse(&["analyze", "m.json", "s.json"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Analyze {
+                artifacts: vec!["m.json".into(), "s.json".into()],
+                format: OutputFormat::Text,
+                deny_warnings: false,
+            }
+        );
+        let c = parse(&[
+            "analyze", "m.json", "--format", "json", "--deny", "warnings",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Analyze {
+                artifacts: vec!["m.json".into()],
+                format: OutputFormat::Json,
+                deny_warnings: true,
+            }
+        );
+        assert_eq!(parse(&["analyze"]).unwrap_err(), ArgError::NoArtifacts);
+        assert!(matches!(
+            parse(&["analyze", "m.json", "--format", "xml"]).unwrap_err(),
+            ArgError::BadValue { flag, .. } if flag == "format"
+        ));
+        assert!(matches!(
+            parse(&["analyze", "m.json", "--deny", "errors"]).unwrap_err(),
+            ArgError::BadValue { flag, .. } if flag == "deny"
+        ));
+        // Positional rejection for every other command is unchanged.
+        assert_eq!(
+            parse(&["inspect", "m.json"]).unwrap_err(),
+            ArgError::UnexpectedPositional("m.json".into())
         );
     }
 

@@ -8,6 +8,8 @@
 //!
 //! Run `opprox help` for usage.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

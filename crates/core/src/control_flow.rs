@@ -90,6 +90,17 @@ impl ControlFlowModel {
     pub fn class_of_signature(&self, signature: &[usize]) -> Option<usize> {
         self.classes.iter().position(|c| c == signature)
     }
+
+    /// The class ids the classifier can actually emit: every decision-tree
+    /// leaf label, or just class 0 when no tree was trained. A class in
+    /// `0..num_classes` missing from this set is unreachable control flow
+    /// (lint `A010` in `opprox-analyze`).
+    pub fn reachable_classes(&self) -> Vec<usize> {
+        match &self.tree {
+            None => vec![0],
+            Some(tree) => tree.leaf_labels(),
+        }
+    }
 }
 
 #[cfg(test)]

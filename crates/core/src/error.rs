@@ -23,6 +23,10 @@ pub enum OpproxError {
     },
     /// Serialization of a trained system failed.
     Serialization(String),
+    /// A trained model set failed its integrity check (non-finite
+    /// coefficients, invalid confidence bands, or shape mismatches); see
+    /// [`crate::modeling::AppModels::integrity_issues`].
+    InvalidModel(String),
 }
 
 impl fmt::Display for OpproxError {
@@ -36,6 +40,7 @@ impl fmt::Display for OpproxError {
                 write!(f, "no approximation fits the QoS budget {budget}")
             }
             OpproxError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            OpproxError::InvalidModel(msg) => write!(f, "invalid trained model set: {msg}"),
         }
     }
 }

@@ -23,13 +23,13 @@
 
 use crate::error::OpproxError;
 use crate::pool::WorkPool;
+use crate::sync::{AtomicU64, Mutex, Ordering};
 use opprox_approx_rt::{ApproxApp, InputParams, PhaseSchedule, RunResult};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Identity of one real execution: application, input, and schedule.

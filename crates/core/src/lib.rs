@@ -41,6 +41,7 @@
 //! println!("predicted speedup {:.2}", outcome.plan.predicted_speedup);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod control_flow;
@@ -56,6 +57,7 @@ pub mod report;
 pub mod request;
 pub mod sampling;
 pub mod spec;
+pub(crate) mod sync;
 
 pub use error::OpproxError;
 pub use evaluator::{EvalEngine, EvalMetrics};

@@ -225,6 +225,16 @@ impl TwoStepModel {
     pub fn combined_r2(&self) -> f64 {
         self.combined.cv_r2()
     }
+
+    /// The per-block local models (one per approximable block).
+    pub fn locals(&self) -> &[TargetModel] {
+        &self.locals
+    }
+
+    /// The combined model over local predictions + estimated iterations.
+    pub fn combined(&self) -> &TargetModel {
+        &self.combined
+    }
 }
 
 /// All models for one phase of one control-flow class.
@@ -800,6 +810,146 @@ impl AppModels {
             .enumerate()
             .map(|(p, m)| (p, m.speedup.combined_r2(), m.qos.combined_r2()))
             .collect()
+    }
+
+    /// The per-class model sets, indexed by control-flow class.
+    pub fn classes(&self) -> &[ClassModels] {
+        &self.classes
+    }
+
+    /// Number of input parameters the models were trained over.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// Checks the model set for corruption that would make every
+    /// prediction meaningless: non-finite regression coefficients,
+    /// invalid confidence bands, and shape mismatches between the
+    /// class/phase/block structure and the declared dimensions.
+    ///
+    /// This is the Error-severity subset of the `opprox analyze` rules
+    /// (A004, A007, A012); [`crate::pipeline::TrainedOpprox::load`] and
+    /// the optimizer entry path reject model sets that fail it, and the
+    /// `opprox-analyze` lints delegate here so the two cannot drift.
+    pub fn integrity_issues(&self) -> Vec<IntegrityIssue> {
+        let mut issues = Vec::new();
+        if self.classes.len() != self.control_flow.num_classes() {
+            issues.push(IntegrityIssue {
+                kind: IssueKind::ShapeMismatch,
+                location: "models.classes".into(),
+                message: format!(
+                    "{} class model sets for {} control-flow classes",
+                    self.classes.len(),
+                    self.control_flow.num_classes()
+                ),
+            });
+        }
+        for (c, class) in self.classes.iter().enumerate() {
+            if class.phases.len() != self.num_phases {
+                issues.push(IntegrityIssue {
+                    kind: IssueKind::ShapeMismatch,
+                    location: format!("models.class[{c}]"),
+                    message: format!(
+                        "{} phase model sets for {} phases",
+                        class.phases.len(),
+                        self.num_phases
+                    ),
+                });
+            }
+            for (p, phase) in class.phases.iter().enumerate() {
+                let at = |part: &str| format!("models.class[{c}].phase[{p}].{part}");
+                check_target_model(&phase.iters, &at("iters"), &mut issues);
+                for (name, model) in [("speedup", &phase.speedup), ("qos", &phase.qos)] {
+                    if model.locals.len() != self.num_blocks {
+                        issues.push(IntegrityIssue {
+                            kind: IssueKind::ShapeMismatch,
+                            location: at(name),
+                            message: format!(
+                                "{} local models for {} blocks",
+                                model.locals.len(),
+                                self.num_blocks
+                            ),
+                        });
+                    }
+                    for (b, local) in model.locals.iter().enumerate() {
+                        check_target_model(local, &at(&format!("{name}.local[{b}]")), &mut issues);
+                    }
+                    check_target_model(
+                        &model.combined,
+                        &at(&format!("{name}.combined")),
+                        &mut issues,
+                    );
+                }
+            }
+        }
+        issues
+    }
+}
+
+/// One corruption found by [`AppModels::integrity_issues`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegrityIssue {
+    /// What kind of corruption this is.
+    pub kind: IssueKind,
+    /// Dotted path into the model set, e.g.
+    /// `models.class[0].phase[1].qos.local[2]`.
+    pub location: String,
+    /// Human-readable description of the defect.
+    pub message: String,
+}
+
+/// The corruption classes [`AppModels::integrity_issues`] detects. Each
+/// maps to one Error-severity `opprox analyze` rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueKind {
+    /// A regression coefficient is NaN or infinite (rule A004).
+    NonFiniteCoefficient,
+    /// A confidence band has a negative/non-finite half-width or a
+    /// confidence level outside `(0, 1]` (rule A007).
+    InvalidBand,
+    /// The class/phase/block structure contradicts the declared
+    /// dimensions (rule A012).
+    ShapeMismatch,
+}
+
+/// Checks one fitted model's submodels for non-finite coefficients and
+/// invalid confidence bands.
+fn check_target_model(model: &TargetModel, location: &str, issues: &mut Vec<IntegrityIssue>) {
+    for (s, sub) in model.submodels().iter().enumerate() {
+        let at = if model.is_split() {
+            format!("{location}.submodel[{s}]")
+        } else {
+            location.to_string()
+        };
+        if let Some(j) = sub.coefficients().iter().position(|c| !c.is_finite()) {
+            issues.push(IntegrityIssue {
+                kind: IssueKind::NonFiniteCoefficient,
+                location: at.clone(),
+                message: format!(
+                    "coefficient {j} is {} (degree-{} fit)",
+                    sub.coefficients()[j],
+                    sub.degree()
+                ),
+            });
+        }
+        let band = sub.band();
+        if !band.half_width().is_finite() || band.half_width() < 0.0 {
+            issues.push(IntegrityIssue {
+                kind: IssueKind::InvalidBand,
+                location: at.clone(),
+                message: format!(
+                    "confidence band half-width {} is invalid",
+                    band.half_width()
+                ),
+            });
+        }
+        if !(band.level() > 0.0 && band.level() <= 1.0) {
+            issues.push(IntegrityIssue {
+                kind: IssueKind::InvalidBand,
+                location: at,
+                message: format!("confidence level {} outside (0, 1]", band.level()),
+            });
+        }
     }
 }
 

@@ -191,7 +191,7 @@ impl TrainedOpprox {
     }
 
     /// The approximable blocks the system was trained over.
-    pub(crate) fn blocks(&self) -> &[BlockDescriptor] {
+    pub fn blocks(&self) -> &[BlockDescriptor] {
         &self.blocks
     }
 
@@ -463,11 +463,75 @@ impl TrainedOpprox {
 
     /// Restores a trained system from JSON.
     ///
+    /// Deliberately lenient: structurally valid JSON deserializes even
+    /// when the model set is corrupt, so `opprox analyze` can lint broken
+    /// artifacts and report *what* is wrong. Paths that go on to use the
+    /// models should prefer [`TrainedOpprox::load`] or call
+    /// [`TrainedOpprox::validate_integrity`] themselves.
+    ///
     /// # Errors
     ///
     /// Returns [`OpproxError::Serialization`] on decoder failure.
     pub fn from_json(json: &str) -> Result<Self, OpproxError> {
         serde_json::from_str(json).map_err(|e| OpproxError::Serialization(e.to_string()))
+    }
+
+    /// Checks the trained system for corruption that would poison every
+    /// downstream prediction: the Error-severity subset of the `opprox
+    /// analyze` rules (A004 non-finite coefficients, A007 invalid
+    /// confidence bands, A012 shape mismatches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpproxError::InvalidModel`] naming the first defects.
+    pub fn validate_integrity(&self) -> Result<(), OpproxError> {
+        let mut issues = self.models.integrity_issues();
+        if self.blocks.len() != self.models.num_blocks() {
+            issues.insert(
+                0,
+                crate::modeling::IntegrityIssue {
+                    kind: crate::modeling::IssueKind::ShapeMismatch,
+                    location: "blocks".into(),
+                    message: format!(
+                        "{} block descriptors for models trained over {} blocks",
+                        self.blocks.len(),
+                        self.models.num_blocks()
+                    ),
+                },
+            );
+        }
+        if issues.is_empty() {
+            return Ok(());
+        }
+        let shown = issues
+            .iter()
+            .take(3)
+            .map(|i| format!("{}: {}", i.location, i.message))
+            .collect::<Vec<_>>()
+            .join("; ");
+        let suffix = if issues.len() > 3 {
+            format!(" (and {} more)", issues.len() - 3)
+        } else {
+            String::new()
+        };
+        Err(OpproxError::InvalidModel(format!("{shown}{suffix}")))
+    }
+
+    /// Loads a trained system from a JSON file and rejects corrupt model
+    /// sets at the boundary (see [`TrainedOpprox::validate_integrity`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpproxError::Serialization`] when the file is unreadable
+    /// or not valid JSON, and [`OpproxError::InvalidModel`] when the
+    /// deserialized model set fails the integrity check.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, OpproxError> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| OpproxError::Serialization(format!("reading {}: {e}", path.display())))?;
+        let trained = Self::from_json(&json)?;
+        trained.validate_integrity()?;
+        Ok(trained)
     }
 }
 

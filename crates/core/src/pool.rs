@@ -8,8 +8,8 @@
 //! parallel runs are output-identical to sequential ones whenever the jobs
 //! themselves are independent.
 
+use crate::sync::{thread, Mutex};
 use std::collections::VecDeque;
-use std::sync::Mutex;
 
 /// A bounded pool of scoped worker threads with work stealing.
 #[derive(Debug, Clone, Copy)]
@@ -53,21 +53,24 @@ impl WorkPool {
         }
         let outcomes: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             for w in 0..workers {
                 let queues = &queues;
                 let outcomes = &outcomes;
                 let job = &job;
                 scope.spawn(move || loop {
-                    let next = queues[w]
-                        .lock()
-                        .expect("queue lock")
-                        .pop_front()
-                        .or_else(|| {
-                            (0..workers)
-                                .filter(|&v| v != w)
-                                .find_map(|v| queues[v].lock().expect("queue lock").pop_back())
-                        });
+                    // Drop the own-queue guard before stealing: chaining
+                    // `.or_else` onto the locked pop would keep this guard
+                    // alive across the steal attempts (temporaries live to
+                    // the end of the statement), and two workers stealing
+                    // from each other simultaneously would deadlock ABBA
+                    // style — found by the loom model check (rule C001).
+                    let mut next = queues[w].lock().expect("queue lock").pop_front();
+                    if next.is_none() {
+                        next = (0..workers)
+                            .filter(|&v| v != w)
+                            .find_map(|v| queues[v].lock().expect("queue lock").pop_back());
+                    }
                     let Some(i) = next else { break };
                     *outcomes[i].lock().expect("outcome lock") = Some(job(i));
                 });

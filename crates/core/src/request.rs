@@ -174,6 +174,10 @@ impl<'a> OptimizeRequest<'a> {
     /// Propagates model-prediction and (when validating) application
     /// runtime errors.
     pub fn run(&self, trained: &TrainedOpprox) -> Result<OptimizeOutcome, OpproxError> {
+        // Reject corrupt model sets before any prediction runs on them:
+        // a NaN coefficient or inverted band would silently poison every
+        // Algorithm-2 solve below (`opprox analyze` rules A004/A007/A012).
+        trained.validate_integrity()?;
         let expected = trained.estimate_golden_iters(&self.input)?;
         let Some(app) = self.validation_app else {
             let plan = optimize_with(

@@ -30,15 +30,28 @@ impl AccuracySpec {
     /// Creates a specification with the given QoS-degradation budget
     /// (same unit as the application's QoS metric, e.g. percent).
     ///
+    /// This is a thin wrapper over [`AccuracySpec::try_new`] — the two
+    /// constructors apply the *same* validation (and `opprox analyze`
+    /// rule A011 delegates to it too); this one just trades the
+    /// `Result` for a panic, for literals known to be valid.
+    ///
     /// # Panics
     ///
     /// Panics if the budget is negative or not finite; use
     /// [`AccuracySpec::try_new`] for fallible construction.
+    ///
+    /// ```should_panic
+    /// use opprox_core::AccuracySpec;
+    ///
+    /// // A negative budget is rejected by try_new, so new panics.
+    /// AccuracySpec::new(-1.0);
+    /// ```
     pub fn new(error_budget: f64) -> Self {
         Self::try_new(error_budget).expect("valid error budget")
     }
 
-    /// Fallible constructor.
+    /// Fallible constructor — the single source of budget validation
+    /// ([`AccuracySpec::new`] and lint rule A011 both route through it).
     ///
     /// # Errors
     ///

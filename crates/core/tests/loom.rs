@@ -1,0 +1,156 @@
+//! Exhaustive bounded model checks for the concurrency protocols the
+//! `opprox-analyze` registry tracks as rules `C001` and `C002`:
+//!
+//! * `C001` — [`opprox_core::pool::WorkPool`]'s submit/steal/shutdown
+//!   protocol: every job runs exactly once and results land in submission
+//!   order, on every explored interleaving of the worker threads.
+//! * `C002` — [`opprox_core::evaluator::EvalEngine`]'s execution cache:
+//!   the check-then-insert race between concurrent `run` calls never
+//!   loses a result, never double-counts, and converges to one cached
+//!   entry.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`, which also swaps the
+//! pool's and evaluator's sync primitives for loom's instrumented
+//! look-alikes (see `core::sync`). Run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p opprox-core --test loom --release
+//! ```
+#![cfg(loom)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use opprox_approx_rt::app::AppMeta;
+use opprox_approx_rt::block::{BlockDescriptor, TechniqueKind};
+use opprox_approx_rt::log::CallContextLog;
+use opprox_approx_rt::{ApproxApp, InputParams, PhaseSchedule, RunResult};
+use opprox_core::evaluator::EvalEngine;
+use opprox_core::pool::WorkPool;
+
+/// A trivially deterministic app: no real compute, so the model run
+/// explores the synchronization protocol rather than the workload.
+struct StubApp {
+    meta: AppMeta,
+}
+
+impl StubApp {
+    fn new() -> Self {
+        StubApp {
+            meta: AppMeta {
+                name: "loom-stub".into(),
+                input_param_names: vec!["x".into()],
+                blocks: vec![BlockDescriptor::new(
+                    "b0",
+                    TechniqueKind::LoopPerforation,
+                    2,
+                )],
+            },
+        }
+    }
+}
+
+impl ApproxApp for StubApp {
+    fn meta(&self) -> &AppMeta {
+        &self.meta
+    }
+
+    fn run(
+        &self,
+        input: &InputParams,
+        _schedule: &PhaseSchedule,
+    ) -> Result<RunResult, opprox_approx_rt::RuntimeError> {
+        Ok(RunResult {
+            output: vec![input.values()[0]],
+            work: 7,
+            outer_iters: 1,
+            log: CallContextLog::new(),
+        })
+    }
+
+    fn representative_inputs(&self) -> Vec<InputParams> {
+        vec![InputParams::new(vec![1.0])]
+    }
+}
+
+/// C001: two workers, three jobs (so one worker must steal or drain two).
+/// Plain `std` atomics observe execution counts without adding scheduling
+/// points, keeping the explored state space the pool's own protocol.
+#[test]
+fn c001_workpool_submit_steal_shutdown_is_exact_once_in_order() {
+    loom::model(|| {
+        let ran = [
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        ];
+        let pool = WorkPool::new(2);
+        let out = pool.run(3, |i| {
+            ran[i].fetch_add(1, Ordering::SeqCst);
+            i * 10
+        });
+        assert_eq!(out, vec![0, 10, 20], "results in submission order");
+        for (i, r) in ran.iter().enumerate() {
+            assert_eq!(r.load(Ordering::SeqCst), 1, "job {i} ran exactly once");
+        }
+    });
+}
+
+/// C002: two threads race `EvalEngine::run` on the same key. Whichever
+/// interleaving wins the check-then-insert race, no request is lost, the
+/// counters balance, and exactly one result is memoized.
+#[test]
+fn c002_eval_cache_insert_hit_race_converges() {
+    loom::model(|| {
+        let engine = EvalEngine::new(1);
+        let app = StubApp::new();
+        let input = InputParams::new(vec![1.0]);
+        let schedule = PhaseSchedule::accurate(1);
+        loom::thread::scope(|s| {
+            let (engine, app, input, schedule) = (&engine, &app, &input, &schedule);
+            s.spawn(move || {
+                let r = engine.run(app, input, schedule).unwrap();
+                assert_eq!(r.work, 7);
+            });
+            s.spawn(move || {
+                let r = engine.run(app, input, schedule).unwrap();
+                assert_eq!(r.work, 7);
+            });
+        });
+        let m = engine.metrics();
+        assert_eq!(
+            m.executions + m.cache_hits,
+            2,
+            "every request either executed or hit"
+        );
+        assert!(
+            (1..=2).contains(&m.executions),
+            "the race may double-execute but never loses or over-counts"
+        );
+        assert_eq!(engine.cached_results(), 1, "one memoized entry per key");
+        assert_eq!(m.total_work_units, 7 * m.executions);
+    });
+}
+
+/// C002 (batch path): `run_batch` resolves duplicates before touching the
+/// pool, and its post-execution insert tolerates any worker interleaving.
+#[test]
+fn c002_run_batch_dedup_under_worker_interleavings() {
+    loom::model(|| {
+        let engine = EvalEngine::new(2);
+        let app = StubApp::new();
+        let jobs = vec![
+            (InputParams::new(vec![1.0]), PhaseSchedule::accurate(1)),
+            (InputParams::new(vec![2.0]), PhaseSchedule::accurate(1)),
+            (InputParams::new(vec![1.0]), PhaseSchedule::accurate(1)),
+        ];
+        let results = engine.run_batch(&app, &jobs).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].output, vec![1.0]);
+        assert_eq!(results[1].output, vec![2.0]);
+        assert_eq!(results[2].output, vec![1.0]);
+        let m = engine.metrics();
+        assert_eq!(m.executions, 2, "duplicate submission deduplicated");
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(engine.cached_results(), 2);
+    });
+}

@@ -34,6 +34,7 @@
 //! assert!((beta[1] - 2.0).abs() < 1e-10);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cholesky;

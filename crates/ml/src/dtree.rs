@@ -115,6 +115,27 @@ impl DecisionTree {
         rec(&self.root)
     }
 
+    /// The sorted, de-duplicated set of class labels that appear on some
+    /// leaf — i.e. the classes this tree can actually predict. A label in
+    /// `0..num_classes` that is absent here is unreachable control flow
+    /// (lint `A010` in `opprox-analyze`).
+    pub fn leaf_labels(&self) -> Vec<usize> {
+        fn rec(n: &Node, out: &mut Vec<usize>) {
+            match n {
+                Node::Leaf { label } => out.push(*label),
+                Node::Split { left, right, .. } => {
+                    rec(left, out);
+                    rec(right, out);
+                }
+            }
+        }
+        let mut labels = Vec::new();
+        rec(&self.root, &mut labels);
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+    }
+
     /// Predicts the class of one feature vector.
     ///
     /// # Errors
@@ -386,6 +407,28 @@ mod tests {
         );
         let t = DecisionTree::fit(&[vec![1.0], vec![2.0]], &[0, 1], TreeParams::default()).unwrap();
         assert!(t.predict_one(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn leaf_labels_cover_reachable_classes_only() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let ys: Vec<usize> = (0..30).map(|i| i / 10).collect();
+        let t = DecisionTree::fit(&xs, &ys, TreeParams::default()).unwrap();
+        assert_eq!(t.leaf_labels(), vec![0, 1, 2]);
+
+        // A depth-0 tree over multi-label data reaches only the majority
+        // label; the other classes are unreachable.
+        let stump = DecisionTree::fit(
+            &xs,
+            &ys,
+            TreeParams {
+                max_depth: 0,
+                min_samples_split: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(stump.num_classes(), 3);
+        assert_eq!(stump.leaf_labels().len(), 1);
     }
 
     #[test]

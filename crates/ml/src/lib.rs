@@ -38,6 +38,7 @@
 //! assert!((pred - (3.0 + 8.0 - 8.0)).abs() < 1e-6);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod confidence;

@@ -92,6 +92,12 @@ impl SingleModel {
     pub fn degree(&self) -> usize {
         self.regression.degree()
     }
+
+    /// The fitted regression coefficients (integrity checks inspect these
+    /// for non-finite values after deserializing untrusted artifacts).
+    pub fn coefficients(&self) -> &[f64] {
+        self.regression.coefficients()
+    }
 }
 
 /// The fitted structure: either one global model or range-split
@@ -284,6 +290,17 @@ impl TargetModel {
     /// Whether the fitted structure uses range-split sub-models.
     pub fn is_split(&self) -> bool {
         matches!(self.structure, Structure::Split { .. })
+    }
+
+    /// Every fitted [`SingleModel`] in this target model — the single
+    /// global model, or each range-split sub-model. Integrity checks walk
+    /// these to vet coefficients and confidence bands without depending on
+    /// the (private) structure layout.
+    pub fn submodels(&self) -> Vec<&SingleModel> {
+        match &self.structure {
+            Structure::Single(m) => vec![m],
+            Structure::Split { models, .. } => models.iter().collect(),
+        }
     }
 
     /// Batched point predictions for a slice of full feature rows.

@@ -6,6 +6,7 @@
 //! single package:
 //!
 //! * [`core`] — the OPPROX system: training, modeling, optimization.
+//! * [`analyze`] — semantic lints over serialized OPPROX artifacts.
 //! * [`approx_rt`] — the approximation runtime applications link against.
 //! * [`apps`] — the five benchmark application ports.
 //! * [`ml`] — the from-scratch ML substrate.
@@ -36,8 +37,10 @@
 //! assert_eq!(outcome.plan.schedule.num_phases(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use opprox_analyze as analyze;
 pub use opprox_approx_rt as approx_rt;
 pub use opprox_apps as apps;
 pub use opprox_core as core;

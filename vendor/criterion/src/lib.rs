@@ -7,6 +7,7 @@
 //! plus a batch of samples, and median/min/max wall times are printed.
 //! No plotting, statistics, or baseline storage.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;

@@ -1,0 +1,75 @@
+//! Offline stand-in for the `loom` permutation-testing crate.
+//!
+//! The real `loom` instruments `std::sync` look-alikes and exhaustively
+//! explores thread interleavings (bounded by a preemption budget) so that
+//! a concurrency test failure is reproducible rather than probabilistic.
+//! This repository builds without network access, so this crate
+//! re-implements the subset of that idea the OPPROX test-suite needs:
+//!
+//! * [`model`] runs a closure repeatedly, once per explored interleaving.
+//! * Every thread spawned through [`thread::spawn`] / [`thread::scope`]
+//!   and every operation on [`sync::Mutex`] / [`sync::atomic`] types is a
+//!   *scheduling point*: exactly one modelled thread runs at a time, and
+//!   at each point the scheduler decides (depth-first, deterministically)
+//!   which runnable thread continues.
+//! * The search is bounded CHESS-style: at most
+//!   [`model::Builder::max_preemptions`] involuntary context switches per
+//!   execution, which keeps the state space tractable while still finding
+//!   the overwhelming majority of ordering bugs.
+//! * Blocked-thread cycles are reported as deadlocks, and an assertion
+//!   failure on *any* interleaving fails the whole model run.
+//!
+//! Deviations from real loom, by design:
+//!
+//! * Only sequentially-consistent interleavings are explored; relaxed
+//!   memory-order bugs (store buffering, IRIW) are out of scope. The
+//!   `Ordering` argument on atomics is accepted but does not weaken the
+//!   exploration.
+//! * `sync::Arc` is plain `std::sync::Arc` (no drop-ordering tracking).
+//! * [`thread::scope`] is provided (std-style scoped threads) because the
+//!   code under test uses borrowing worker closures; real loom 0.7 only
+//!   offers `'static` spawns.
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! // A data-race-free counter: every interleaving sums to 2.
+//! loom::model(|| {
+//!     let n = Arc::new(loom::sync::atomic::AtomicUsize::new(0));
+//!     let a = {
+//!         let n = Arc::clone(&n);
+//!         loom::thread::spawn(move || {
+//!             n.fetch_add(1, loom::sync::atomic::Ordering::SeqCst);
+//!         })
+//!     };
+//!     n.fetch_add(1, loom::sync::atomic::Ordering::SeqCst);
+//!     a.join().unwrap();
+//!     assert_eq!(n.load(loom::sync::atomic::Ordering::SeqCst), 2);
+//! });
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rt;
+mod scheduler;
+
+pub mod model;
+pub mod sync;
+pub mod thread;
+
+/// Explores every bounded interleaving of the threads spawned inside `f`,
+/// panicking if any interleaving panics (e.g. a failed assertion) or
+/// deadlocks.
+///
+/// Equivalent to `model::Builder::new().check(f)`.
+///
+/// # Panics
+///
+/// Re-raises the first panic observed on any explored interleaving, and
+/// panics on deadlock or when the execution cap is exceeded.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model::Builder::new().check(f);
+}

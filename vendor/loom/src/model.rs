@@ -1,0 +1,81 @@
+//! The model driver: configure and run a bounded interleaving search.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::rt;
+use crate::scheduler::{advance, Scheduler};
+
+/// Configures a model run. Mirrors the knobs of real loom's builder that
+/// matter for a bounded CHESS-style search.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum involuntary context switches per execution (CHESS bound).
+    /// Voluntary switches (blocking on a lock, finishing) are always free,
+    /// so every execution remains schedulable. Default: 2 — empirically
+    /// sufficient to expose the vast majority of ordering bugs.
+    pub max_preemptions: usize,
+    /// Hard cap on explored executions; exceeding it panics so that an
+    /// accidentally huge model fails loudly instead of hanging CI.
+    pub max_executions: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_preemptions: 2,
+            max_executions: 1_000_000,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Runs `f` once per explored interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic observed on any interleaving (with the
+    /// execution count for reproducibility), and panics on deadlock or
+    /// when `max_executions` is exceeded.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut trail = Vec::new();
+        let mut executions: u64 = 0;
+        loop {
+            executions += 1;
+            assert!(
+                executions <= self.max_executions,
+                "loom: exceeded {} executions; shrink the modelled test",
+                self.max_executions
+            );
+            let sched = Arc::new(Scheduler::new(std::mem::take(&mut trail)));
+            {
+                let sched = Arc::clone(&sched);
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    rt::enter(Arc::clone(&sched), 0);
+                    sched.wait_for_turn(0);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f()));
+                    sched.finish_thread(0, outcome.err().map(rt::panic_message));
+                });
+            }
+            sched.wait_done();
+            let (explored, failure) = sched.take_outcome();
+            if let Some(msg) = failure {
+                panic!("loom: execution {executions} failed: {msg}");
+            }
+            trail = explored;
+            if !advance(&mut trail, self.max_preemptions) {
+                return;
+            }
+        }
+    }
+}

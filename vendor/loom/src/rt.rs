@@ -1,0 +1,34 @@
+//! Per-thread runtime context linking instrumented primitives to the
+//! scheduler of the model run they execute under.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::scheduler::Scheduler;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Installs the scheduler context for the calling (modelled) OS thread.
+pub(crate) fn enter(sched: Arc<Scheduler>, id: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched, id)));
+}
+
+/// The calling thread's scheduler context, if it is a modelled thread.
+/// `None` means the primitive was used outside [`crate::model`] and falls
+/// back to plain `std` behaviour.
+pub(crate) fn context() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Renders a panic payload into a message the model driver can re-raise.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "modelled thread panicked (non-string payload)".to_string()
+    }
+}

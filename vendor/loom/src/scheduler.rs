@@ -1,0 +1,298 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! Exactly one modelled thread holds the "token" (is `current`) at any
+//! moment; every instrumented operation calls back into the scheduler,
+//! which consults a recorded decision trail. Replaying a prefix of the
+//! trail and advancing the last decision depth-first enumerates
+//! interleavings; a CHESS-style preemption budget bounds the search.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// One scheduling decision: which runnable thread continued.
+#[derive(Debug)]
+pub(crate) struct Choice {
+    /// Runnable thread ids, reordered so the non-preempting default
+    /// (continue the currently running thread, when runnable) is first.
+    candidates: Vec<usize>,
+    /// Index into `candidates` taken on the most recent execution.
+    index: usize,
+    /// Whether `candidates[0]` is the previously running thread, i.e.
+    /// whether any other pick counts against the preemption budget.
+    current_was_runnable: bool,
+    /// Preemptions accumulated before this decision.
+    preemptions_before: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    Ready,
+    BlockedOnLock(usize),
+    BlockedOnJoin(usize),
+    Finished,
+}
+
+struct SchedState {
+    threads: Vec<ThreadState>,
+    current: usize,
+    trail: Vec<Choice>,
+    /// Next decision index (replay position within `trail`).
+    step: usize,
+    preemptions: usize,
+    /// Lock id -> currently held?
+    locks: HashMap<usize, bool>,
+    /// First panic message observed on this execution.
+    panic: Option<String>,
+    /// Set on panic or deadlock: scheduling becomes pass-through so the
+    /// remaining OS threads can drain and the run can be reported.
+    abort: bool,
+    /// All threads finished (or the run aborted and drained).
+    done: bool,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+impl Scheduler {
+    /// A fresh execution that will replay (then extend) `trail`.
+    pub(crate) fn new(trail: Vec<Choice>) -> Self {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                threads: vec![ThreadState::Ready],
+                current: 0,
+                trail,
+                step: 0,
+                preemptions: 0,
+                locks: HashMap::new(),
+                panic: None,
+                abort: false,
+                done: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Registers a newly spawned thread (initially runnable); returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = relock(self.state.lock());
+        st.threads.push(ThreadState::Ready);
+        st.threads.len() - 1
+    }
+
+    /// Blocks until `id` is scheduled for the first time (or the run aborts).
+    pub(crate) fn wait_for_turn(&self, id: usize) {
+        let mut st = relock(self.state.lock());
+        while !st.abort && !st.done && st.current != id {
+            st = relock(self.cv.wait(st));
+        }
+    }
+
+    /// A visible operation boundary: lets the scheduler hand the token to
+    /// any runnable thread, then blocks until `me` is scheduled again.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = relock(self.state.lock());
+        if st.abort || st.done {
+            return;
+        }
+        self.pick_next(&mut st);
+        while !st.abort && !st.done && st.current != me {
+            st = relock(self.cv.wait(st));
+        }
+    }
+
+    /// Models a mutex acquire: a yield point followed by block-on-holder.
+    pub(crate) fn acquire_lock(&self, me: usize, lock: usize) {
+        self.yield_point(me);
+        loop {
+            let mut st = relock(self.state.lock());
+            if st.abort || st.done {
+                return;
+            }
+            if !st.locks.get(&lock).copied().unwrap_or(false) {
+                st.locks.insert(lock, true);
+                return;
+            }
+            st.threads[me] = ThreadState::BlockedOnLock(lock);
+            self.pick_next(&mut st);
+            while !st.abort && !st.done && st.current != me {
+                st = relock(self.cv.wait(st));
+            }
+            if st.abort || st.done {
+                return;
+            }
+            // Readied by a release; retry (another thread may have raced in).
+        }
+    }
+
+    /// Models a mutex release: waiters become runnable, then a yield point.
+    pub(crate) fn release_lock(&self, me: usize, lock: usize) {
+        {
+            let mut st = relock(self.state.lock());
+            if st.abort || st.done {
+                return;
+            }
+            st.locks.insert(lock, false);
+            for t in st.threads.iter_mut() {
+                if *t == ThreadState::BlockedOnLock(lock) {
+                    *t = ThreadState::Ready;
+                }
+            }
+        }
+        self.yield_point(me);
+    }
+
+    /// Blocks `me` until `target` finishes.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        self.yield_point(me);
+        loop {
+            let mut st = relock(self.state.lock());
+            if st.abort || st.done || st.threads[target] == ThreadState::Finished {
+                return;
+            }
+            st.threads[me] = ThreadState::BlockedOnJoin(target);
+            self.pick_next(&mut st);
+            while !st.abort && !st.done && st.current != me {
+                st = relock(self.cv.wait(st));
+            }
+            if st.abort || st.done {
+                return;
+            }
+        }
+    }
+
+    /// Marks `me` finished (recording a panic, if any), wakes joiners and
+    /// schedules a successor. Called as the last act of a modelled thread.
+    pub(crate) fn finish_thread(&self, me: usize, panic_msg: Option<String>) {
+        let mut st = relock(self.state.lock());
+        if let Some(msg) = panic_msg {
+            if st.panic.is_none() {
+                st.panic = Some(msg);
+            }
+            st.abort = true;
+        }
+        st.threads[me] = ThreadState::Finished;
+        for t in st.threads.iter_mut() {
+            if *t == ThreadState::BlockedOnJoin(me) {
+                *t = ThreadState::Ready;
+            }
+        }
+        if st.threads.iter().all(|t| *t == ThreadState::Finished) {
+            st.done = true;
+            self.cv.notify_all();
+            return;
+        }
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut st);
+    }
+
+    /// Blocks the model driver until the execution completes. Aborted runs
+    /// get a grace period for OS threads to drain, then are abandoned
+    /// (the driver is about to panic with the recorded failure anyway).
+    pub(crate) fn wait_done(&self) {
+        let mut st = relock(self.state.lock());
+        while !st.done {
+            if st.abort {
+                let (g, timeout) = self
+                    .cv
+                    .wait_timeout(st, Duration::from_secs(2))
+                    .unwrap_or_else(|e| e.into_inner());
+                st = g;
+                if timeout.timed_out() {
+                    break;
+                }
+            } else {
+                st = relock(self.cv.wait(st));
+            }
+        }
+    }
+
+    /// Extracts the decision trail and any recorded failure.
+    pub(crate) fn take_outcome(&self) -> (Vec<Choice>, Option<String>) {
+        let mut st = relock(self.state.lock());
+        (std::mem::take(&mut st.trail), st.panic.take())
+    }
+
+    /// Picks the next thread to run. Replays the trail when within it,
+    /// otherwise records a new default (non-preempting) decision.
+    fn pick_next(&self, st: &mut SchedState) {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == ThreadState::Ready)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| *t == ThreadState::Finished) {
+                st.done = true;
+            } else {
+                if st.panic.is_none() {
+                    st.panic = Some(format!(
+                        "deadlock: no runnable threads (states: {:?})",
+                        st.threads
+                    ));
+                }
+                st.abort = true;
+                st.done = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let current_was_runnable = runnable.contains(&st.current);
+        let mut candidates = runnable;
+        if current_was_runnable {
+            candidates.retain(|&t| t != st.current);
+            candidates.insert(0, st.current);
+        }
+        let step = st.step;
+        st.step += 1;
+        let index = if step < st.trail.len() {
+            assert_eq!(
+                st.trail[step].candidates, candidates,
+                "nondeterministic execution: modelled code must be deterministic"
+            );
+            st.trail[step].index
+        } else {
+            st.trail.push(Choice {
+                candidates: candidates.clone(),
+                index: 0,
+                current_was_runnable,
+                preemptions_before: st.preemptions,
+            });
+            0
+        };
+        if current_was_runnable && index > 0 {
+            st.preemptions += 1;
+        }
+        st.current = candidates[index];
+        self.cv.notify_all();
+    }
+}
+
+/// Advances `trail` to the next unexplored interleaving (depth-first).
+/// Returns `false` when the bounded search space is exhausted.
+pub(crate) fn advance(trail: &mut Vec<Choice>, max_preemptions: usize) -> bool {
+    while let Some(c) = trail.last_mut() {
+        // Any pick other than candidates[0] at this node costs exactly one
+        // preemption when the incumbent thread was runnable.
+        let budget_ok = !c.current_was_runnable || c.preemptions_before < max_preemptions;
+        if c.index + 1 < c.candidates.len() && budget_ok {
+            c.index += 1;
+            return true;
+        }
+        trail.pop();
+    }
+    false
+}

@@ -1,0 +1,233 @@
+//! Instrumented `std::sync` look-alikes. Inside [`crate::model`] every
+//! operation is a scheduling point; outside a model they behave exactly
+//! like their `std` counterparts.
+
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::LockResult;
+
+pub use std::sync::Arc;
+
+use crate::rt;
+
+/// Global lock-id allocator. Ids only need to be unique within one
+/// execution; monotonically increasing across executions is fine because
+/// the decision trail records thread ids, not lock ids.
+static NEXT_LOCK_ID: StdAtomicUsize = StdAtomicUsize::new(1);
+
+/// A mutual-exclusion primitive whose acquire/release are scheduling
+/// points under a model run.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    id: usize,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: NEXT_LOCK_ID.fetch_add(1, StdOrdering::Relaxed),
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex, blocking the modelled thread until available.
+    ///
+    /// # Errors
+    ///
+    /// Like `std`, returns a [`std::sync::PoisonError`] wrapping the guard
+    /// if a previous holder panicked.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let ctx = rt::context();
+        if let Some((sched, me)) = &ctx {
+            sched.acquire_lock(*me, self.id);
+        }
+        let release = ReleaseOnDrop { ctx, lock: self.id };
+        match self.data.lock() {
+            Ok(inner) => Ok(MutexGuard {
+                inner,
+                _release: release,
+            }),
+            Err(poisoned) => Err(std::sync::PoisonError::new(MutexGuard {
+                inner: poisoned.into_inner(),
+                _release: release,
+            })),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poisoning like [`std::sync::Mutex::into_inner`].
+    pub fn into_inner(self) -> LockResult<T> {
+        self.data.into_inner()
+    }
+}
+
+/// Releases the scheduler-side lock bookkeeping *after* the inner `std`
+/// guard has dropped (field order in [`MutexGuard`]), so the lock is truly
+/// free before another modelled thread can be granted it.
+struct ReleaseOnDrop {
+    ctx: Option<(Arc<crate::scheduler::Scheduler>, usize)>,
+    lock: usize,
+}
+
+impl Drop for ReleaseOnDrop {
+    fn drop(&mut self) {
+        if let Some((sched, me)) = &self.ctx {
+            sched.release_lock(*me, self.lock);
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing it is a scheduling point.
+pub struct MutexGuard<'a, T> {
+    // Declaration order is load-bearing: `inner` (the std guard) must drop
+    // before `release` hands the lock to the next modelled thread.
+    inner: std::sync::MutexGuard<'a, T>,
+    _release: ReleaseOnDrop,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+pub mod atomic {
+    //! Atomic types whose every operation is a scheduling point.
+    //!
+    //! Only sequentially-consistent interleavings are modelled; the
+    //! `Ordering` argument is forwarded to the underlying `std` atomic but
+    //! does not weaken the exploration.
+
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt;
+
+    fn sched_point() {
+        if let Some((sched, me)) = rt::context() {
+            sched.yield_point(me);
+        }
+    }
+
+    macro_rules! atomic_int {
+        ($(#[$doc:meta])* $name:ident, $std:path, $prim:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name($std);
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub fn new(v: $prim) -> Self {
+                    Self(<$std>::new(v))
+                }
+
+                /// Atomically loads the value (scheduling point).
+                pub fn load(&self, order: Ordering) -> $prim {
+                    sched_point();
+                    self.0.load(order)
+                }
+
+                /// Atomically stores `v` (scheduling point).
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    sched_point();
+                    self.0.store(v, order);
+                }
+
+                /// Atomically adds `v`, returning the previous value
+                /// (scheduling point).
+                pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                    sched_point();
+                    self.0.fetch_add(v, order)
+                }
+
+                /// Atomically swaps in `v`, returning the previous value
+                /// (scheduling point).
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    sched_point();
+                    self.0.swap(v, order)
+                }
+
+                /// Atomic compare-exchange (scheduling point).
+                ///
+                /// # Errors
+                ///
+                /// Returns the actual value when it differs from `current`.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    sched_point();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    atomic_int!(
+        /// Instrumented [`std::sync::atomic::AtomicU64`].
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    atomic_int!(
+        /// Instrumented [`std::sync::atomic::AtomicUsize`].
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+    atomic_int!(
+        /// Instrumented [`std::sync::atomic::AtomicU32`].
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32
+    );
+
+    /// Instrumented [`std::sync::atomic::AtomicBool`].
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        /// Creates a new atomic flag.
+        pub fn new(v: bool) -> Self {
+            Self(std::sync::atomic::AtomicBool::new(v))
+        }
+
+        /// Atomically loads the flag (scheduling point).
+        pub fn load(&self, order: Ordering) -> bool {
+            sched_point();
+            self.0.load(order)
+        }
+
+        /// Atomically stores the flag (scheduling point).
+        pub fn store(&self, v: bool, order: Ordering) {
+            sched_point();
+            self.0.store(v, order);
+        }
+
+        /// Atomically swaps the flag, returning the previous value
+        /// (scheduling point).
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            sched_point();
+            self.0.swap(v, order)
+        }
+    }
+}

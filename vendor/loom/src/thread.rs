@@ -1,0 +1,174 @@
+//! Instrumented threading: spawn, join, yield and std-style scoped
+//! threads, all under scheduler control inside a model run.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::rt;
+use crate::scheduler::Scheduler;
+
+/// Yields the modelled thread (a pure scheduling point). Outside a model,
+/// delegates to [`std::thread::yield_now`].
+pub fn yield_now() {
+    if let Some((sched, me)) = rt::context() {
+        sched.yield_point(me);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+enum Inner<T> {
+    Plain(std::thread::JoinHandle<T>),
+    Controlled {
+        sched: Arc<Scheduler>,
+        id: usize,
+        result: Arc<std::sync::Mutex<Option<T>>>,
+        os: std::thread::JoinHandle<()>,
+    },
+}
+
+/// Handle to a thread spawned with [`spawn`].
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload (as with `std`) if the thread panicked.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Plain(h) => h.join(),
+            Inner::Controlled {
+                sched,
+                id,
+                result,
+                os,
+            } => {
+                if let Some((_, me)) = rt::context() {
+                    sched.join_thread(me, id);
+                }
+                // Scheduler-finished (or aborted): the OS thread exits
+                // promptly, so this join does not block the exploration.
+                let os_result = os.join();
+                let value = result.lock().unwrap_or_else(|e| e.into_inner()).take();
+                match (value, os_result) {
+                    (Some(v), _) => Ok(v),
+                    (None, Err(p)) => Err(p),
+                    (None, Ok(())) => Err(Box::new("modelled thread panicked".to_string())),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a modelled thread. Outside a model run this is exactly
+/// [`std::thread::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::context() {
+        Some((sched, me)) => {
+            let id = sched.register_thread();
+            let result = Arc::new(std::sync::Mutex::new(None));
+            let os = {
+                let sched = Arc::clone(&sched);
+                let result = Arc::clone(&result);
+                std::thread::spawn(move || {
+                    rt::enter(Arc::clone(&sched), id);
+                    sched.wait_for_turn(id);
+                    let msg = match catch_unwind(AssertUnwindSafe(f)) {
+                        Ok(v) => {
+                            *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                            None
+                        }
+                        Err(p) => Some(rt::panic_message(p)),
+                    };
+                    sched.finish_thread(id, msg);
+                })
+            };
+            // The spawn itself is a visible operation: the new thread is
+            // now runnable and may be scheduled before we continue.
+            sched.yield_point(me);
+            JoinHandle(Inner::Controlled {
+                sched,
+                id,
+                result,
+                os,
+            })
+        }
+        None => JoinHandle(Inner::Plain(std::thread::spawn(f))),
+    }
+}
+
+/// A scope for spawning borrowing threads; see [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    ctx: Option<(Arc<Scheduler>, usize)>,
+    joins: RefCell<Vec<usize>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a modelled thread that may borrow from the enclosing scope.
+    ///
+    /// Unlike [`std::thread::Scope::spawn`] no handle is returned; all
+    /// scoped threads are joined (under scheduler control) when the scope
+    /// closure returns. A panic in a scoped thread fails the model run.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.ctx {
+            Some((sched, _)) => {
+                let id = sched.register_thread();
+                self.joins.borrow_mut().push(id);
+                let sched2 = Arc::clone(sched);
+                let inner: &'scope std::thread::Scope<'scope, 'env> = self.inner;
+                let _ = inner.spawn(move || {
+                    rt::enter(Arc::clone(&sched2), id);
+                    sched2.wait_for_turn(id);
+                    let outcome = catch_unwind(AssertUnwindSafe(f));
+                    sched2.finish_thread(id, outcome.err().map(rt::panic_message));
+                });
+                if let Some((sched, me)) = rt::context() {
+                    sched.yield_point(me);
+                }
+            }
+            None => {
+                let _ = self.inner.spawn(f);
+            }
+        }
+    }
+}
+
+/// std-style scoped threads under scheduler control. The scope's owning
+/// thread joins every spawned thread (as scheduling points) before the
+/// scope returns, mirroring [`std::thread::scope`] semantics.
+///
+/// Provided as an extension over real loom 0.7 (which has only `'static`
+/// spawns) because the code under test uses borrowing worker closures.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let ctx = rt::context();
+    std::thread::scope(|s| {
+        let sc = Scope {
+            inner: s,
+            ctx,
+            joins: RefCell::new(Vec::new()),
+        };
+        let out = f(&sc);
+        if let Some((sched, me)) = &sc.ctx {
+            let ids: Vec<usize> = sc.joins.borrow_mut().drain(..).collect();
+            for id in ids {
+                sched.join_thread(*me, id);
+            }
+        }
+        out
+    })
+}

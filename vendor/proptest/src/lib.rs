@@ -11,6 +11,7 @@
 //! test's module path so runs are bit-reproducible. Set the
 //! `PROPTEST_SEED` environment variable to explore alternative streams.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collection;

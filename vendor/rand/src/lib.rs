@@ -11,6 +11,7 @@
 //! which is all the reproduction needs. It makes no attempt to match the
 //! upstream `rand` value streams.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// A source of random 64-bit words.

@@ -9,6 +9,7 @@
 //! tree. The full serde data model (visitors, zero-copy, formats other
 //! than JSON) is intentionally out of scope.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod value;

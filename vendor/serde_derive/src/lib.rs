@@ -6,6 +6,8 @@
 //! variants are all unit variants. Anything else produces a compile error
 //! naming the limitation.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// What the type declaration parsed into.

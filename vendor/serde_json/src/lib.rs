@@ -5,6 +5,7 @@
 //! so `float_roundtrip` semantics hold by construction; `u64` integers
 //! are preserved exactly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use serde::value::{Number, Value};
