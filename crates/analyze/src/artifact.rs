@@ -8,6 +8,7 @@
 //! * object with `configs` + `expected_iters` → a [`PhaseSchedule`]
 //! * object with `error_budget`               → an [`AccuracySpec`]
 //! * object with `goldens` + `records`        → [`TrainingData`]
+//! * object with `injected_faults` + `dropped_samples` → a [`RobustnessReport`]
 //! * array of objects with `technique`        → a `Vec<BlockDescriptor>`
 //!
 //! Deserialization is deliberately lenient (it mirrors
@@ -19,7 +20,7 @@ use opprox_approx_rt::block::BlockDescriptor;
 use opprox_approx_rt::{InputParams, PhaseSchedule};
 use opprox_core::pipeline::TrainedOpprox;
 use opprox_core::sampling::TrainingData;
-use opprox_core::AccuracySpec;
+use opprox_core::{AccuracySpec, RobustnessReport};
 use serde::value::Value;
 use serde::Deserialize;
 
@@ -36,6 +37,8 @@ pub enum Artifact {
     Trained(Box<TrainedOpprox>),
     /// Collected training data.
     Training(Box<TrainingData>),
+    /// A robustness report from a fault-injected (or degraded) run.
+    Robustness(Box<RobustnessReport>),
 }
 
 impl Artifact {
@@ -47,6 +50,7 @@ impl Artifact {
             Artifact::Spec(_) => "spec",
             Artifact::Trained(_) => "trained model set",
             Artifact::Training(_) => "training data",
+            Artifact::Robustness(_) => "robustness report",
         }
     }
 
@@ -92,10 +96,17 @@ impl Artifact {
                     Deserialize::from_value(value).map_err(|e| decode_err("training data", e))?,
                 )));
             }
+            if has("injected_faults") && has("dropped_samples") {
+                return Ok(Artifact::Robustness(Box::new(
+                    Deserialize::from_value(value)
+                        .map_err(|e| decode_err("robustness report", e))?,
+                )));
+            }
             return Err(
                 "unrecognized artifact: an object, but not a trained model set \
                  (app_name/models), schedule (configs/expected_iters), spec \
-                 (error_budget), or training data (goldens/records)"
+                 (error_budget), training data (goldens/records), or robustness \
+                 report (injected_faults/dropped_samples)"
                     .into(),
             );
         }
@@ -129,6 +140,8 @@ pub struct ArtifactSet {
     /// Training data, used for coverage lints and as the input source
     /// for predictive lints.
     pub training: Option<TrainingData>,
+    /// A robustness report to lint (A014/A015).
+    pub robustness: Option<RobustnessReport>,
 }
 
 impl ArtifactSet {
@@ -143,6 +156,7 @@ impl ArtifactSet {
             Artifact::Spec(_) => self.spec.is_some(),
             Artifact::Trained(_) => self.trained.is_some(),
             Artifact::Training(_) => self.training.is_some(),
+            Artifact::Robustness(_) => self.robustness.is_some(),
         };
         match artifact {
             Artifact::Blocks(b) => self.blocks = Some(b),
@@ -150,6 +164,7 @@ impl ArtifactSet {
             Artifact::Spec(s) => self.spec = Some(s),
             Artifact::Trained(t) => self.trained = Some(*t),
             Artifact::Training(t) => self.training = Some(*t),
+            Artifact::Robustness(r) => self.robustness = Some(*r),
         }
         replaced.then_some(kind)
     }

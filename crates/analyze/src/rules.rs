@@ -36,7 +36,7 @@ pub enum RuleKind {
 /// what it checks.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
-    /// Stable rule code (`A001`, ..., `C004`).
+    /// Stable rule code (`A001`, ..., `C005`).
     pub code: &'static str,
     /// Severity of the diagnostics the rule emits.
     pub severity: Severity,
@@ -129,6 +129,18 @@ pub const RULES: &[RuleInfo] = &[
         summary: "predictive lints (A005/A008) skipped: no inputs available",
     },
     RuleInfo {
+        code: "A014",
+        severity: Severity::Warn,
+        kind: RuleKind::Lint,
+        summary: "degraded training dropped too many samples to trust the fitted models",
+    },
+    RuleInfo {
+        code: "A015",
+        severity: Severity::Error,
+        kind: RuleKind::Lint,
+        summary: "robustness report is internally inconsistent (impossible counter relation)",
+    },
+    RuleInfo {
         code: "C001",
         severity: Severity::Error,
         kind: RuleKind::ModelCheck,
@@ -151,6 +163,12 @@ pub const RULES: &[RuleInfo] = &[
         severity: Severity::Error,
         kind: RuleKind::CiJob,
         summary: "ThreadSanitizer finds no data races in the pool/evaluator test subset",
+    },
+    RuleInfo {
+        code: "C005",
+        severity: Severity::Error,
+        kind: RuleKind::ModelCheck,
+        summary: "a failed evaluation is never memoized or served from the cache",
     },
 ];
 
@@ -182,6 +200,8 @@ pub fn run_all(set: &ArtifactSet, report: &mut Report) {
     lint_training_coverage(set, report);
     lint_unreachable_classes(set, report);
     lint_spec_budget(set, report);
+    lint_drop_rate(set, report);
+    lint_robustness_consistency(set, report);
     report.sort();
 }
 
@@ -545,6 +565,96 @@ fn lint_spec_budget(set: &ArtifactSet, report: &mut Report) {
     }
 }
 
+/// Drop rate above this triggers A014: the paper's modeling claim
+/// (cross-validated R² ≥ 0.9) is fitted on the full sampling plan;
+/// losing more than a tenth of it leaves the models under-determined in
+/// the dropped regions.
+pub const MAX_TRUSTED_DROP_RATE: f64 = 0.10;
+
+/// A014 — degraded training must not have dropped so many samples that
+/// the fitted models stop being trustworthy. Needs a robustness report
+/// that covers training samples.
+fn lint_drop_rate(set: &ArtifactSet, report: &mut Report) {
+    let Some(rob) = &set.robustness else {
+        return;
+    };
+    if rob.total_samples == 0 {
+        return; // No training run covered by this report.
+    }
+    let rate = rob.drop_rate();
+    if rate > MAX_TRUSTED_DROP_RATE {
+        diag(
+            report,
+            "A014",
+            "robustness.drop_rate".into(),
+            format!(
+                "training dropped {}/{} samples ({:.1}% > {:.0}% threshold); \
+                 models fitted on the survivors cannot support the R² ≥ 0.9 \
+                 modeling claim — retrain or raise the retry budget",
+                rob.dropped_samples.len(),
+                rob.total_samples,
+                100.0 * rate,
+                100.0 * MAX_TRUSTED_DROP_RATE,
+            ),
+        );
+    }
+    if rob.dropped_inputs > 0 {
+        diag(
+            report,
+            "A014",
+            "robustness.dropped_inputs".into(),
+            format!(
+                "{} input(s) dropped wholesale (their golden runs failed); \
+                 the models never saw those regions of the input space",
+                rob.dropped_inputs
+            ),
+        );
+    }
+}
+
+/// A015 — the report's counters must satisfy the invariants the
+/// recovery layer maintains by construction; a violation means the
+/// report was corrupted or hand-edited. Needs a robustness report.
+fn lint_robustness_consistency(set: &ArtifactSet, report: &mut Report) {
+    let Some(rob) = &set.robustness else {
+        return;
+    };
+    if rob.dropped_samples.len() as u64 > rob.total_samples {
+        diag(
+            report,
+            "A015",
+            "robustness.dropped_samples".into(),
+            format!(
+                "{} samples dropped out of only {} requested",
+                rob.dropped_samples.len(),
+                rob.total_samples
+            ),
+        );
+    }
+    if rob.quarantine_hits > 0 && rob.quarantined_keys == 0 {
+        diag(
+            report,
+            "A015",
+            "robustness.quarantine_hits".into(),
+            format!(
+                "{} quarantine hits with zero quarantined keys",
+                rob.quarantine_hits
+            ),
+        );
+    }
+    if rob.fault_seed.is_none() && rob.injected_faults > 0 {
+        diag(
+            report,
+            "A015",
+            "robustness.injected_faults".into(),
+            format!(
+                "{} faults injected but no fault plan was configured",
+                rob.injected_faults
+            ),
+        );
+    }
+}
+
 /// A `BlockDescriptor` list formatted for messages (used by callers
 /// building context lines).
 pub fn describe_blocks(blocks: &[BlockDescriptor]) -> String {
@@ -568,7 +678,7 @@ mod tests {
         sorted.dedup();
         assert_eq!(codes, sorted, "codes unique and in order");
         assert!(rule("A001").is_some());
-        assert!(rule("C004").is_some());
+        assert!(rule("C005").is_some());
         assert!(rule("Z999").is_none());
     }
 

@@ -1,4 +1,4 @@
-//! The corrupted-artifact suite: every semantic lint (A001–A013) has at
+//! The corrupted-artifact suite: every semantic lint (A001–A015) has at
 //! least one positive test (a seeded defect it must detect) and one
 //! negative test (a healthy artifact it must stay silent on).
 //!
@@ -9,93 +9,17 @@
 //! [`serde::Deserialize::from_value`].
 
 use opprox_analyze::{analyze, Artifact, ArtifactSet, Severity};
-use opprox_approx_rt::block::BlockDescriptor;
-use opprox_approx_rt::{ApproxApp, InputParams, LevelConfig, PhaseSchedule};
-use opprox_apps::Pso;
-use opprox_core::modeling::ModelingOptions;
-use opprox_core::pipeline::{Opprox, TrainedOpprox};
+use opprox_approx_rt::{InputParams, LevelConfig, PhaseSchedule};
+use opprox_core::fault::DroppedSample;
+use opprox_core::pipeline::TrainedOpprox;
 use opprox_core::request::OptimizeRequest;
-use opprox_core::sampling::{collect_training_data, SamplingPlan, TrainingData};
-use opprox_core::{AccuracySpec, OpproxError};
+use opprox_core::{AccuracySpec, FailureKind, OpproxError, RobustnessReport};
+use opprox_testutil::fixtures::{
+    pso_blocks, trained_pso as fixture, trained_pso_from as trained_from,
+    trained_pso_value as trained_value,
+};
+use opprox_testutil::json::{mutate_first_key, mutate_keys, path_mut};
 use serde::value::{Number, Value};
-use serde::{Deserialize, Serialize};
-use std::sync::OnceLock;
-
-/// One real trained system plus its training data, shared by every test
-/// (training is the expensive part; corruption happens on clones).
-fn fixture() -> &'static (TrainedOpprox, TrainingData) {
-    static CELL: OnceLock<(TrainedOpprox, TrainingData)> = OnceLock::new();
-    CELL.get_or_init(|| {
-        let app = Pso::new();
-        let plan = SamplingPlan {
-            num_phases: 2,
-            sparse_samples: 10,
-            whole_run_samples: 0,
-            seed: 5,
-        };
-        let data = collect_training_data(&app, &app.representative_inputs(), &plan).unwrap();
-        let trained = Opprox::train_from_data(&app, &data, 2, &ModelingOptions::default()).unwrap();
-        (trained, data)
-    })
-}
-
-fn trained_value() -> Value {
-    Serialize::to_value(&fixture().0)
-}
-
-fn trained_from(value: &Value) -> TrainedOpprox {
-    Deserialize::from_value(value).expect("corrupted model set still deserializes")
-}
-
-/// Walks to a field through nested objects by exact key path.
-fn path_mut<'a>(value: &'a mut Value, path: &[&str]) -> &'a mut Value {
-    let mut cur = value;
-    for key in path {
-        let Value::Object(entries) = cur else {
-            panic!("expected an object at `{key}`");
-        };
-        cur = &mut entries
-            .iter_mut()
-            .find(|(k, _)| k == key)
-            .unwrap_or_else(|| panic!("no key `{key}`"))
-            .1;
-    }
-    cur
-}
-
-/// Applies `f` to every value stored under `key`, anywhere in the tree.
-fn mutate_keys(value: &mut Value, key: &str, f: &mut dyn FnMut(&mut Value)) {
-    match value {
-        Value::Object(entries) => {
-            for (k, v) in entries.iter_mut() {
-                if k == key {
-                    f(v);
-                }
-                mutate_keys(v, key, f);
-            }
-        }
-        Value::Array(items) => {
-            for item in items.iter_mut() {
-                mutate_keys(item, key, f);
-            }
-        }
-        _ => {}
-    }
-}
-
-/// Applies `f` only to the first value stored under `key` (tree order).
-fn mutate_first_key(value: &mut Value, key: &str, f: impl FnOnce(&mut Value)) {
-    let mut f = Some(f);
-    mutate_keys(value, key, &mut |v| {
-        if let Some(f) = f.take() {
-            f(v);
-        }
-    });
-}
-
-fn pso_blocks() -> Vec<BlockDescriptor> {
-    Pso::new().meta().blocks.clone()
-}
 
 fn set_of(artifacts: Vec<Artifact>) -> ArtifactSet {
     let mut set = ArtifactSet::default();
@@ -554,6 +478,146 @@ fn a013_silent_when_inputs_available() {
     // The app is registered, so representative inputs exist.
     let set = set_of(vec![Artifact::Trained(Box::new(fixture().0.clone()))]);
     assert!(!codes(&set).contains(&"A013"));
+}
+
+// ---- A014/A015: robustness reports --------------------------------------
+
+/// One dropped sample per `count`, shaped like a real per-phase sweep
+/// loss under injected timeouts.
+fn drops(count: usize) -> Vec<DroppedSample> {
+    (0..count)
+        .map(|i| DroppedSample {
+            phase: Some(i % 2),
+            levels: vec![1, 0, 0],
+            golden: false,
+            kind: FailureKind::Timeout,
+        })
+        .collect()
+}
+
+#[test]
+fn a014_detects_excessive_drop_rate() {
+    let report = RobustnessReport {
+        fault_seed: Some(7),
+        injected_faults: 20,
+        timeouts: 20,
+        failed_evaluations: 12,
+        quarantined_keys: 12,
+        total_samples: 100,
+        dropped_samples: drops(12), // 12% > the 10% threshold
+        ..RobustnessReport::default()
+    };
+    let set = set_of(vec![Artifact::Robustness(Box::new(report))]);
+    let report = analyze(&set);
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == "A014")
+        .expect("A014 fires");
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(d.location, "robustness.drop_rate");
+    assert!(d.message.contains("12/100"), "{}", d.message);
+    assert_eq!(report.errors(), 0, "a high drop rate is a warning");
+}
+
+#[test]
+fn a014_detects_dropped_inputs() {
+    let report = RobustnessReport {
+        fault_seed: Some(7),
+        injected_faults: 3,
+        dropped_inputs: 1,
+        total_samples: 50,
+        ..RobustnessReport::default()
+    };
+    let set = set_of(vec![Artifact::Robustness(Box::new(report))]);
+    let d_codes = codes(&set);
+    assert!(d_codes.contains(&"A014"), "{d_codes:?}");
+}
+
+#[test]
+fn a014_accepts_mild_degradation() {
+    // 5% drop rate, no whole-input losses: within tolerance.
+    let report = RobustnessReport {
+        fault_seed: Some(7),
+        injected_faults: 9,
+        timeouts: 9,
+        retries: 6,
+        backoff_ms_accounted: 60,
+        failed_evaluations: 5,
+        quarantined_keys: 5,
+        total_samples: 100,
+        dropped_samples: drops(5),
+        ..RobustnessReport::default()
+    };
+    let set = set_of(vec![Artifact::Robustness(Box::new(report))]);
+    assert!(!codes(&set).contains(&"A014"));
+}
+
+#[test]
+fn a015_detects_impossible_counter_relations() {
+    // More samples dropped than were ever requested.
+    let report = RobustnessReport {
+        fault_seed: Some(7),
+        total_samples: 3,
+        dropped_samples: drops(5),
+        ..RobustnessReport::default()
+    };
+    let set = set_of(vec![Artifact::Robustness(Box::new(report))]);
+    let report = analyze(&set);
+    let d = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == "A015")
+        .expect("A015 fires");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.location, "robustness.dropped_samples");
+
+    // Quarantine hits against zero quarantined keys.
+    let report = RobustnessReport {
+        quarantine_hits: 2,
+        ..RobustnessReport::default()
+    };
+    let set = set_of(vec![Artifact::Robustness(Box::new(report))]);
+    assert!(codes(&set).contains(&"A015"));
+
+    // Injected faults without a configured plan.
+    let report = RobustnessReport {
+        fault_seed: None,
+        injected_faults: 4,
+        ..RobustnessReport::default()
+    };
+    let set = set_of(vec![Artifact::Robustness(Box::new(report))]);
+    assert!(codes(&set).contains(&"A015"));
+}
+
+#[test]
+fn a015_accepts_a_real_engines_report() {
+    // A report produced by the recovery layer itself (not handcrafted)
+    // must satisfy its own invariants — and round-trip through the
+    // `analyze` classifier as JSON.
+    use opprox_core::evaluator::EvalEngine;
+    use opprox_core::{FaultPlan, RecoveryPolicy};
+
+    let engine = EvalEngine::with_faults(
+        1,
+        FaultPlan::seeded(3).timeouts(0.5),
+        RecoveryPolicy::default(),
+    );
+    let app = opprox_apps::Pso::new();
+    for i in 0..6 {
+        let _ = engine.run(
+            &app,
+            &InputParams::new(vec![8.0 + f64::from(i), 2.0]),
+            &PhaseSchedule::accurate(3),
+        );
+    }
+    let report = engine.robustness_report();
+    assert!(report.has_activity(), "the plan must actually fire");
+    let json = serde_json::to_string(&report).unwrap();
+    let artifact = Artifact::from_json(&json).expect("classified");
+    assert_eq!(artifact.kind(), "robustness report");
+    let set = set_of(vec![artifact]);
+    assert!(!codes(&set).contains(&"A015"), "{:?}", codes(&set));
 }
 
 // ---- Boundary enforcement: load + optimizer reject Error-severity corruption

@@ -167,6 +167,37 @@ pub trait ApproxApp: Sync {
     }
 }
 
+/// Runs `app` under a wall-clock budget, timing the execution and
+/// rejecting results that arrive late.
+///
+/// Applications run in-process and cooperatively, so the check is
+/// post-hoc: the run is not interrupted mid-flight, but a slow execution
+/// is discarded and reported as [`RuntimeError::Timeout`] instead of
+/// being treated as a valid observation. The OPPROX evaluation engine and
+/// the benchmark probe runner both route timed executions through here.
+///
+/// # Errors
+///
+/// [`RuntimeError::Timeout`] when the run exceeds `budget_ms`; otherwise
+/// propagates [`ApproxApp::run`] errors.
+pub fn run_with_timeout(
+    app: &dyn ApproxApp,
+    input: &InputParams,
+    schedule: &PhaseSchedule,
+    budget_ms: u64,
+) -> Result<RunResult, RuntimeError> {
+    let start = std::time::Instant::now();
+    let result = app.run(input, schedule)?;
+    let elapsed_ms = start.elapsed().as_millis() as u64;
+    if elapsed_ms > budget_ms {
+        return Err(RuntimeError::Timeout {
+            elapsed_ms,
+            budget_ms,
+        });
+    }
+    Ok(result)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +296,50 @@ mod tests {
         let input = InputParams::new(vec![10.0]);
         let bad = PhaseSchedule::constant(LevelConfig::new(vec![9]));
         assert!(app.run(&input, &bad).is_err());
+    }
+
+    #[test]
+    fn run_with_timeout_passes_fast_runs_and_cuts_slow_ones() {
+        let app = Toy { meta: meta() };
+        let input = InputParams::new(vec![10.0]);
+        let schedule = PhaseSchedule::accurate(1);
+        // A generous budget passes the result through untouched.
+        let ok = run_with_timeout(&app, &input, &schedule, 60_000).unwrap();
+        assert_eq!(ok.output[0], 4.0 * 45.0);
+
+        /// Wraps Toy with an artificial stall to trip the budget.
+        struct Slow {
+            inner: Toy,
+        }
+        impl ApproxApp for Slow {
+            fn meta(&self) -> &AppMeta {
+                self.inner.meta()
+            }
+            fn run(
+                &self,
+                input: &InputParams,
+                schedule: &PhaseSchedule,
+            ) -> Result<RunResult, RuntimeError> {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+                self.inner.run(input, schedule)
+            }
+            fn representative_inputs(&self) -> Vec<InputParams> {
+                self.inner.representative_inputs()
+            }
+        }
+        let slow = Slow {
+            inner: Toy { meta: meta() },
+        };
+        match run_with_timeout(&slow, &input, &schedule, 1) {
+            Err(RuntimeError::Timeout {
+                elapsed_ms,
+                budget_ms,
+            }) => {
+                assert!(elapsed_ms >= budget_ms);
+                assert_eq!(budget_ms, 1);
+            }
+            other => panic!("expected a timeout, got {other:?}"),
+        }
     }
 
     #[test]

@@ -26,6 +26,14 @@ pub enum RuntimeError {
     /// A phase schedule was malformed (zero phases, zero expected
     /// iterations, or per-phase configs of inconsistent shape).
     InvalidSchedule(String),
+    /// The execution exceeded its wall-clock budget (see
+    /// [`crate::app::run_with_timeout`]).
+    Timeout {
+        /// Milliseconds the execution actually took.
+        elapsed_ms: u64,
+        /// The budget it was given.
+        budget_ms: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -40,6 +48,13 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::InvalidInput(msg) => write!(f, "invalid input parameters: {msg}"),
             RuntimeError::InvalidSchedule(msg) => write!(f, "invalid phase schedule: {msg}"),
+            RuntimeError::Timeout {
+                elapsed_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "execution took {elapsed_ms} ms, exceeding its {budget_ms} ms budget"
+            ),
         }
     }
 }

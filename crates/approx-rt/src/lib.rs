@@ -43,7 +43,7 @@ pub mod qos;
 pub mod schedule;
 pub mod technique;
 
-pub use app::{ApproxApp, InputParams, RunResult};
+pub use app::{run_with_timeout, ApproxApp, InputParams, RunResult};
 pub use block::{BlockDescriptor, BlockId};
 pub use config::LevelConfig;
 pub use counter::WorkCounter;

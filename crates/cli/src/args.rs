@@ -9,6 +9,7 @@
 //! takes positional arguments (its artifact files); everywhere else a
 //! positional is an error.
 
+use opprox_core::{FaultPlan, RecoveryPolicy};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -44,6 +45,10 @@ pub enum Command {
         seed: u64,
         /// Worker threads for the evaluation engine.
         threads: Option<usize>,
+        /// Deterministic fault-injection plan (`--fault-plan`).
+        fault_plan: Option<FaultPlan>,
+        /// Retry and timeout policy (`--max-retries`, `--eval-timeout-ms`).
+        recovery: RecoveryPolicy,
     },
     /// Algorithm 2, model-only: no real executions.
     Optimize {
@@ -68,6 +73,10 @@ pub enum Command {
         validations: usize,
         /// Worker threads for the evaluation engine.
         threads: Option<usize>,
+        /// Deterministic fault-injection plan (`--fault-plan`).
+        fault_plan: Option<FaultPlan>,
+        /// Retry and timeout policy (`--max-retries`, `--eval-timeout-ms`).
+        recovery: RecoveryPolicy,
     },
     /// Phase-agnostic exhaustive baseline.
     Oracle {
@@ -110,6 +119,10 @@ pub enum Command {
         seed: u64,
         /// Worker threads for the evaluation engine.
         threads: Option<usize>,
+        /// Deterministic fault-injection plan (`--fault-plan`).
+        fault_plan: Option<FaultPlan>,
+        /// Retry and timeout policy (`--max-retries`, `--eval-timeout-ms`).
+        recovery: RecoveryPolicy,
     },
     /// Print the usage summary.
     Help,
@@ -131,7 +144,17 @@ const COMMANDS: &[(&str, &[&str])] = &[
     ("phases", &["app", "input", "probes", "seed", "threads"]),
     (
         "train",
-        &["app", "out", "phases", "sparse", "seed", "threads"],
+        &[
+            "app",
+            "out",
+            "phases",
+            "sparse",
+            "seed",
+            "threads",
+            "fault-plan",
+            "max-retries",
+            "eval-timeout-ms",
+        ],
     ),
     ("optimize", &["model", "input", "budget"]),
     (
@@ -143,6 +166,9 @@ const COMMANDS: &[(&str, &[&str])] = &[
             "canary",
             "validations",
             "threads",
+            "fault-plan",
+            "max-retries",
+            "eval-timeout-ms",
         ],
     ),
     ("oracle", &["app", "input", "budget", "threads"]),
@@ -151,7 +177,16 @@ const COMMANDS: &[(&str, &[&str])] = &[
     (
         "compare",
         &[
-            "app", "input", "budget", "phases", "sparse", "seed", "threads",
+            "app",
+            "input",
+            "budget",
+            "phases",
+            "sparse",
+            "seed",
+            "threads",
+            "fault-plan",
+            "max-retries",
+            "eval-timeout-ms",
         ],
     ),
     ("help", &[]),
@@ -191,6 +226,13 @@ pub enum ArgError {
         /// What was expected.
         expected: &'static str,
     },
+    /// `--fault-plan` failed to parse.
+    BadFaultPlan {
+        /// The offending spec.
+        value: String,
+        /// The fault-plan parser's message.
+        message: String,
+    },
     /// A positional argument appeared where a flag was expected.
     UnexpectedPositional(String),
     /// `opprox analyze` was invoked with no artifact files.
@@ -226,6 +268,9 @@ impl fmt::Display for ArgError {
                 value,
                 expected,
             } => write!(f, "--{flag} {value}: expected {expected}"),
+            ArgError::BadFaultPlan { value, message } => {
+                write!(f, "--fault-plan {value}: {message}")
+            }
             ArgError::UnexpectedPositional(arg) => {
                 write!(f, "unexpected argument `{arg}` (flags are --name value)")
             }
@@ -321,6 +366,8 @@ impl RawArgs {
                 sparse: self.usize_or("sparse", 36)?,
                 seed: self.u64_or("seed", 11)?,
                 threads: self.threads()?,
+                fault_plan: self.fault_plan()?,
+                recovery: self.recovery()?,
             },
             "optimize" => Command::Optimize {
                 model: self.require("model")?.to_string(),
@@ -337,6 +384,8 @@ impl RawArgs {
                 },
                 validations: self.usize_or("validations", 32)?,
                 threads: self.threads()?,
+                fault_plan: self.fault_plan()?,
+                recovery: self.recovery()?,
             },
             "oracle" => Command::Oracle {
                 app: self.require("app")?.to_string(),
@@ -365,6 +414,8 @@ impl RawArgs {
                 sparse: self.usize_or("sparse", 36)?,
                 seed: self.u64_or("seed", 11)?,
                 threads: self.threads()?,
+                fault_plan: self.fault_plan()?,
+                recovery: self.recovery()?,
             },
             _ => Command::Help,
         })
@@ -451,6 +502,51 @@ impl RawArgs {
         }
     }
 
+    /// `--fault-plan seed=42,panic=0.1,...`, typed through
+    /// [`FaultPlan::parse`].
+    fn fault_plan(&self) -> Result<Option<FaultPlan>, ArgError> {
+        match self.get("fault-plan") {
+            None => Ok(None),
+            Some(raw) => {
+                FaultPlan::parse(raw)
+                    .map(Some)
+                    .map_err(|message| ArgError::BadFaultPlan {
+                        value: raw.to_string(),
+                        message,
+                    })
+            }
+        }
+    }
+
+    /// `--max-retries N` and `--eval-timeout-ms MS` over the default
+    /// [`RecoveryPolicy`].
+    fn recovery(&self) -> Result<RecoveryPolicy, ArgError> {
+        let mut policy = RecoveryPolicy::default();
+        if let Some(raw) = self.get("max-retries") {
+            policy.max_retries = raw.parse().map_err(|_| ArgError::BadValue {
+                flag: "max-retries".to_string(),
+                value: raw.to_string(),
+                expected: "a non-negative integer",
+            })?;
+        }
+        if let Some(raw) = self.get("eval-timeout-ms") {
+            let ms: u64 = raw.parse().map_err(|_| ArgError::BadValue {
+                flag: "eval-timeout-ms".to_string(),
+                value: raw.to_string(),
+                expected: "a positive integer of milliseconds",
+            })?;
+            if ms == 0 {
+                return Err(ArgError::BadValue {
+                    flag: "eval-timeout-ms".to_string(),
+                    value: raw.to_string(),
+                    expected: "a positive integer of milliseconds",
+                });
+            }
+            policy.eval_timeout_ms = Some(ms);
+        }
+        Ok(policy)
+    }
+
     /// Parses a required comma-separated flag (e.g. `--input 64,2`).
     fn require_input(&self, flag: &str) -> Result<Vec<f64>, ArgError> {
         let raw = self.require(flag)?;
@@ -516,6 +612,8 @@ mod tests {
                 sparse: 36,
                 seed: 11,
                 threads: None,
+                fault_plan: None,
+                recovery: RecoveryPolicy::default(),
             }
         );
         let c = parse(&[
@@ -643,6 +741,8 @@ mod tests {
                 canary: Some(vec![8.0, 2.0]),
                 validations: 9,
                 threads: Some(3),
+                fault_plan: None,
+                recovery: RecoveryPolicy::default(),
             }
         );
     }
@@ -684,6 +784,107 @@ mod tests {
             parse(&["inspect", "m.json"]).unwrap_err(),
             ArgError::UnexpectedPositional("m.json".into())
         );
+    }
+
+    #[test]
+    fn fault_flags_parse_into_typed_plan_and_policy() {
+        let c = parse(&[
+            "train",
+            "--app",
+            "pso",
+            "--out",
+            "m.json",
+            "--fault-plan",
+            "seed=42,panic=0.1,timeout=0.05",
+            "--max-retries",
+            "5",
+            "--eval-timeout-ms",
+            "250",
+        ])
+        .unwrap();
+        let Command::Train {
+            fault_plan: Some(plan),
+            recovery,
+            ..
+        } = c
+        else {
+            panic!("expected a train command with a fault plan: {c:?}");
+        };
+        assert_eq!(plan.seed(), 42);
+        assert!(plan.is_active());
+        assert_eq!(recovery.max_retries, 5);
+        assert_eq!(recovery.eval_timeout_ms, Some(250));
+
+        // Without the flags: no plan, default policy.
+        let c = parse(&["run", "--model", "m", "--input", "1,2", "--budget", "5"]).unwrap();
+        let Command::Run {
+            fault_plan,
+            recovery,
+            ..
+        } = c
+        else {
+            panic!("expected a run command");
+        };
+        assert_eq!(fault_plan, None);
+        assert_eq!(recovery, RecoveryPolicy::default());
+    }
+
+    #[test]
+    fn fault_flags_reject_malformed_values() {
+        let err = parse(&[
+            "train",
+            "--app",
+            "p",
+            "--out",
+            "m",
+            "--fault-plan",
+            "panic=lots",
+        ])
+        .unwrap_err();
+        assert!(
+            matches!(&err, ArgError::BadFaultPlan { value, .. } if value == "panic=lots"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("non-numeric"), "{err}");
+        assert!(matches!(
+            parse(&[
+                "run",
+                "--model",
+                "m",
+                "--input",
+                "1",
+                "--budget",
+                "5",
+                "--max-retries",
+                "-1",
+            ])
+            .unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+        assert!(matches!(
+            parse(&[
+                "run",
+                "--model",
+                "m",
+                "--input",
+                "1",
+                "--budget",
+                "5",
+                "--eval-timeout-ms",
+                "0",
+            ])
+            .unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+        // `optimize` is model-only: no engine, no fault flags.
+        assert!(matches!(
+            parse(&[
+                "optimize", "--model", "m", "--input", "1", "--budget", "5", "--fault-plan",
+                "seed=1",
+            ])
+            .unwrap_err(),
+            ArgError::UnknownFlag { command, .. } if command == "optimize"
+        ));
     }
 
     #[test]

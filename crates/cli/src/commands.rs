@@ -20,7 +20,7 @@ use opprox_core::pipeline::{Opprox, TrainedOpprox, TrainingOptions};
 use opprox_core::report::percent_less_work;
 use opprox_core::request::OptimizeRequest;
 use opprox_core::sampling::SamplingPlan;
-use opprox_core::AccuracySpec;
+use opprox_core::{AccuracySpec, FaultPlan, RecoveryPolicy};
 use std::error::Error;
 
 /// The result alias used by every subcommand.
@@ -49,7 +49,19 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             sparse,
             seed,
             threads,
-        } => cmd_train(app, path, *phases, *sparse, *seed, *threads, out),
+            fault_plan,
+            recovery,
+        } => cmd_train(
+            app,
+            path,
+            *phases,
+            *sparse,
+            *seed,
+            *threads,
+            *fault_plan,
+            *recovery,
+            out,
+        ),
         Command::Optimize {
             model,
             input,
@@ -62,6 +74,8 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             canary,
             validations,
             threads,
+            fault_plan,
+            recovery,
         } => cmd_run(
             model,
             input,
@@ -69,6 +83,8 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             canary.as_deref(),
             *validations,
             *threads,
+            *fault_plan,
+            *recovery,
             out,
         ),
         Command::Oracle {
@@ -91,7 +107,20 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             sparse,
             seed,
             threads,
-        } => cmd_compare(app, input, *budget, *phases, *sparse, *seed, *threads, out),
+            fault_plan,
+            recovery,
+        } => cmd_compare(
+            app,
+            input,
+            *budget,
+            *phases,
+            *sparse,
+            *seed,
+            *threads,
+            *fault_plan,
+            *recovery,
+            out,
+        ),
         Command::Help => cmd_help(out),
     }
 }
@@ -114,10 +143,12 @@ pub fn cmd_help(out: &mut dyn std::io::Write) -> CmdResult {
          \x20          [--probes K] [--seed S] [--threads T]\n\
          \x20 train    --app A --out FILE            profile + fit models, save to FILE\n\
          \x20          [--phases N] [--sparse K] [--seed S] [--threads T]\n\
+         \x20          [--fault-plan P] [--max-retries R] [--eval-timeout-ms MS]\n\
          \x20 optimize --model FILE --input I --budget B\n\
          \x20                                        solve Algorithm 2 (model-only)\n\
          \x20 run      --model FILE --input I --budget B\n\
          \x20          [--canary C] [--validations V] [--threads T]\n\
+         \x20          [--fault-plan P] [--max-retries R] [--eval-timeout-ms MS]\n\
          \x20                                        validated optimization + real execution\n\
          \x20 oracle   --app A --input I --budget B  phase-agnostic exhaustive baseline\n\
          \x20          [--threads T]\n\
@@ -127,10 +158,16 @@ pub fn cmd_help(out: &mut dyn std::io::Write) -> CmdResult {
          \x20          [--deny warnings]              or on warnings under --deny warnings\n\
          \x20 compare  --app A --input I --budget B   OPPROX (validated) vs oracle in one shot\n\
          \x20          [--phases N] [--sparse K] [--seed S] [--threads T]\n\
+         \x20          [--fault-plan P] [--max-retries R] [--eval-timeout-ms MS]\n\
          \n\
          Inputs are comma-separated parameter values, e.g. --input 64,2 for\n\
          LULESH (mesh_length, num_regions). --threads bounds the evaluation\n\
-         engine's worker pool (default: all cores)."
+         engine's worker pool (default: all cores).\n\
+         \n\
+         --fault-plan injects deterministic faults for robustness testing,\n\
+         e.g. seed=42,panic=0.1,timeout=0.05,nan=0.05,poison=0.02,fail_first=1;\n\
+         the run then ends with a robustness ledger (retries, drops,\n\
+         quarantines). --max-retries and --eval-timeout-ms shape recovery."
     )?;
     Ok(())
 }
@@ -147,15 +184,40 @@ fn lookup_app(name: &str) -> Result<Box<dyn ApproxApp>, Box<dyn Error>> {
 
 /// An engine with an explicit thread count, or one per core.
 fn make_engine(threads: Option<usize>) -> EvalEngine {
-    match threads {
-        Some(n) => EvalEngine::new(n),
-        None => EvalEngine::default(),
+    make_faulty_engine(threads, None, RecoveryPolicy::default())
+}
+
+/// An engine carrying an optional fault-injection plan and an explicit
+/// recovery policy (`--fault-plan`, `--max-retries`, `--eval-timeout-ms`).
+fn make_faulty_engine(
+    threads: Option<usize>,
+    plan: Option<FaultPlan>,
+    policy: RecoveryPolicy,
+) -> EvalEngine {
+    let threads = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    match plan {
+        Some(plan) => EvalEngine::with_faults(threads, plan, policy),
+        None => EvalEngine::with_recovery(threads, policy),
     }
 }
 
 /// Prints the engine's metrics block under a standard header.
 fn report_metrics(metrics: &EvalMetrics, out: &mut dyn std::io::Write) -> CmdResult {
     writeln!(out, "{metrics}")?;
+    Ok(())
+}
+
+/// Prints the robustness ledger when fault injection was configured or
+/// any recovery event fired; a clean run on a clean engine stays silent.
+fn report_robustness(engine: &EvalEngine, out: &mut dyn std::io::Write) -> CmdResult {
+    let report = engine.robustness_report();
+    if engine.fault_injection_enabled() || report.has_activity() {
+        write!(out, "{report}")?;
+    }
     Ok(())
 }
 
@@ -230,6 +292,8 @@ fn cmd_train(
     sparse: usize,
     seed: u64,
     threads: Option<usize>,
+    fault_plan: Option<FaultPlan>,
+    recovery: RecoveryPolicy,
     out: &mut dyn std::io::Write,
 ) -> CmdResult {
     let app = lookup_app(app)?;
@@ -238,7 +302,7 @@ fn cmd_train(
     // fan-out and the model-fitting fan-out.
     opts.modeling.threads = threads;
     writeln!(out, "training OPPROX on {} …", app.meta().name)?;
-    let engine = make_engine(threads);
+    let engine = make_faulty_engine(threads, fault_plan, recovery);
     let trained = Opprox::train_with(&engine, app.as_ref(), &opts)?;
     for (phase, s_r2, q_r2) in trained.models().accuracy_summary() {
         writeln!(
@@ -254,6 +318,7 @@ fn cmd_train(
     std::fs::write(path, trained.to_json()?)?;
     writeln!(out, "model saved to {path}")?;
     report_metrics(&engine.metrics(), out)?;
+    report_robustness(&engine, out)?;
     write!(out, "{}", trained.modeling_metrics())?;
     Ok(())
 }
@@ -288,6 +353,7 @@ fn cmd_optimize(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cmd_run(
     model: &str,
     input: &[f64],
@@ -295,13 +361,15 @@ fn cmd_run(
     canary: Option<&[f64]>,
     validations: usize,
     threads: Option<usize>,
+    fault_plan: Option<FaultPlan>,
+    recovery: RecoveryPolicy,
     out: &mut dyn std::io::Write,
 ) -> CmdResult {
     let trained = load_model(model)?;
     let app = lookup_app(trained.app_name())?;
     let input = InputParams::new(input.to_vec());
     let spec = AccuracySpec::try_new(budget)?;
-    let engine = make_engine(threads);
+    let engine = make_faulty_engine(threads, fault_plan, recovery);
     let mut request = OptimizeRequest::new(input, spec)
         .validate_on(app.as_ref())
         .validation_budget(validations)
@@ -320,18 +388,28 @@ fn cmd_run(
     for (phase, cfg) in outcome.plan.schedule.configs().iter().enumerate() {
         writeln!(out, "  phase {}: levels {:?}", phase + 1, cfg.levels())?;
     }
-    let measured = outcome.measured.expect("validated requests always measure");
-    writeln!(
-        out,
-        "measured: {:.2}x speedup ({:.1}% less work), {:.2} QoS degradation \
-         (budget {:.2}), {} outer iterations",
-        measured.speedup,
-        percent_less_work(measured.speedup),
-        measured.qos,
-        spec.error_budget(),
-        measured.outer_iters
-    )?;
-    report_metrics(&engine.metrics(), out)
+    match outcome.measured {
+        Some(measured) => writeln!(
+            out,
+            "measured: {:.2}x speedup ({:.1}% less work), {:.2} QoS degradation \
+             (budget {:.2}), {} outer iterations",
+            measured.speedup,
+            percent_less_work(measured.speedup),
+            measured.qos,
+            spec.error_budget(),
+            measured.outer_iters
+        )?,
+        // Degraded mode: validation fell back to the model-only path
+        // (possible when fault injection keeps failing the golden run).
+        None => writeln!(
+            out,
+            "measured: unavailable (validation degraded to the model-only path); \
+             predicted {:.2}x speedup, {:.2} QoS degradation",
+            outcome.plan.predicted_speedup, outcome.plan.predicted_qos
+        )?,
+    }
+    report_metrics(&engine.metrics(), out)?;
+    report_robustness(&engine, out)
 }
 
 fn cmd_oracle(
@@ -440,6 +518,8 @@ fn cmd_compare(
     sparse: usize,
     seed: u64,
     threads: Option<usize>,
+    fault_plan: Option<FaultPlan>,
+    recovery: RecoveryPolicy,
     out: &mut dyn std::io::Write,
 ) -> CmdResult {
     let app = lookup_app(app)?;
@@ -449,21 +529,28 @@ fn cmd_compare(
     writeln!(out, "training OPPROX on {} …", app.meta().name)?;
     // One engine end to end: the oracle sweep reuses any whole-run
     // configurations the training or validation phases already executed.
-    let engine = make_engine(threads);
+    let engine = make_faulty_engine(threads, fault_plan, recovery);
     let trained = Opprox::train_with(&engine, app.as_ref(), &opts)?;
     let outcome = OptimizeRequest::new(input.clone(), spec)
         .validate_on(app.as_ref())
         .engine(&engine)
         .run(&trained)?;
-    let measured = outcome.measured.expect("validated requests always measure");
     let oracle = phase_agnostic_oracle_with(&engine, app.as_ref(), &input, &spec)?;
-    writeln!(
-        out,
-        "OPPROX : {:.1}% less work (measured qos {:.2}, budget {:.2})",
-        percent_less_work(measured.speedup),
-        measured.qos,
-        spec.error_budget()
-    )?;
+    match outcome.measured {
+        Some(measured) => writeln!(
+            out,
+            "OPPROX : {:.1}% less work (measured qos {:.2}, budget {:.2})",
+            percent_less_work(measured.speedup),
+            measured.qos,
+            spec.error_budget()
+        )?,
+        None => writeln!(
+            out,
+            "OPPROX : validation degraded to the model-only path \
+             (predicted {:.1}% less work)",
+            percent_less_work(outcome.plan.predicted_speedup)
+        )?,
+    }
     writeln!(
         out,
         "oracle : {:.1}% less work (measured qos {:.2}, over {} executions)",
@@ -471,7 +558,8 @@ fn cmd_compare(
         oracle.qos,
         oracle.evaluated
     )?;
-    report_metrics(&engine.metrics(), out)
+    report_metrics(&engine.metrics(), out)?;
+    report_robustness(&engine, out)
 }
 
 #[cfg(test)]
@@ -696,6 +784,47 @@ mod tests {
             "{err}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_under_fault_injection_prints_the_robustness_ledger() {
+        let dir = std::env::temp_dir().join("opprox_cli_faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("pso_faulty.json");
+        let model_s = model.to_str().unwrap();
+        // Timeout-class injection only: deterministic, no panic unwinding,
+        // so the test needs no panic-hook filtering.
+        let out = run(&[
+            "train",
+            "--app",
+            "pso",
+            "--out",
+            model_s,
+            "--phases",
+            "2",
+            "--sparse",
+            "6",
+            "--threads",
+            "2",
+            "--fault-plan",
+            "seed=7,timeout=0.2",
+            "--max-retries",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("model saved"), "{out}");
+        assert!(out.contains("robustness:"), "{out}");
+        assert!(out.contains("faults injected"), "{out}");
+        // The saved model must still load cleanly.
+        let out = run(&["inspect", "--model", model_s]).unwrap();
+        assert!(out.contains("phases: 2"), "{out}");
+        // Without a plan the ledger stays silent on a clean run.
+        let out = run(&[
+            "train", "--app", "pso", "--out", model_s, "--phases", "2", "--sparse", "6",
+        ])
+        .unwrap();
+        assert!(!out.contains("robustness:"), "{out}");
+        std::fs::remove_file(model).ok();
     }
 
     #[test]

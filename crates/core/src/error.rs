@@ -1,5 +1,6 @@
 //! Error type for the OPPROX core.
 
+use crate::fault::FailureKind;
 use opprox_approx_rt::RuntimeError;
 use opprox_ml::MlError;
 use std::fmt;
@@ -27,6 +28,22 @@ pub enum OpproxError {
     /// coefficients, invalid confidence bands, or shape mismatches); see
     /// [`crate::modeling::AppModels::integrity_issues`].
     InvalidModel(String),
+    /// An evaluation exhausted every recovery attempt; see
+    /// [`crate::fault::RecoveryPolicy`].
+    EvaluationFailed {
+        /// The terminal failure kind of the last attempt.
+        kind: FailureKind,
+        /// Attempts performed before giving up.
+        attempts: u32,
+        /// Human-readable context (app, fault details).
+        context: String,
+    },
+    /// The (input, schedule) key was quarantined by an earlier failed
+    /// evaluation and the request was refused outright.
+    Quarantined {
+        /// Human-readable context identifying the key.
+        context: String,
+    },
 }
 
 impl fmt::Display for OpproxError {
@@ -41,6 +58,17 @@ impl fmt::Display for OpproxError {
             }
             OpproxError::Serialization(msg) => write!(f, "serialization error: {msg}"),
             OpproxError::InvalidModel(msg) => write!(f, "invalid trained model set: {msg}"),
+            OpproxError::EvaluationFailed {
+                kind,
+                attempts,
+                context,
+            } => write!(
+                f,
+                "evaluation failed after {attempts} attempts ({kind}): {context}"
+            ),
+            OpproxError::Quarantined { context } => {
+                write!(f, "evaluation refused, key quarantined: {context}")
+            }
         }
     }
 }

@@ -22,13 +22,20 @@
 //!   surfaced through `core::report` and printed by the CLI.
 
 use crate::error::OpproxError;
+use crate::fault::{
+    FailureKind, FaultEvent, FaultPlan, FaultPoint, FaultState, RecoveryPolicy, RobustnessReport,
+};
 use crate::pool::WorkPool;
 use crate::sync::{AtomicU64, Mutex, Ordering};
-use opprox_approx_rt::{ApproxApp, InputParams, PhaseSchedule, RunResult};
+use opprox_approx_rt::log::CallContextLog;
+use opprox_approx_rt::{
+    run_with_timeout, ApproxApp, InputParams, PhaseSchedule, RunResult, RuntimeError,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -58,6 +65,50 @@ impl CacheKey {
             expected_iters: schedule.expected_iters(),
         }
     }
+
+    /// A stable 64-bit digest of the key (FNV-1a), used to seed fault
+    /// decisions and to index the quarantine set. Unlike `Hash`, the
+    /// digest is identical across processes and runs.
+    fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = eat(OFFSET, self.app.as_bytes());
+        h = eat(h, &(self.input_bits.len() as u64).to_le_bytes());
+        for &bits in &self.input_bits {
+            h = eat(h, &bits.to_le_bytes());
+        }
+        h = eat(h, &(self.phase_levels.len() as u64).to_le_bytes());
+        for levels in &self.phase_levels {
+            h = eat(h, &(levels.len() as u64).to_le_bytes());
+            h = eat(h, levels);
+        }
+        eat(h, &self.expected_iters.to_le_bytes())
+    }
+}
+
+/// The finite-QoS gate: observations carrying NaN/∞ output values are
+/// rejected before they can reach the execution cache or a model.
+fn finite_qos_gate(result: RunResult) -> Result<RunResult, FailureKind> {
+    if result.output.iter().any(|v| !v.is_finite()) {
+        Err(FailureKind::NonFiniteQos)
+    } else {
+        Ok(result)
+    }
+}
+
+/// How one evaluation attempt ended short of success.
+enum AttemptFailure {
+    /// Retryable: injected faults, caught panics, timeouts, non-finite
+    /// QoS, poisoned results.
+    Transient(FailureKind),
+    /// Not retryable: the app rejected the input or schedule outright.
+    Fatal(OpproxError),
 }
 
 /// Wall time and execution count attributed to one pipeline stage.
@@ -147,6 +198,7 @@ pub struct EvalEngine {
     cache_hits: AtomicU64,
     total_work: AtomicU64,
     stages: Mutex<Vec<StageMetrics>>,
+    faults: FaultState,
 }
 
 impl Default for EvalEngine {
@@ -171,6 +223,13 @@ impl EvalEngine {
     /// Creates an engine with a bounded pool of `threads` workers
     /// (clamped to at least one).
     pub fn new(threads: usize) -> Self {
+        EvalEngine::with_recovery(threads, RecoveryPolicy::default())
+    }
+
+    /// Creates an engine with an explicit [`RecoveryPolicy`] (retry
+    /// bound, accounted backoff, per-evaluation timeout) and no fault
+    /// injection.
+    pub fn with_recovery(threads: usize, policy: RecoveryPolicy) -> Self {
         EvalEngine {
             threads: threads.max(1),
             cache: Mutex::new(HashMap::new()),
@@ -178,6 +237,23 @@ impl EvalEngine {
             cache_hits: AtomicU64::new(0),
             total_work: AtomicU64::new(0),
             stages: Mutex::new(Vec::new()),
+            faults: FaultState::new(None, policy),
+        }
+    }
+
+    /// Creates an engine that injects faults according to `plan` and
+    /// recovers according to `policy`. Decisions are pure functions of
+    /// the plan seed and the evaluation key, so the injected-failure
+    /// schedule is identical across runs and thread counts.
+    pub fn with_faults(threads: usize, plan: FaultPlan, policy: RecoveryPolicy) -> Self {
+        EvalEngine {
+            threads: threads.max(1),
+            cache: Mutex::new(HashMap::new()),
+            executions: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            total_work: AtomicU64::new(0),
+            stages: Mutex::new(Vec::new()),
+            faults: FaultState::new(Some(plan), policy),
         }
     }
 
@@ -186,12 +262,40 @@ impl EvalEngine {
         self.threads
     }
 
-    /// Executes (or recalls) one run of `app` on `input` under `schedule`.
+    /// Whether a fault plan is configured and can inject anything.
+    pub fn fault_injection_enabled(&self) -> bool {
+        self.faults.plan.as_ref().is_some_and(FaultPlan::is_active)
+    }
+
+    /// The engine's recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.faults.policy
+    }
+
+    /// Snapshot of the fault-injection and recovery ledger, in canonical
+    /// order (byte-identical across runs and thread counts for a fixed
+    /// [`FaultPlan`]).
+    pub fn robustness_report(&self) -> RobustnessReport {
+        self.faults.report()
+    }
+
+    /// Shared fault state, for in-crate collaborators (sampling records
+    /// drops and requested-sample counts here).
+    pub(crate) fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// Executes (or recalls) one run of `app` on `input` under `schedule`,
+    /// with panic isolation, bounded retry, and quarantine (see
+    /// [`crate::fault`]).
     ///
     /// # Errors
     ///
-    /// Propagates application runtime errors. Failed runs are never
-    /// cached.
+    /// Propagates application runtime errors;
+    /// [`OpproxError::EvaluationFailed`] when every recovery attempt was
+    /// exhausted, [`OpproxError::Quarantined`] when the key already
+    /// failed a full evaluation. Failed runs are **never** cached — a key
+    /// whose last attempt failed cannot be served from the cache.
     pub fn run(
         &self,
         app: &dyn ApproxApp,
@@ -203,7 +307,8 @@ impl EvalEngine {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
-        let result = Arc::new(app.run(input, schedule)?);
+        let digest = key.digest();
+        let result = Arc::new(self.evaluate_with_recovery(app, input, schedule, digest)?);
         self.executions.fetch_add(1, Ordering::Relaxed);
         self.total_work.fetch_add(result.work, Ordering::Relaxed);
         self.cache
@@ -212,6 +317,137 @@ impl EvalEngine {
             .entry(key)
             .or_insert_with(|| Arc::clone(&result));
         Ok(result)
+    }
+
+    /// Runs one full evaluation — up to `1 + max_retries` attempts with
+    /// accounted backoff — and quarantines the key if every attempt
+    /// fails.
+    fn evaluate_with_recovery(
+        &self,
+        app: &dyn ApproxApp,
+        input: &InputParams,
+        schedule: &PhaseSchedule,
+        digest: u64,
+    ) -> Result<RunResult, OpproxError> {
+        if self.faults.is_quarantined(digest) {
+            self.faults.count_failure(FailureKind::Quarantined);
+            return Err(OpproxError::Quarantined {
+                context: format!("app `{}`, key {digest:#018x}", app.meta().name),
+            });
+        }
+        let max_attempts = self.faults.policy.max_attempts();
+        let mut last = FailureKind::Panic;
+        for attempt in 0..max_attempts {
+            match self.attempt_once(app, input, schedule, digest, attempt) {
+                Ok(result) => return Ok(result),
+                Err(AttemptFailure::Fatal(e)) => return Err(e),
+                Err(AttemptFailure::Transient(kind)) => {
+                    self.faults.count_failure(kind);
+                    last = kind;
+                    if attempt + 1 < max_attempts {
+                        self.faults.account_retry(attempt);
+                    }
+                }
+            }
+        }
+        self.faults.quarantine(digest, max_attempts);
+        Err(OpproxError::EvaluationFailed {
+            kind: last,
+            attempts: max_attempts,
+            context: format!("app `{}`, key {digest:#018x}", app.meta().name),
+        })
+    }
+
+    /// One attempt: consult the fault plan at the named fault points,
+    /// then (if nothing was injected) execute the app behind
+    /// `catch_unwind`, the optional wall-clock budget, and the finite-QoS
+    /// gate.
+    fn attempt_once(
+        &self,
+        app: &dyn ApproxApp,
+        input: &InputParams,
+        schedule: &PhaseSchedule,
+        digest: u64,
+        attempt: u32,
+    ) -> Result<RunResult, AttemptFailure> {
+        let injected = self
+            .faults
+            .plan
+            .as_ref()
+            .and_then(|p| p.decide(digest, attempt));
+        if let Some((point, kind)) = injected {
+            self.faults.record_injection(FaultEvent {
+                key: digest,
+                attempt,
+                point,
+                kind,
+            });
+            match kind {
+                FailureKind::Panic => {
+                    // Raise a real panic and catch it at the worker
+                    // boundary, exercising the same isolation machinery a
+                    // genuine app panic takes.
+                    let caught = catch_unwind(AssertUnwindSafe(|| -> RunResult {
+                        panic!("injected fault: app-run panic (key {digest:#x}, attempt {attempt})")
+                    }));
+                    debug_assert!(caught.is_err());
+                    return Err(AttemptFailure::Transient(FailureKind::Panic));
+                }
+                FailureKind::Timeout => {
+                    return Err(AttemptFailure::Transient(FailureKind::Timeout));
+                }
+                FailureKind::NonFiniteQos => {
+                    // Synthesize the corrupted observation and push it
+                    // through the same finite-QoS gate a genuine NaN
+                    // result would hit.
+                    let corrupted = RunResult {
+                        output: vec![f64::NAN],
+                        work: 0,
+                        outer_iters: 0,
+                        log: CallContextLog::new(),
+                    };
+                    let kind = finite_qos_gate(corrupted)
+                        .expect_err("synthesized NaN output must fail the gate");
+                    return Err(AttemptFailure::Transient(kind));
+                }
+                FailureKind::PoisonedResult => {
+                    // The corruption strikes at the cache-insert boundary:
+                    // the would-be entry is rejected, never stored.
+                    debug_assert_eq!(point, FaultPoint::CacheInsert);
+                    return Err(AttemptFailure::Transient(FailureKind::PoisonedResult));
+                }
+                // The plan never decides `Quarantined`; quarantine is a
+                // recovery outcome, not an injectable fault.
+                FailureKind::Quarantined => {}
+            }
+        }
+        self.guarded_run(app, input, schedule)
+    }
+
+    /// A genuine execution behind the worker-boundary guards: panics are
+    /// caught, the optional per-evaluation wall-clock budget is enforced
+    /// (via [`opprox_approx_rt::run_with_timeout`]), and non-finite
+    /// outputs are rejected before they can reach the cache or a model.
+    fn guarded_run(
+        &self,
+        app: &dyn ApproxApp,
+        input: &InputParams,
+        schedule: &PhaseSchedule,
+    ) -> Result<RunResult, AttemptFailure> {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            match self.faults.policy.eval_timeout_ms {
+                Some(budget) => run_with_timeout(app, input, schedule, budget),
+                None => app.run(input, schedule),
+            }
+        }));
+        match caught {
+            Err(_) => Err(AttemptFailure::Transient(FailureKind::Panic)),
+            Ok(Err(RuntimeError::Timeout { .. })) => {
+                Err(AttemptFailure::Transient(FailureKind::Timeout))
+            }
+            Ok(Err(e)) => Err(AttemptFailure::Fatal(OpproxError::Runtime(e))),
+            Ok(Ok(result)) => finite_qos_gate(result).map_err(AttemptFailure::Transient),
+        }
     }
 
     /// Executes (or recalls) the fully accurate run for `input`.
@@ -241,12 +477,30 @@ impl EvalEngine {
     /// # Errors
     ///
     /// If any job fails, returns the error of the earliest-submitted
-    /// failing job.
+    /// failing job. Successful jobs in the batch are still cached.
     pub fn run_batch(
         &self,
         app: &dyn ApproxApp,
         jobs: &[(InputParams, PhaseSchedule)],
     ) -> Result<Vec<Arc<RunResult>>, OpproxError> {
+        let mut out = Vec::with_capacity(jobs.len());
+        for outcome in self.run_batch_resilient(app, jobs) {
+            out.push(outcome?);
+        }
+        Ok(out)
+    }
+
+    /// Like [`EvalEngine::run_batch`], but failures degrade instead of
+    /// aborting: every job gets its own `Result`, in submission order.
+    /// Failed jobs are never cached; duplicate submissions of a failing
+    /// key share the same error. This is the entry point degraded-mode
+    /// training uses to drop individual samples while keeping the rest of
+    /// the batch.
+    pub fn run_batch_resilient(
+        &self,
+        app: &dyn ApproxApp,
+        jobs: &[(InputParams, PhaseSchedule)],
+    ) -> Vec<Result<Arc<RunResult>, OpproxError>> {
         // Resolve each submission to a cached result or a unique pending
         // execution; duplicates alias the first occurrence.
         enum Slot {
@@ -281,48 +535,65 @@ impl EvalEngine {
         }
         self.cache_hits.fetch_add(hits, Ordering::Relaxed);
 
-        let results = self.execute_pending(app, &pending)?;
+        let results = self.execute_pending(app, &pending);
 
         {
+            // Only successful results cross the cache boundary; failed
+            // entries are never stored (rule C005).
             let mut cache = self.cache.lock().expect("cache lock");
             for ((key, _, _), result) in pending.iter().zip(results.iter()) {
-                cache.insert(key.clone(), Arc::clone(result));
+                if let Ok(result) = result {
+                    cache.insert(key.clone(), Arc::clone(result));
+                }
             }
         }
 
-        Ok(slots
+        slots
             .into_iter()
             .map(|slot| match slot {
-                Slot::Cached(r) => r,
-                Slot::Pending(i) => Arc::clone(&results[i]),
+                Slot::Cached(r) => Ok(r),
+                Slot::Pending(i) => results[i].clone(),
             })
-            .collect())
+            .collect()
     }
 
     /// Runs the de-duplicated pending jobs on a work-stealing pool of
-    /// scoped threads (see [`WorkPool`]) and returns their results in job
-    /// order.
+    /// scoped threads (see [`WorkPool`]) with per-job panic isolation,
+    /// and returns their outcomes in job order.
     fn execute_pending(
         &self,
         app: &dyn ApproxApp,
         pending: &[(CacheKey, &InputParams, &PhaseSchedule)],
-    ) -> Result<Vec<Arc<RunResult>>, OpproxError> {
+    ) -> Vec<Result<Arc<RunResult>, OpproxError>> {
         if pending.is_empty() {
-            return Ok(Vec::new());
+            return Vec::new();
         }
-        let outcomes = WorkPool::new(self.threads).run(pending.len(), |i| {
-            let (_, input, schedule) = pending[i];
-            app.run(input, schedule)
+        let run = WorkPool::new(self.threads).run_isolated(pending.len(), |i| {
+            let (key, input, schedule) = &pending[i];
+            self.evaluate_with_recovery(app, input, schedule, key.digest())
         });
-
-        let mut results = Vec::with_capacity(pending.len());
-        for outcome in outcomes {
-            let result = outcome.map_err(OpproxError::from)?;
-            self.executions.fetch_add(1, Ordering::Relaxed);
-            self.total_work.fetch_add(result.work, Ordering::Relaxed);
-            results.push(Arc::new(result));
+        for _ in 0..run.respawns {
+            self.faults.record_respawn();
         }
-        Ok(results)
+        run.outcomes
+            .into_iter()
+            .map(|outcome| match outcome {
+                Ok(Ok(result)) => {
+                    self.executions.fetch_add(1, Ordering::Relaxed);
+                    self.total_work.fetch_add(result.work, Ordering::Relaxed);
+                    Ok(Arc::new(result))
+                }
+                Ok(Err(e)) => Err(e),
+                // Defense in depth: `evaluate_with_recovery` catches
+                // panics itself, but if one ever escapes to the pool the
+                // worker dies, is respawned, and the job fails typed.
+                Err(panic) => Err(OpproxError::EvaluationFailed {
+                    kind: FailureKind::Panic,
+                    attempts: 1,
+                    context: format!("worker died: {}", panic.message),
+                }),
+            })
+            .collect()
     }
 
     /// Runs `f`, attributing its wall time and the executions and cache

@@ -47,6 +47,7 @@
 pub mod control_flow;
 pub mod error;
 pub mod evaluator;
+pub mod fault;
 pub mod modeling;
 pub mod optimizer;
 pub mod oracle;
@@ -61,6 +62,7 @@ pub(crate) mod sync;
 
 pub use error::OpproxError;
 pub use evaluator::{EvalEngine, EvalMetrics};
+pub use fault::{FailureKind, FaultPlan, RecoveryPolicy, RobustnessReport};
 pub use pipeline::Opprox;
 pub use request::{OptimizeOutcome, OptimizePath, OptimizeRequest};
 pub use spec::AccuracySpec;

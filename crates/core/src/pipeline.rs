@@ -120,13 +120,26 @@ impl Opprox {
         let mut trained = Self::train_from_data(app, &data, num_phases, &options.modeling)?;
         trained.golden_iter_rel_error = engine.stage("self-check", || {
             let mut total = 0.0f64;
+            let mut checked = 0usize;
             for input in &inputs {
-                let golden = engine.golden(app, input)?;
+                // An input whose golden was dropped by degraded-mode
+                // collection stays dropped here: skip it instead of
+                // aborting a training run that already survived it.
+                let golden = match engine.golden(app, input) {
+                    Ok(g) => g,
+                    Err(e) if crate::fault::degradable_kind(&e).is_some() => continue,
+                    Err(e) => return Err(e),
+                };
                 let est = trained.estimate_golden_iters(input)?;
                 let real = golden.outer_iters.max(1) as f64;
                 total += (est as f64 - real).abs() / real;
+                checked += 1;
             }
-            Ok::<f64, OpproxError>(total / inputs.len() as f64)
+            Ok::<f64, OpproxError>(if checked == 0 {
+                0.0
+            } else {
+                total / checked as f64
+            })
         })?;
         Ok(trained)
     }

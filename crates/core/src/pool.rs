@@ -10,6 +10,26 @@
 
 use crate::sync::{thread, Mutex};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The caught panic of one isolated job (see [`WorkPool::run_isolated`]).
+#[derive(Debug, Clone)]
+pub struct JobPanic {
+    /// The panic payload rendered as text, when it was a string.
+    pub message: String,
+}
+
+/// Result of [`WorkPool::run_isolated`]: per-job outcomes in submission
+/// order, plus worker-death accounting.
+#[derive(Debug)]
+pub struct IsolatedRun<T> {
+    /// One entry per job: the job's value, or the panic that killed it.
+    pub outcomes: Vec<Result<T, JobPanic>>,
+    /// Logical worker deaths: each caught panic ends that worker's
+    /// execution of the job, and the worker is immediately reused
+    /// (respawned) for the next one instead of taking the pool down.
+    pub respawns: u64,
+}
 
 /// A bounded pool of scoped worker threads with work stealing.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +106,42 @@ impl WorkPool {
             })
             .collect()
     }
+
+    /// Like [`WorkPool::run`], but a panicking job kills only itself: the
+    /// panic is caught at the worker boundary, recorded as a
+    /// [`JobPanic`], and the worker moves on to its next job. Inline
+    /// (single-worker) execution gets the same isolation, so outcomes are
+    /// identical for any thread count.
+    ///
+    /// The `AssertUnwindSafe` is sound because a panicked job's value is
+    /// discarded wholesale — callers only ever observe the `Err` — and
+    /// the engine defers all shared-state writes (cache inserts, result
+    /// publication) until after the pool returns.
+    pub fn run_isolated<T, F>(&self, n: usize, job: F) -> IsolatedRun<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let outcomes = self.run(n, |i| {
+            catch_unwind(AssertUnwindSafe(|| job(i))).map_err(|payload| JobPanic {
+                message: panic_message(payload.as_ref()),
+            })
+        });
+        let respawns = outcomes.iter().filter(|o| o.is_err()).count() as u64;
+        IsolatedRun { outcomes, respawns }
+    }
+}
+
+/// Renders a panic payload as text (panics carry `&str` or `String`
+/// payloads in practice; anything else is reported opaquely).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -133,5 +189,63 @@ mod tests {
         for (a, b) in seq.iter().zip(par.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    /// Keeps intentionally injected panics out of the test log while
+    /// forwarding every other panic to the default hook.
+    fn silence_injected_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.contains("injected fault"))
+                    || info
+                        .payload()
+                        .downcast_ref::<&str>()
+                        .is_some_and(|s| s.contains("injected fault"));
+                if !injected {
+                    default(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn isolated_jobs_survive_panicking_neighbours() {
+        silence_injected_panics();
+        for threads in [1, 4] {
+            let pool = WorkPool::new(threads);
+            let run = pool.run_isolated(20, |i| {
+                if i % 5 == 3 {
+                    panic!("injected fault: job {i}");
+                }
+                i * 2
+            });
+            assert_eq!(run.outcomes.len(), 20);
+            assert_eq!(run.respawns, 4, "{threads} threads");
+            for (i, outcome) in run.outcomes.iter().enumerate() {
+                match outcome {
+                    Ok(v) => assert_eq!(*v, i * 2),
+                    Err(p) => {
+                        assert_eq!(i % 5, 3);
+                        assert!(p.message.contains("injected fault"), "{}", p.message);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_run_without_panics_matches_plain_run() {
+        let pool = WorkPool::new(3);
+        let plain = pool.run(16, |i| i + 1);
+        let isolated = pool.run_isolated(16, |i| i + 1);
+        assert_eq!(isolated.respawns, 0);
+        let values: Vec<usize> = isolated.outcomes.into_iter().map(Result::unwrap).collect();
+        assert_eq!(values, plain);
     }
 }

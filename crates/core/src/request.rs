@@ -45,6 +45,7 @@
 
 use crate::error::OpproxError;
 use crate::evaluator::EvalEngine;
+use crate::fault::{degradable_kind, RobustnessReport};
 use crate::optimizer::{optimize_with, Conservatism, OptimizationPlan};
 use crate::pipeline::{MeasuredOutcome, TrainedOpprox};
 use crate::spec::AccuracySpec;
@@ -80,6 +81,10 @@ pub struct OptimizeOutcome {
     /// How many candidate plans were empirically validated (0 for the
     /// model-only path).
     pub candidates_tried: usize,
+    /// The fault-injection and recovery ledger of the validation engine,
+    /// when fault injection was configured or any recovery event (retry,
+    /// quarantine, drop) occurred. `None` for a clean model-only solve.
+    pub robustness: Option<RobustnessReport>,
 }
 
 /// Builder describing one optimization request against a trained system.
@@ -193,6 +198,7 @@ impl<'a> OptimizeRequest<'a> {
                 path: OptimizePath::ModelOnly,
                 measured: None,
                 candidates_tried: 0,
+                robustness: None,
             });
         };
         let private_engine;
@@ -203,9 +209,14 @@ impl<'a> OptimizeRequest<'a> {
                 &private_engine
             }
         };
-        engine.stage("validation", || {
+        let mut outcome = engine.stage("validation", || {
             self.run_validated(engine, app, trained, expected)
-        })
+        })?;
+        let report = engine.robustness_report();
+        if engine.fault_injection_enabled() || report.has_activity() {
+            outcome.robustness = Some(report);
+        }
+        Ok(outcome)
     }
 
     /// The validated path: generate a bounded candidate set, vet every
@@ -258,13 +269,39 @@ impl<'a> OptimizeRequest<'a> {
         }
         candidates.truncate(self.validation_budget);
 
-        // Step 2: validate each candidate once, as one engine batch.
-        let golden = engine.golden(app, canary)?;
+        // Step 2: validate each candidate once, as one engine batch. If
+        // the canary's golden run itself fails past recovery, no
+        // candidate can be vetted — degrade to the model-only plan
+        // rather than aborting the whole request.
+        let golden = match engine.golden(app, canary) {
+            Ok(g) => g,
+            Err(e) if degradable_kind(&e).is_some() => {
+                let plan = optimize_with(
+                    trained.models(),
+                    trained.blocks(),
+                    &self.input,
+                    &self.spec,
+                    expected,
+                    self.conservatism,
+                )?;
+                return Ok(OptimizeOutcome {
+                    plan,
+                    path: OptimizePath::ModelOnly,
+                    measured: None,
+                    candidates_tried: 0,
+                    robustness: None,
+                });
+            }
+            Err(e) => return Err(e),
+        };
         let outcomes = validate_batch(engine, app, canary, &golden, &candidates)?;
         let mut candidates_tried = candidates.len();
+        // A candidate whose validation run failed past recovery is simply
+        // dropped from consideration (degraded validation).
         let mut passing: Vec<(OptimizationPlan, MeasuredOutcome)> = candidates
             .into_iter()
             .zip(outcomes)
+            .filter_map(|(c, o)| o.map(|o| (c, o)))
             .filter(|(_, o)| o.qos <= budget && o.speedup > 1.0)
             .collect();
         passing.sort_by(|a, b| {
@@ -317,6 +354,7 @@ impl<'a> OptimizeRequest<'a> {
             merged
                 .into_iter()
                 .zip(outcomes)
+                .filter_map(|(c, o)| o.map(|o| (c, o)))
                 .filter(|(_, o)| o.qos <= budget && o.speedup > 1.0),
         );
 
@@ -332,6 +370,7 @@ impl<'a> OptimizeRequest<'a> {
                 path: OptimizePath::Validated,
                 measured: Some(measured),
                 candidates_tried,
+                robustness: None,
             }),
             None => {
                 // Fall back to the fully accurate schedule.
@@ -351,6 +390,7 @@ impl<'a> OptimizeRequest<'a> {
                         outer_iters: expected,
                     }),
                     candidates_tried,
+                    robustness: None,
                 })
             }
         }
@@ -372,14 +412,16 @@ impl std::fmt::Debug for OptimizeRequest<'_> {
 }
 
 /// Measures each plan once on `input`, re-anchored on the golden
-/// iteration count, as one engine batch in submission order.
+/// iteration count, as one engine batch in submission order. A plan whose
+/// validation run failed past recovery yields `None` (it is dropped from
+/// consideration); fatal errors abort.
 fn validate_batch(
     engine: &EvalEngine,
     app: &dyn ApproxApp,
     input: &InputParams,
     golden: &opprox_approx_rt::RunResult,
     plans: &[OptimizationPlan],
-) -> Result<Vec<MeasuredOutcome>, OpproxError> {
+) -> Result<Vec<Option<MeasuredOutcome>>, OpproxError> {
     let jobs: Vec<(InputParams, PhaseSchedule)> = plans
         .iter()
         .map(|p| {
@@ -389,15 +431,19 @@ fn validate_batch(
             ))
         })
         .collect::<Result<_, OpproxError>>()?;
-    let results = engine.run_batch(app, &jobs)?;
-    Ok(results
-        .iter()
-        .map(|r| MeasuredOutcome {
-            speedup: golden.speedup_over(r),
-            qos: app.qos_degradation(golden, r),
-            outer_iters: r.outer_iters,
+    engine
+        .run_batch_resilient(app, &jobs)
+        .into_iter()
+        .map(|outcome| match outcome {
+            Ok(r) => Ok(Some(MeasuredOutcome {
+                speedup: golden.speedup_over(&r),
+                qos: app.qos_degradation(golden, &r),
+                outer_iters: r.outer_iters,
+            })),
+            Err(e) if degradable_kind(&e).is_some() => Ok(None),
+            Err(e) => Err(e),
         })
-        .collect())
+        .collect()
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 
 use crate::error::OpproxError;
 use crate::evaluator::EvalEngine;
+use crate::fault::{degradable_kind, DroppedSample};
 use opprox_approx_rt::config::{local_sweep, sample_configs};
 use opprox_approx_rt::{ApproxApp, InputParams, LevelConfig, PhaseSchedule};
 use serde::{Deserialize, Serialize};
@@ -140,7 +141,18 @@ pub fn collect_training_data(
 /// # Errors
 ///
 /// Propagates application runtime errors; returns
-/// [`OpproxError::InsufficientData`] when `inputs` is empty.
+/// [`OpproxError::InsufficientData`] when `inputs` is empty or when
+/// degraded-mode collection dropped every sample.
+///
+/// # Degraded mode
+///
+/// Evaluation failures (exhausted retries, quarantined keys — see
+/// [`crate::fault`]) do not abort the collection. A failed golden drops
+/// that input wholesale (every QoS label depends on it); a failed sample
+/// drops only that row. Every drop is recorded in the engine's
+/// [`crate::fault::RobustnessReport`], and the models are simply fitted
+/// on the surviving rows. Fatal errors (rejected inputs or schedules)
+/// still abort.
 pub fn collect_training_data_with(
     engine: &EvalEngine,
     app: &dyn ApproxApp,
@@ -155,13 +167,40 @@ pub fn collect_training_data_with(
     engine.stage("profiling", || {
         let blocks = &app.meta().blocks;
 
-        // Golden runs for every input, as one parallel batch.
+        // Golden runs for every input, as one parallel batch. A failed
+        // golden drops the whole input.
         let accurate = PhaseSchedule::accurate(blocks.len());
         let golden_jobs: Vec<(InputParams, PhaseSchedule)> = inputs
             .iter()
             .map(|input| (input.clone(), accurate.clone()))
             .collect();
-        let goldens = engine.run_batch(app, &golden_jobs)?;
+        let mut live_inputs: Vec<&InputParams> = Vec::with_capacity(inputs.len());
+        let mut goldens = Vec::with_capacity(inputs.len());
+        for (input, outcome) in inputs
+            .iter()
+            .zip(engine.run_batch_resilient(app, &golden_jobs))
+        {
+            match outcome {
+                Ok(golden) => {
+                    live_inputs.push(input);
+                    goldens.push(golden);
+                }
+                Err(e) => match degradable_kind(&e) {
+                    Some(kind) => engine.faults().record_drop(DroppedSample {
+                        phase: None,
+                        levels: vec![0; blocks.len()],
+                        golden: true,
+                        kind,
+                    }),
+                    None => return Err(e),
+                },
+            }
+        }
+        if live_inputs.is_empty() {
+            return Err(OpproxError::InsufficientData(
+                "every representative input's golden run failed".into(),
+            ));
+        }
 
         // Per-phase: exhaustive local sweeps + sparse multi-block samples.
         let mut configs: Vec<LevelConfig> = Vec::new();
@@ -174,9 +213,9 @@ pub fn collect_training_data_with(
         // One flat batch covering every (input, phase, config) sample plus
         // the whole-run samples, in the order the records are emitted.
         let mut jobs: Vec<(InputParams, PhaseSchedule)> = Vec::new();
-        // The sample each job produces: (input index, phase, config).
+        // The sample each job produces: (live input index, phase, config).
         let mut labels: Vec<(usize, Option<usize>, LevelConfig)> = Vec::new();
-        for (ii, input) in inputs.iter().enumerate() {
+        for (ii, input) in live_inputs.iter().enumerate() {
             let golden_iters = goldens[ii].outer_iters;
             for phase in 0..plan.num_phases {
                 for config in &configs {
@@ -186,38 +225,60 @@ pub fn collect_training_data_with(
                         plan.num_phases,
                         golden_iters,
                     )?;
-                    jobs.push((input.clone(), schedule));
+                    jobs.push(((*input).clone(), schedule));
                     labels.push((ii, Some(phase), config.clone()));
                 }
             }
             for config in &whole {
-                jobs.push((input.clone(), PhaseSchedule::constant(config.clone())));
+                jobs.push(((*input).clone(), PhaseSchedule::constant(config.clone())));
                 labels.push((ii, None, config.clone()));
             }
         }
-        let results = engine.run_batch(app, &jobs)?;
+        engine.faults().add_requested_samples(labels.len() as u64);
+        let results = engine.run_batch_resilient(app, &jobs);
 
         let mut data = TrainingData::default();
-        for (input, golden) in inputs.iter().zip(goldens.iter()) {
+        for (input, golden) in live_inputs.iter().zip(goldens.iter()) {
             data.goldens.push(GoldenRecord {
-                input: input.clone(),
+                input: (*input).clone(),
                 work: golden.work,
                 outer_iters: golden.outer_iters,
                 control_flow: golden.log.control_flow_signature(),
             });
         }
-        for ((ii, phase, config), result) in labels.into_iter().zip(results.iter()) {
+        for ((ii, phase, config), outcome) in labels.into_iter().zip(results) {
             let golden = &goldens[ii];
+            let result = match outcome {
+                Ok(result) => result,
+                Err(e) => match degradable_kind(&e) {
+                    // Degraded mode: drop the row, keep collecting.
+                    Some(kind) => {
+                        engine.faults().record_drop(DroppedSample {
+                            phase,
+                            levels: config.levels().to_vec(),
+                            golden: false,
+                            kind,
+                        });
+                        continue;
+                    }
+                    None => return Err(e),
+                },
+            };
             data.records.push(SampleRecord {
-                input: inputs[ii].clone(),
+                input: live_inputs[ii].clone(),
                 phase,
                 num_phases: if phase.is_some() { plan.num_phases } else { 1 },
                 config,
-                speedup: golden.speedup_over(result),
-                qos: app.qos_degradation(golden, result),
+                speedup: golden.speedup_over(&result),
+                qos: app.qos_degradation(golden, &result),
                 outer_iters: result.outer_iters,
                 control_flow: result.log.control_flow_signature(),
             });
+        }
+        if data.records.is_empty() {
+            return Err(OpproxError::InsufficientData(
+                "every training sample was dropped by degraded-mode collection".into(),
+            ));
         }
         Ok(data)
     })

@@ -8,6 +8,9 @@
 //!   the check-then-insert race between concurrent `run` calls never
 //!   loses a result, never double-counts, and converges to one cached
 //!   entry.
+//! * `C005` — the cache's failure contract under fault injection: a key
+//!   whose every attempt fails is never memoized, so no later request can
+//!   be served a poisoned or partial result, on any interleaving.
 //!
 //! Compiled only under `RUSTFLAGS="--cfg loom"`, which also swaps the
 //! pool's and evaluator's sync primitives for loom's instrumented
@@ -152,5 +155,58 @@ fn c002_run_batch_dedup_under_worker_interleavings() {
         assert_eq!(m.executions, 2, "duplicate submission deduplicated");
         assert_eq!(m.cache_hits, 1);
         assert_eq!(engine.cached_results(), 2);
+    });
+}
+
+/// C005: two threads race `EvalEngine::run` on the same key while every
+/// attempt is forced to fail (injected timeouts via `fail_first_attempts`,
+/// so no unwinding perturbs the model). Whichever thread loses the race
+/// arrives after the winner exhausted its attempts and quarantined the
+/// key — or fails through its own attempts first. Either way: both get a
+/// typed error, the failed evaluation is never memoized, and the
+/// failure/quarantine counters balance.
+#[test]
+fn c005_failed_evaluations_are_never_cached_under_races() {
+    use opprox_core::{FaultPlan, RecoveryPolicy};
+    loom::model(|| {
+        // Every attempt of every evaluation fails; one retry keeps the
+        // explored state space small.
+        let plan = FaultPlan::seeded(11).fail_first_attempts(u32::MAX);
+        let policy = RecoveryPolicy {
+            max_retries: 1,
+            backoff_base_ms: 1,
+            eval_timeout_ms: None,
+        };
+        let engine = EvalEngine::with_faults(1, plan, policy);
+        let app = StubApp::new();
+        let input = InputParams::new(vec![1.0]);
+        let schedule = PhaseSchedule::accurate(1);
+        loom::thread::scope(|s| {
+            let (engine, app, input, schedule) = (&engine, &app, &input, &schedule);
+            for _ in 0..2 {
+                s.spawn(move || {
+                    assert!(
+                        engine.run(app, input, schedule).is_err(),
+                        "an always-failing key must never yield a result"
+                    );
+                });
+            }
+        });
+        assert_eq!(
+            engine.cached_results(),
+            0,
+            "a failed evaluation must never be memoized"
+        );
+        let m = engine.metrics();
+        assert_eq!(m.executions, 0, "no attempt may count as an execution");
+        let report = engine.robustness_report();
+        assert_eq!(
+            report.failed_evaluations + report.quarantine_hits,
+            2,
+            "each request either exhausted its attempts or was refused \
+             by the quarantine: {report:?}"
+        );
+        assert_eq!(report.quarantined_keys, 1, "one distinct key quarantined");
+        assert!(report.failed_evaluations >= 1, "someone did the failing");
     });
 }

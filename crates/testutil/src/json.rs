@@ -1,0 +1,125 @@
+//! Surgical mutation of serialized `Value` trees.
+//!
+//! Some corruption cannot survive a JSON *text* round-trip (NaN renders
+//! as `null`, for instance), so corruption suites seed defects on the
+//! in-memory value tree of a healthy artifact and deserialize the result.
+//! These helpers are the common vocabulary for that: walk to an exact
+//! path, or rewrite every (or just the first) occurrence of a key
+//! anywhere in the tree.
+
+use serde::value::Value;
+
+/// Walks to a field through nested objects by exact key path.
+///
+/// # Panics
+///
+/// Panics when a path segment is missing or the tree is not an object at
+/// that depth — mutation fixtures should fail loudly on schema drift.
+pub fn path_mut<'a>(value: &'a mut Value, path: &[&str]) -> &'a mut Value {
+    let mut cur = value;
+    for key in path {
+        let Value::Object(entries) = cur else {
+            panic!("expected an object at `{key}`");
+        };
+        cur = &mut entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("no key `{key}`"))
+            .1;
+    }
+    cur
+}
+
+/// Applies `f` to every value stored under `key`, anywhere in the tree.
+pub fn mutate_keys(value: &mut Value, key: &str, f: &mut dyn FnMut(&mut Value)) {
+    match value {
+        Value::Object(entries) => {
+            for (k, v) in entries.iter_mut() {
+                if k == key {
+                    f(v);
+                }
+                mutate_keys(v, key, f);
+            }
+        }
+        Value::Array(items) => {
+            for item in items.iter_mut() {
+                mutate_keys(item, key, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Applies `f` only to the first value stored under `key` (tree order).
+pub fn mutate_first_key(value: &mut Value, key: &str, f: impl FnOnce(&mut Value)) {
+    let mut f = Some(f);
+    mutate_keys(value, key, &mut |v| {
+        if let Some(f) = f.take() {
+            f(v);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::value::Number;
+
+    fn tree() -> Value {
+        Value::Object(vec![
+            (
+                "outer".to_string(),
+                Value::Object(vec![("x".to_string(), Value::Number(Number::U64(1)))]),
+            ),
+            (
+                "list".to_string(),
+                Value::Array(vec![Value::Object(vec![(
+                    "x".to_string(),
+                    Value::Number(Number::U64(2)),
+                )])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn path_mut_reaches_nested_fields() {
+        let mut v = tree();
+        *path_mut(&mut v, &["outer", "x"]) = Value::Number(Number::U64(9));
+        assert_eq!(
+            *path_mut(&mut v, &["outer", "x"]),
+            Value::Number(Number::U64(9))
+        );
+    }
+
+    #[test]
+    fn mutate_keys_hits_objects_and_arrays() {
+        let mut v = tree();
+        let mut hits = 0;
+        mutate_keys(&mut v, "x", &mut |_| hits += 1);
+        assert_eq!(hits, 2, "one under `outer`, one inside `list`");
+    }
+
+    #[test]
+    fn mutate_first_key_stops_after_one() {
+        let mut v = tree();
+        mutate_first_key(&mut v, "x", |x| *x = Value::Number(Number::U64(7)));
+        assert_eq!(
+            *path_mut(&mut v, &["outer", "x"]),
+            Value::Number(Number::U64(7))
+        );
+        let Value::Object(entries) = &v else {
+            unreachable!()
+        };
+        let Value::Array(items) = &entries[1].1 else {
+            unreachable!()
+        };
+        let Value::Object(inner) = &items[0] else {
+            unreachable!()
+        };
+        assert_eq!(
+            inner[0].1,
+            Value::Number(Number::U64(2)),
+            "second untouched"
+        );
+    }
+}

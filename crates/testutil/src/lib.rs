@@ -1,0 +1,31 @@
+//! Shared test support for the OPPROX workspace.
+//!
+//! Every test suite in the workspace used to carry its own copy of the
+//! same fixtures: a PSO system trained on the seed-5 sampling plan, the
+//! per-app "cheap but representative" production inputs, JSON value-tree
+//! corruption helpers, and ad-hoc seeded generators. This crate is the
+//! single home for those pieces, plus the chaos-scenario DSL used by the
+//! fault-injection suites:
+//!
+//! * [`rng`] — a tiny, dependency-free seeded generator for tests that
+//!   need reproducible randomness without pulling in `rand`.
+//! * [`fixtures`] — canonical training options, inputs, block/schedule
+//!   builders, and the shared lazily-trained PSO system.
+//! * [`json`] — surgical mutation of serialized `Value` trees, for
+//!   seeding corruption that cannot survive a JSON text round-trip.
+//! * [`chaos`] — scenario builders that wire a
+//!   [`FaultPlan`](opprox_core::FaultPlan) and
+//!   [`RecoveryPolicy`](opprox_core::RecoveryPolicy) into an evaluation
+//!   engine, fixture apps that stall or misbehave on demand, and the
+//!   panic-noise filter for suites that inject worker panics.
+//!
+//! The crate is a **dev-dependency only**: production crates must not
+//! link it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod fixtures;
+pub mod json;
+pub mod rng;

@@ -1,0 +1,186 @@
+//! The chaos matrix: the full train → optimize pipeline under every
+//! injectable fault class, plus the determinism and cache-hygiene
+//! properties of the recovery layer.
+//!
+//! The contract under test is *graceful degradation*: whatever the fault
+//! plan injects, the pipeline either completes with a valid schedule or
+//! returns a typed [`OpproxError`] — it never hangs, never unwinds an
+//! uncaught panic, and never serves a failed evaluation from the cache.
+
+use opprox::approx_rt::{ApproxApp, InputParams, PhaseSchedule};
+use opprox::core::evaluator::EvalEngine;
+use opprox::core::pipeline::Opprox;
+use opprox::core::request::OptimizeRequest;
+use opprox::core::AccuracySpec;
+use opprox_apps::Pso;
+use opprox_testutil::chaos::{ChaosScenario, FaultClass};
+use opprox_testutil::fixtures::{fast_training_options, prod_input};
+use proptest::prelude::*;
+
+/// Every fault class, injected at a rate high enough to fire dozens of
+/// times per training run: training and optimization must degrade —
+/// dropped samples, retries, quarantines, a typed error at worst — and
+/// never abort the process. The per-class counter proves the class
+/// actually fired (the schedule is deterministic per seed, so these
+/// assertions are stable).
+#[test]
+fn chaos_matrix_every_fault_class_degrades_instead_of_aborting() {
+    for (class, scenario) in ChaosScenario::matrix(0xC4405, 0.3) {
+        let scenario = scenario.threads(2).max_retries(2);
+        let engine = scenario.engine();
+        let app = Pso::new();
+        let trained = Opprox::train_with(&engine, &app, &fast_training_options(2));
+        let report = engine.robustness_report();
+        assert!(
+            report.injected_faults > 0,
+            "{}: the plan never fired",
+            class.label()
+        );
+        let fired = match class {
+            FaultClass::Panic => report.panics_caught,
+            FaultClass::Timeout => report.timeouts,
+            FaultClass::NonFiniteQos => report.non_finite_results,
+            FaultClass::PoisonedCache => report.poisoned_rejected,
+        };
+        assert!(fired > 0, "{}: class counter stayed zero", class.label());
+        let trained = match trained {
+            Ok(trained) => trained,
+            // A typed error is acceptable degradation (e.g. every sample
+            // of an input dropped); reaching here without a panic is the
+            // point of the test.
+            Err(e) => {
+                assert!(!e.to_string().is_empty());
+                continue;
+            }
+        };
+        match OptimizeRequest::new(prod_input("PSO"), AccuracySpec::new(10.0))
+            .validate_on(&app)
+            .engine(&engine)
+            .run(&trained)
+        {
+            Ok(result) => {
+                app.meta()
+                    .validate_schedule(&result.plan.schedule)
+                    .unwrap_or_else(|e| {
+                        panic!("{}: invalid schedule delivered: {e}", class.label())
+                    });
+                let ledger = result
+                    .robustness
+                    .expect("fault-injecting engines surface their ledger");
+                assert!(ledger.has_activity(), "{}: empty ledger", class.label());
+            }
+            Err(e) => assert!(!e.to_string().is_empty()),
+        }
+    }
+}
+
+/// The determinism acceptance gate: one seed, three fresh engines — two
+/// single-threaded, one with four workers — produce byte-identical
+/// serialized robustness reports for the same training run, and agree on
+/// whether training succeeded.
+#[test]
+fn same_seed_yields_identical_reports_across_runs_and_thread_counts() {
+    let base = ChaosScenario::seeded(0xD37)
+        .inject(FaultClass::Panic, 0.15)
+        .inject(FaultClass::NonFiniteQos, 0.10)
+        .inject(FaultClass::PoisonedCache, 0.10)
+        .max_retries(2);
+    let mut reports = Vec::new();
+    let mut outcomes = Vec::new();
+    for threads in [1, 1, 4] {
+        let engine = base.threads(threads).engine();
+        let app = Pso::new();
+        let trained = Opprox::train_with(&engine, &app, &fast_training_options(2));
+        outcomes.push(trained.is_ok());
+        let report = engine.robustness_report();
+        assert!(report.injected_faults > 0, "scenario must actually inject");
+        reports.push(serde_json::to_string(&report).expect("report serializes"));
+    }
+    assert_eq!(reports[0], reports[1], "rerun with the same seed diverged");
+    assert_eq!(
+        reports[0], reports[2],
+        "thread count leaked into the report"
+    );
+    assert_eq!(outcomes[0], outcomes[1]);
+    assert_eq!(outcomes[0], outcomes[2]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The cache-hygiene property (rule C005, here at the integration
+    /// level): a key whose last attempt failed is never served from the
+    /// cache — resubmission is refused via quarantine, not answered —
+    /// while a failure *within* the retry budget recovers to the exact
+    /// result a clean engine produces, bit for bit.
+    #[test]
+    fn cache_never_serves_a_key_whose_last_attempt_failed(seed in 0u64..500) {
+        let app = Pso::new();
+        let input = prod_input("PSO");
+        let schedule = PhaseSchedule::accurate(3);
+
+        // Every attempt fails: no result may ever materialize.
+        let failing = ChaosScenario::seeded(seed)
+            .fail_first_attempts(u32::MAX)
+            .max_retries(1)
+            .engine();
+        prop_assert!(failing.run(&app, &input, &schedule).is_err());
+        prop_assert!(
+            failing.run(&app, &input, &schedule).is_err(),
+            "resubmission of a failed key must be refused, not served"
+        );
+        prop_assert_eq!(failing.cached_results(), 0, "failed evaluations cached");
+        let report = failing.robustness_report();
+        prop_assert_eq!(report.failed_evaluations, 1);
+        prop_assert!(report.quarantine_hits >= 1);
+
+        // Failures inside the retry budget converge to the clean result.
+        let flaky = ChaosScenario::seeded(seed)
+            .fail_first_attempts(1)
+            .max_retries(2)
+            .engine();
+        let recovered = flaky.run(&app, &input, &schedule).expect("retry recovers");
+        let clean = EvalEngine::new(1)
+            .run(&app, &input, &schedule)
+            .expect("clean run");
+        prop_assert_eq!(
+            serde_json::to_string(&*recovered).unwrap(),
+            serde_json::to_string(&*clean).unwrap(),
+            "recovered result must be bit-identical to the clean one"
+        );
+        prop_assert_eq!(flaky.cached_results(), 1, "recovered results are cacheable");
+        prop_assert!(flaky.robustness_report().retries >= 1);
+    }
+
+    /// Byte-identical robustness reports for arbitrary seeds and thread
+    /// counts over the resilient batch path.
+    #[test]
+    fn batch_reports_are_byte_identical_across_thread_counts(
+        seed in 0u64..200,
+        threads in 2usize..5,
+    ) {
+        let scenario = ChaosScenario::seeded(seed)
+            .inject(FaultClass::Timeout, 0.4)
+            .max_retries(1);
+        let run = |threads: usize| {
+            let engine = scenario.threads(threads).engine();
+            let app = Pso::new();
+            let jobs: Vec<(InputParams, PhaseSchedule)> = (0..6)
+                .map(|i| {
+                    (
+                        InputParams::new(vec![8.0 + i as f64, 2.0]),
+                        PhaseSchedule::accurate(3),
+                    )
+                })
+                .collect();
+            let outcomes = engine.run_batch_resilient(&app, &jobs);
+            let shape: Vec<bool> = outcomes.iter().map(Result::is_ok).collect();
+            let report = serde_json::to_string(&engine.robustness_report()).unwrap();
+            (shape, report)
+        };
+        let (shape_seq, report_seq) = run(1);
+        let (shape_par, report_par) = run(threads);
+        prop_assert_eq!(shape_seq, shape_par, "success/failure schedule diverged");
+        prop_assert_eq!(report_seq, report_par, "robustness report diverged");
+    }
+}

@@ -3,36 +3,11 @@
 //! fast.
 
 use opprox::approx_rt::InputParams;
-use opprox::core::pipeline::{Opprox, TrainingOptions};
+use opprox::core::pipeline::Opprox;
 use opprox::core::request::OptimizeRequest;
-use opprox::core::sampling::SamplingPlan;
 use opprox::core::AccuracySpec;
 use opprox_apps::registry::all_apps;
-
-fn fast_options(num_phases: usize) -> TrainingOptions {
-    TrainingOptions {
-        num_phases: Some(num_phases),
-        sampling: SamplingPlan {
-            num_phases,
-            sparse_samples: 10,
-            whole_run_samples: 0,
-            seed: 0xE2E,
-        },
-        ..TrainingOptions::default()
-    }
-}
-
-/// A cheap-but-representative production input per app.
-fn prod_input(name: &str) -> InputParams {
-    InputParams::new(match name {
-        "LULESH" => vec![48.0, 2.0],
-        "FFmpeg" => vec![12.0, 4.0, 600.0, 0.0],
-        "Bodytrack" => vec![3.0, 120.0, 20.0],
-        "PSO" => vec![16.0, 3.0],
-        "CoMD" => vec![3.0, 1.2, 100.0],
-        other => panic!("unknown app {other}"),
-    })
-}
+use opprox_testutil::fixtures::{fast_training_options as fast_options, prod_input};
 
 #[test]
 fn validated_optimization_respects_budget_for_every_app() {

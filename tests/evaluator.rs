@@ -8,6 +8,7 @@ use opprox::core::oracle::phase_agnostic_oracle_with;
 use opprox::core::sampling::{collect_training_data_with, SamplingPlan};
 use opprox::core::AccuracySpec;
 use opprox_apps::Pso;
+use opprox_testutil::fixtures::prod_input;
 use proptest::prelude::*;
 
 proptest! {
@@ -23,10 +24,7 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         let app = Pso::new();
-        let inputs = vec![
-            InputParams::new(vec![12.0, 3.0]),
-            InputParams::new(vec![16.0, 3.0]),
-        ];
+        let inputs = vec![InputParams::new(vec![12.0, 3.0]), prod_input("PSO")];
         let plan = SamplingPlan {
             num_phases: 2,
             sparse_samples: 6,
@@ -53,7 +51,7 @@ proptest! {
 #[test]
 fn shared_engine_makes_repeat_oracle_sweeps_free() {
     let app = Pso::new();
-    let input = InputParams::new(vec![14.0, 3.0]);
+    let input = prod_input("PSO");
     let engine = EvalEngine::default();
 
     let tight = phase_agnostic_oracle_with(&engine, &app, &input, &AccuracySpec::new(2.0))
@@ -83,7 +81,7 @@ fn shared_engine_makes_repeat_oracle_sweeps_free() {
 #[test]
 fn fresh_engine_repays_the_full_sweep() {
     let app = Pso::new();
-    let input = InputParams::new(vec![14.0, 3.0]);
+    let input = prod_input("PSO");
     let spec = AccuracySpec::new(20.0);
 
     let shared = EvalEngine::default();

@@ -3,6 +3,7 @@
 use opprox::approx_rt::config::{config_space_size, enumerate_configs, sample_configs};
 use opprox::approx_rt::{ApproxApp, InputParams, LevelConfig, PhaseSchedule};
 use opprox_apps::Pso;
+use opprox_testutil::fixtures::{blocks_with_levels, pso_blocks};
 use proptest::prelude::*;
 
 proptest! {
@@ -33,11 +34,7 @@ proptest! {
     /// and contains no duplicates.
     #[test]
     fn config_enumeration_matches_size(levels in proptest::collection::vec(0u8..4, 1..4)) {
-        use opprox::approx_rt::block::{BlockDescriptor, TechniqueKind};
-        let blocks: Vec<BlockDescriptor> = levels
-            .iter()
-            .map(|&l| BlockDescriptor::new("b", TechniqueKind::LoopPerforation, l))
-            .collect();
+        let blocks = blocks_with_levels(&levels);
         let all = enumerate_configs(&blocks);
         prop_assert_eq!(all.len() as u64, config_space_size(&blocks));
         let set: std::collections::HashSet<_> = all.iter().collect();
@@ -47,11 +44,7 @@ proptest! {
     /// Sampled configurations are always valid and never accurate.
     #[test]
     fn sampled_configs_are_valid(seed in 0u64..1000, count in 1usize..12) {
-        use opprox::approx_rt::block::{BlockDescriptor, TechniqueKind};
-        let blocks = vec![
-            BlockDescriptor::new("a", TechniqueKind::LoopPerforation, 5),
-            BlockDescriptor::new("b", TechniqueKind::Memoization, 3),
-        ];
+        let blocks = pso_blocks();
         for c in sample_configs(&blocks, count, seed) {
             prop_assert!(c.validate(&blocks).is_ok());
             prop_assert!(!c.is_accurate());
