@@ -9,6 +9,7 @@
 //! * object with `error_budget`               → an [`AccuracySpec`]
 //! * object with `goldens` + `records`        → [`TrainingData`]
 //! * object with `injected_faults` + `dropped_samples` → a [`RobustnessReport`]
+//! * object with `spans` + `counters`         → a [`TelemetryReport`]
 //! * array of objects with `technique`        → a `Vec<BlockDescriptor>`
 //!
 //! Deserialization is deliberately lenient (it mirrors
@@ -20,7 +21,7 @@ use opprox_approx_rt::block::BlockDescriptor;
 use opprox_approx_rt::{InputParams, PhaseSchedule};
 use opprox_core::pipeline::TrainedOpprox;
 use opprox_core::sampling::TrainingData;
-use opprox_core::{AccuracySpec, RobustnessReport};
+use opprox_core::{AccuracySpec, RobustnessReport, TelemetryReport};
 use serde::value::Value;
 use serde::Deserialize;
 
@@ -39,6 +40,8 @@ pub enum Artifact {
     Training(Box<TrainingData>),
     /// A robustness report from a fault-injected (or degraded) run.
     Robustness(Box<RobustnessReport>),
+    /// A telemetry trace captured with `--trace-out` (json format).
+    Telemetry(Box<TelemetryReport>),
 }
 
 impl Artifact {
@@ -51,6 +54,7 @@ impl Artifact {
             Artifact::Trained(_) => "trained model set",
             Artifact::Training(_) => "training data",
             Artifact::Robustness(_) => "robustness report",
+            Artifact::Telemetry(_) => "telemetry report",
         }
     }
 
@@ -102,11 +106,18 @@ impl Artifact {
                         .map_err(|e| decode_err("robustness report", e))?,
                 )));
             }
+            if has("spans") && has("counters") {
+                return Ok(Artifact::Telemetry(Box::new(
+                    Deserialize::from_value(value)
+                        .map_err(|e| decode_err("telemetry report", e))?,
+                )));
+            }
             return Err(
                 "unrecognized artifact: an object, but not a trained model set \
                  (app_name/models), schedule (configs/expected_iters), spec \
-                 (error_budget), training data (goldens/records), or robustness \
-                 report (injected_faults/dropped_samples)"
+                 (error_budget), training data (goldens/records), robustness \
+                 report (injected_faults/dropped_samples), or telemetry report \
+                 (spans/counters)"
                     .into(),
             );
         }
@@ -142,6 +153,8 @@ pub struct ArtifactSet {
     pub training: Option<TrainingData>,
     /// A robustness report to lint (A014/A015).
     pub robustness: Option<RobustnessReport>,
+    /// A telemetry report to lint (A016/A017).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl ArtifactSet {
@@ -157,6 +170,7 @@ impl ArtifactSet {
             Artifact::Trained(_) => self.trained.is_some(),
             Artifact::Training(_) => self.training.is_some(),
             Artifact::Robustness(_) => self.robustness.is_some(),
+            Artifact::Telemetry(_) => self.telemetry.is_some(),
         };
         match artifact {
             Artifact::Blocks(b) => self.blocks = Some(b),
@@ -165,6 +179,7 @@ impl ArtifactSet {
             Artifact::Trained(t) => self.trained = Some(*t),
             Artifact::Training(t) => self.training = Some(*t),
             Artifact::Robustness(r) => self.robustness = Some(*r),
+            Artifact::Telemetry(t) => self.telemetry = Some(*t),
         }
         replaced.then_some(kind)
     }

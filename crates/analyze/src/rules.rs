@@ -141,6 +141,18 @@ pub const RULES: &[RuleInfo] = &[
         summary: "robustness report is internally inconsistent (impossible counter relation)",
     },
     RuleInfo {
+        code: "A016",
+        severity: Severity::Warn,
+        kind: RuleKind::Lint,
+        summary: "a phase's planned speedup is wildly inconsistent with its profiled ceiling",
+    },
+    RuleInfo {
+        code: "A017",
+        severity: Severity::Warn,
+        kind: RuleKind::Lint,
+        summary: "execution cache hit rate is zero across a non-trivial run",
+    },
+    RuleInfo {
         code: "C001",
         severity: Severity::Error,
         kind: RuleKind::ModelCheck,
@@ -202,6 +214,8 @@ pub fn run_all(set: &ArtifactSet, report: &mut Report) {
     lint_spec_budget(set, report);
     lint_drop_rate(set, report);
     lint_robustness_consistency(set, report);
+    lint_phase_speedup_consistency(set, report);
+    lint_cache_hit_rate(set, report);
     report.sort();
 }
 
@@ -655,6 +669,87 @@ fn lint_robustness_consistency(set: &ArtifactSet, report: &mut Report) {
     }
 }
 
+/// A phase's planned speedup may exceed its profiled ceiling by at most
+/// this factor before A016 fires: the optimizer interpolates between
+/// profiled configurations, so a plan an order of magnitude beyond
+/// anything profiling ever measured is model runaway, not interpolation.
+pub const A016_SLACK: f64 = 10.0;
+
+/// A016 — every `optimize.phase` event's predicted speedup must be
+/// consistent with the profiled per-phase ceiling
+/// (`profile.phase[p].max_speedup`): positive, finite, and within
+/// [`A016_SLACK`] of the ceiling. Needs a telemetry report carrying both
+/// halves (the events and the gauges); traces that lack either — e.g. a
+/// model-only `optimize` trace with no profiling — silently pass.
+fn lint_phase_speedup_consistency(set: &ArtifactSet, report: &mut Report) {
+    let Some(tele) = &set.telemetry else {
+        return;
+    };
+    for event in tele.events_named("optimize.phase") {
+        let (Some(phase), Some(pred)) = (event.field("phase"), event.field("predicted_speedup"))
+        else {
+            continue;
+        };
+        let phase = phase as usize;
+        let location = format!("telemetry.event[{}].optimize.phase[{phase}]", event.seq);
+        if !(pred.is_finite() && pred > 0.0) {
+            diag(
+                report,
+                "A016",
+                location,
+                format!("planned speedup {pred} is not a positive finite number"),
+            );
+            continue;
+        }
+        let Some(ceiling) = tele.gauge(&format!("profile.phase[{phase}].max_speedup")) else {
+            continue; // No profiling in this trace: nothing to compare.
+        };
+        if ceiling.max > 0.0 && pred > ceiling.max * A016_SLACK {
+            diag(
+                report,
+                "A016",
+                location,
+                format!(
+                    "planned speedup {pred:.2}x is over {A016_SLACK:.0}× the \
+                     {:.2}x ceiling profiling ever measured for phase {phase}; \
+                     the phase's model has run away from its training data",
+                    ceiling.max
+                ),
+            );
+        }
+    }
+}
+
+/// Below this many executions a zero hit rate is unremarkable (A017
+/// stays silent): tiny runs can legitimately never repeat a
+/// configuration.
+pub const A017_MIN_EXECUTIONS: u64 = 20;
+
+/// A017 — a non-trivial run with *zero* cache hits means the execution
+/// cache is not deduplicating anything: cache keys are misconfigured
+/// (e.g. an unstable input digest) or the sweep re-seeds every request.
+/// Healthy training runs always hit (the golden self-check re-requests
+/// every golden run). Needs a telemetry report.
+fn lint_cache_hit_rate(set: &ArtifactSet, report: &mut Report) {
+    let Some(tele) = &set.telemetry else {
+        return;
+    };
+    let execs = tele.counter("eval.exec");
+    let hits = tele.counter("eval.cache.hit");
+    if execs >= A017_MIN_EXECUTIONS && hits == 0 {
+        diag(
+            report,
+            "A017",
+            "telemetry.counter[eval.cache.hit]".into(),
+            format!(
+                "{execs} executions with zero cache hits; every repeated \
+                 configuration re-executed — check the cache-key digest \
+                 (unstable hashing defeats deduplication entirely)"
+            ),
+        );
+    }
+}
+
 /// A `BlockDescriptor` list formatted for messages (used by callers
 /// building context lines).
 pub fn describe_blocks(blocks: &[BlockDescriptor]) -> String {
@@ -695,6 +790,75 @@ mod tests {
         for r in RULES.iter().filter(|r| r.code.starts_with('A')) {
             assert_eq!(r.kind, RuleKind::Lint, "{} is a lint", r.code);
         }
+    }
+
+    #[test]
+    fn telemetry_lints_fire_on_seeded_defects_and_pass_healthy_traces() {
+        use opprox_core::Telemetry;
+
+        // Healthy: plan within the profiled ceiling, cache hits present.
+        let t = Telemetry::new();
+        t.set_gauge("profile.phase[0].max_speedup", 1.8);
+        t.event(
+            "optimize.phase",
+            &[("phase", 0.0), ("predicted_speedup", 1.5)],
+        );
+        for _ in 0..30 {
+            t.incr("eval.exec");
+        }
+        t.incr("eval.cache.hit");
+        let set = ArtifactSet {
+            telemetry: Some(t.report()),
+            ..ArtifactSet::default()
+        };
+        let mut report = crate::Report::new();
+        run_all(&set, &mut report);
+        assert_eq!(report.diagnostics().len(), 0, "{:?}", report.diagnostics());
+
+        // Broken: runaway plan (50x vs 1.2x profiled) and zero hits.
+        let t = Telemetry::new();
+        t.set_gauge("profile.phase[0].max_speedup", 1.2);
+        t.event(
+            "optimize.phase",
+            &[("phase", 0.0), ("predicted_speedup", 50.0)],
+        );
+        t.event(
+            "optimize.phase",
+            &[("phase", 1.0), ("predicted_speedup", f64::NAN)],
+        );
+        for _ in 0..A017_MIN_EXECUTIONS {
+            t.incr("eval.exec");
+        }
+        let set = ArtifactSet {
+            telemetry: Some(t.report()),
+            ..ArtifactSet::default()
+        };
+        let mut report = crate::Report::new();
+        run_all(&set, &mut report);
+        let codes: Vec<&str> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            ["A016", "A016", "A017"],
+            "{:?}",
+            report.diagnostics()
+        );
+        assert_eq!(report.warnings(), 3);
+
+        // Below the execution floor, a zero hit rate stays silent, and a
+        // plan event with no profiled ceiling has nothing to compare.
+        let t = Telemetry::new();
+        t.incr("eval.exec");
+        t.event(
+            "optimize.phase",
+            &[("phase", 3.0), ("predicted_speedup", 99.0)],
+        );
+        let set = ArtifactSet {
+            telemetry: Some(t.report()),
+            ..ArtifactSet::default()
+        };
+        let mut report = crate::Report::new();
+        run_all(&set, &mut report);
+        assert_eq!(report.diagnostics().len(), 0, "{:?}", report.diagnostics());
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the telemetry primitives.
+//!
+//! Telemetry is always on in the evaluation engine, so every counter
+//! bump and span sits on the pipeline's hot path; this bench tracks the
+//! per-operation cost (ISSUE budget: nanoseconds, not microseconds) and
+//! the cost of snapshotting and exporting a populated registry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use opprox_core::{ManualClock, Telemetry};
+use std::sync::Arc;
+
+fn populated() -> Telemetry {
+    let tele = Telemetry::with_clock(Arc::new(ManualClock::new()));
+    for i in 0..64 {
+        tele.add(&format!("eval.exec[{i:#018x}]"), 1);
+    }
+    tele.add("eval.exec", 64);
+    tele.set_gauge("eval.queue_depth", 8.0);
+    let bounds = [1.0, 2.0, 4.0, 8.0];
+    for i in 0..32 {
+        tele.observe("ml.cv_solves_per_degree", &bounds, f64::from(i));
+    }
+    for i in 0..16 {
+        tele.span("stage/train", || ());
+        tele.event("optimize.phase", &[("solve", 0.0), ("step", f64::from(i))]);
+    }
+    tele
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let clock = Arc::new(ManualClock::new());
+    let tele = Telemetry::with_clock(clock.clone());
+    c.bench_function("telemetry_counter_incr", |b| {
+        b.iter(|| tele.incr("eval.exec"))
+    });
+    c.bench_function("telemetry_gauge_set", |b| {
+        b.iter(|| tele.set_gauge("eval.queue_depth", 3.0))
+    });
+    let bounds = [1.0, 2.0, 4.0, 8.0];
+    c.bench_function("telemetry_histogram_observe", |b| {
+        b.iter(|| tele.observe("ml.cv_solves_per_degree", &bounds, 3.0))
+    });
+    c.bench_function("telemetry_span_empty", |b| {
+        b.iter(|| tele.span("stage/bench", || ()))
+    });
+}
+
+fn bench_export(c: &mut Criterion) {
+    let tele = populated();
+    c.bench_function("telemetry_report_snapshot", |b| b.iter(|| tele.report()));
+    let report = tele.report();
+    c.bench_function("telemetry_report_to_json", |b| b.iter(|| report.to_json()));
+    c.bench_function("telemetry_report_to_chrome", |b| {
+        b.iter(|| report.to_chrome_trace())
+    });
+    c.bench_function("telemetry_report_render_text", |b| {
+        b.iter(|| report.render_text())
+    });
+}
+
+criterion_group!(benches, bench_primitives, bench_export);
+criterion_main!(benches);

@@ -6,8 +6,8 @@
 //! flag set and converted into a typed [`Command`]. Unknown commands and
 //! unknown flags fail **at parse time** with a nearest-match suggestion,
 //! so nothing stringly-typed survives into dispatch. Only `analyze`
-//! takes positional arguments (its artifact files); everywhere else a
-//! positional is an error.
+//! (its artifact files) and `trace` (its subcommand and trace file) take
+//! positional arguments; everywhere else a positional is an error.
 
 use opprox_core::{FaultPlan, RecoveryPolicy};
 use std::collections::BTreeMap;
@@ -30,6 +30,8 @@ pub enum Command {
         seed: u64,
         /// Worker threads for the evaluation engine (`None` = all cores).
         threads: Option<usize>,
+        /// Telemetry export (`--trace-out`, `--trace-format`).
+        trace: TraceSpec,
     },
     /// Profile an application, fit models, save them to disk.
     Train {
@@ -49,6 +51,8 @@ pub enum Command {
         fault_plan: Option<FaultPlan>,
         /// Retry and timeout policy (`--max-retries`, `--eval-timeout-ms`).
         recovery: RecoveryPolicy,
+        /// Telemetry export (`--trace-out`, `--trace-format`).
+        trace: TraceSpec,
     },
     /// Algorithm 2, model-only: no real executions.
     Optimize {
@@ -58,6 +62,8 @@ pub enum Command {
         input: Vec<f64>,
         /// QoS-degradation budget.
         budget: f64,
+        /// Telemetry export (`--trace-out`, `--trace-format`).
+        trace: TraceSpec,
     },
     /// Validated optimization plus real execution.
     Run {
@@ -77,6 +83,8 @@ pub enum Command {
         fault_plan: Option<FaultPlan>,
         /// Retry and timeout policy (`--max-retries`, `--eval-timeout-ms`).
         recovery: RecoveryPolicy,
+        /// Telemetry export (`--trace-out`, `--trace-format`).
+        trace: TraceSpec,
     },
     /// Phase-agnostic exhaustive baseline.
     Oracle {
@@ -88,6 +96,8 @@ pub enum Command {
         budget: f64,
         /// Worker threads for the evaluation engine.
         threads: Option<usize>,
+        /// Telemetry export (`--trace-out`, `--trace-format`).
+        trace: TraceSpec,
     },
     /// Summarize a trained model.
     Inspect {
@@ -123,9 +133,40 @@ pub enum Command {
         fault_plan: Option<FaultPlan>,
         /// Retry and timeout policy (`--max-retries`, `--eval-timeout-ms`).
         recovery: RecoveryPolicy,
+        /// Telemetry export (`--trace-out`, `--trace-format`).
+        trace: TraceSpec,
+    },
+    /// Summarize a previously captured telemetry trace
+    /// (`opprox trace summarize FILE`).
+    Trace {
+        /// Path to a JSON telemetry report written by `--trace-out`.
+        file: String,
     },
     /// Print the usage summary.
     Help,
+}
+
+/// Where and how a command exports its telemetry
+/// (`--trace-out FILE [--trace-format json|chrome|text]`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceSpec {
+    /// Output path; `None` disables telemetry export.
+    pub out: Option<String>,
+    /// Serialization format for the exported trace.
+    pub format: TraceFormat,
+}
+
+/// Serialization format for `--trace-out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// The stable JSON schema consumed by `opprox analyze` and
+    /// `opprox trace summarize` (default).
+    #[default]
+    Json,
+    /// Chrome trace-event JSON for `chrome://tracing` / Perfetto.
+    Chrome,
+    /// The human-readable summary text.
+    Text,
 }
 
 /// How `opprox analyze` renders its report.
@@ -141,7 +182,18 @@ pub enum OutputFormat {
 /// suggestions.
 const COMMANDS: &[(&str, &[&str])] = &[
     ("apps", &[]),
-    ("phases", &["app", "input", "probes", "seed", "threads"]),
+    (
+        "phases",
+        &[
+            "app",
+            "input",
+            "probes",
+            "seed",
+            "threads",
+            "trace-out",
+            "trace-format",
+        ],
+    ),
     (
         "train",
         &[
@@ -154,9 +206,14 @@ const COMMANDS: &[(&str, &[&str])] = &[
             "fault-plan",
             "max-retries",
             "eval-timeout-ms",
+            "trace-out",
+            "trace-format",
         ],
     ),
-    ("optimize", &["model", "input", "budget"]),
+    (
+        "optimize",
+        &["model", "input", "budget", "trace-out", "trace-format"],
+    ),
     (
         "run",
         &[
@@ -169,9 +226,21 @@ const COMMANDS: &[(&str, &[&str])] = &[
             "fault-plan",
             "max-retries",
             "eval-timeout-ms",
+            "trace-out",
+            "trace-format",
         ],
     ),
-    ("oracle", &["app", "input", "budget", "threads"]),
+    (
+        "oracle",
+        &[
+            "app",
+            "input",
+            "budget",
+            "threads",
+            "trace-out",
+            "trace-format",
+        ],
+    ),
     ("inspect", &["model"]),
     ("analyze", &["format", "deny"]),
     (
@@ -187,8 +256,11 @@ const COMMANDS: &[(&str, &[&str])] = &[
             "fault-plan",
             "max-retries",
             "eval-timeout-ms",
+            "trace-out",
+            "trace-format",
         ],
     ),
+    ("trace", &[]),
     ("help", &[]),
 ];
 
@@ -237,6 +309,9 @@ pub enum ArgError {
     UnexpectedPositional(String),
     /// `opprox analyze` was invoked with no artifact files.
     NoArtifacts,
+    /// `opprox trace` was invoked with anything other than
+    /// `summarize FILE`.
+    BadTraceUsage,
 }
 
 impl fmt::Display for ArgError {
@@ -278,6 +353,11 @@ impl fmt::Display for ArgError {
                 f,
                 "`opprox analyze` needs at least one artifact file; \
                  try `opprox analyze model.json schedule.json`"
+            ),
+            ArgError::BadTraceUsage => write!(
+                f,
+                "usage: `opprox trace summarize FILE` \
+                 (FILE is a JSON trace written by --trace-out)"
             ),
         }
     }
@@ -336,7 +416,7 @@ impl RawArgs {
                 given: self.command,
             });
         };
-        if name != "analyze" {
+        if name != "analyze" && name != "trace" {
             if let Some(stray) = self.positionals.first() {
                 return Err(ArgError::UnexpectedPositional(stray.clone()));
             }
@@ -358,6 +438,7 @@ impl RawArgs {
                 probes: self.usize_or("probes", 6)?,
                 seed: self.u64_or("seed", 0x9A5E)?,
                 threads: self.threads()?,
+                trace: self.trace_spec()?,
             },
             "train" => Command::Train {
                 app: self.require("app")?.to_string(),
@@ -368,11 +449,13 @@ impl RawArgs {
                 threads: self.threads()?,
                 fault_plan: self.fault_plan()?,
                 recovery: self.recovery()?,
+                trace: self.trace_spec()?,
             },
             "optimize" => Command::Optimize {
                 model: self.require("model")?.to_string(),
                 input: self.require_input("input")?,
                 budget: self.require_f64("budget")?,
+                trace: self.trace_spec()?,
             },
             "run" => Command::Run {
                 model: self.require("model")?.to_string(),
@@ -386,12 +469,14 @@ impl RawArgs {
                 threads: self.threads()?,
                 fault_plan: self.fault_plan()?,
                 recovery: self.recovery()?,
+                trace: self.trace_spec()?,
             },
             "oracle" => Command::Oracle {
                 app: self.require("app")?.to_string(),
                 input: self.require_input("input")?,
                 budget: self.require_f64("budget")?,
                 threads: self.threads()?,
+                trace: self.trace_spec()?,
             },
             "inspect" => Command::Inspect {
                 model: self.require("model")?.to_string(),
@@ -416,6 +501,11 @@ impl RawArgs {
                 threads: self.threads()?,
                 fault_plan: self.fault_plan()?,
                 recovery: self.recovery()?,
+                trace: self.trace_spec()?,
+            },
+            "trace" => match self.positionals.as_slice() {
+                [verb, file] if verb == "summarize" => Command::Trace { file: file.clone() },
+                _ => return Err(ArgError::BadTraceUsage),
             },
             _ => Command::Help,
         })
@@ -500,6 +590,28 @@ impl RawArgs {
                 }),
             },
         }
+    }
+
+    /// `--trace-out FILE [--trace-format json|chrome|text]`; the format
+    /// defaults to `json` and is rejected without `--trace-out`.
+    fn trace_spec(&self) -> Result<TraceSpec, ArgError> {
+        let format = match self.get("trace-format") {
+            None | Some("json") => TraceFormat::Json,
+            Some("chrome") => TraceFormat::Chrome,
+            Some("text") => TraceFormat::Text,
+            Some(raw) => {
+                return Err(ArgError::BadValue {
+                    flag: "trace-format".to_string(),
+                    value: raw.to_string(),
+                    expected: "`json`, `chrome`, or `text`",
+                })
+            }
+        };
+        let out = self.get("trace-out").map(str::to_string);
+        if out.is_none() && self.get("trace-format").is_some() {
+            return Err(ArgError::MissingFlag("trace-out".to_string()));
+        }
+        Ok(TraceSpec { out, format })
     }
 
     /// `--fault-plan seed=42,panic=0.1,...`, typed through
@@ -614,6 +726,7 @@ mod tests {
                 threads: None,
                 fault_plan: None,
                 recovery: RecoveryPolicy::default(),
+                trace: TraceSpec::default(),
             }
         );
         let c = parse(&[
@@ -627,6 +740,7 @@ mod tests {
                 input: vec![16.0, 3.0],
                 budget: 20.0,
                 threads: None,
+                trace: TraceSpec::default(),
             }
         );
         assert_eq!(parse(&["apps"]).unwrap(), Command::Apps);
@@ -743,7 +857,103 @@ mod tests {
                 threads: Some(3),
                 fault_plan: None,
                 recovery: RecoveryPolicy::default(),
+                trace: TraceSpec::default(),
             }
+        );
+    }
+
+    #[test]
+    fn trace_flags_parse_into_a_spec() {
+        let c = parse(&[
+            "optimize",
+            "--model",
+            "m",
+            "--input",
+            "1,2",
+            "--budget",
+            "5",
+            "--trace-out",
+            "t.json",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Optimize {
+                model: "m".into(),
+                input: vec![1.0, 2.0],
+                budget: 5.0,
+                trace: TraceSpec {
+                    out: Some("t.json".into()),
+                    format: TraceFormat::Json,
+                },
+            }
+        );
+        let c = parse(&[
+            "train",
+            "--app",
+            "pso",
+            "--out",
+            "m.json",
+            "--trace-out",
+            "t.trace",
+            "--trace-format",
+            "chrome",
+        ])
+        .unwrap();
+        let Command::Train { trace, .. } = c else {
+            panic!("expected a train command: {c:?}");
+        };
+        assert_eq!(trace.out.as_deref(), Some("t.trace"));
+        assert_eq!(trace.format, TraceFormat::Chrome);
+        // An unknown format is a parse error.
+        assert!(matches!(
+            parse(&[
+                "train", "--app", "p", "--out", "m", "--trace-out", "t", "--trace-format", "xml",
+            ])
+            .unwrap_err(),
+            ArgError::BadValue { flag, .. } if flag == "trace-format"
+        ));
+        // --trace-format without --trace-out is rejected.
+        assert_eq!(
+            parse(&[
+                "train",
+                "--app",
+                "p",
+                "--out",
+                "m",
+                "--trace-format",
+                "text"
+            ])
+            .unwrap_err(),
+            ArgError::MissingFlag("trace-out".into())
+        );
+        // `inspect` and `analyze` take no trace flags.
+        assert!(matches!(
+            parse(&["inspect", "--model", "m", "--trace-out", "t"]).unwrap_err(),
+            ArgError::UnknownFlag { command, .. } if command == "inspect"
+        ));
+    }
+
+    #[test]
+    fn trace_summarize_takes_a_single_file() {
+        assert_eq!(
+            parse(&["trace", "summarize", "t.json"]).unwrap(),
+            Command::Trace {
+                file: "t.json".into()
+            }
+        );
+        assert_eq!(parse(&["trace"]).unwrap_err(), ArgError::BadTraceUsage);
+        assert_eq!(
+            parse(&["trace", "summarize"]).unwrap_err(),
+            ArgError::BadTraceUsage
+        );
+        assert_eq!(
+            parse(&["trace", "explain", "t.json"]).unwrap_err(),
+            ArgError::BadTraceUsage
+        );
+        assert_eq!(
+            parse(&["trace", "summarize", "a.json", "b.json"]).unwrap_err(),
+            ArgError::BadTraceUsage
         );
     }
 

@@ -10,7 +10,7 @@
 //! [`EvalMetrics`] (executions, cache hits, per-stage wall time) are
 //! printed at the end.
 
-use crate::args::{Command, OutputFormat};
+use crate::args::{Command, OutputFormat, TraceFormat, TraceSpec};
 use opprox_analyze::{Artifact, ArtifactSet};
 use opprox_approx_rt::{ApproxApp, InputParams};
 use opprox_core::evaluator::{EvalEngine, EvalMetrics};
@@ -20,7 +20,7 @@ use opprox_core::pipeline::{Opprox, TrainedOpprox, TrainingOptions};
 use opprox_core::report::percent_less_work;
 use opprox_core::request::OptimizeRequest;
 use opprox_core::sampling::SamplingPlan;
-use opprox_core::{AccuracySpec, FaultPlan, RecoveryPolicy};
+use opprox_core::{AccuracySpec, FaultPlan, RecoveryPolicy, TelemetryReport};
 use std::error::Error;
 
 /// The result alias used by every subcommand.
@@ -41,7 +41,8 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             probes,
             seed,
             threads,
-        } => cmd_phases(app, input, *probes, *seed, *threads, out),
+            trace,
+        } => cmd_phases(app, input, *probes, *seed, *threads, trace, out),
         Command::Train {
             app,
             out: path,
@@ -51,6 +52,7 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             threads,
             fault_plan,
             recovery,
+            trace,
         } => cmd_train(
             app,
             path,
@@ -60,13 +62,15 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             *threads,
             *fault_plan,
             *recovery,
+            trace,
             out,
         ),
         Command::Optimize {
             model,
             input,
             budget,
-        } => cmd_optimize(model, input, *budget, out),
+            trace,
+        } => cmd_optimize(model, input, *budget, trace, out),
         Command::Run {
             model,
             input,
@@ -76,6 +80,7 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             threads,
             fault_plan,
             recovery,
+            trace,
         } => cmd_run(
             model,
             input,
@@ -85,6 +90,7 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             *threads,
             *fault_plan,
             *recovery,
+            trace,
             out,
         ),
         Command::Oracle {
@@ -92,7 +98,8 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             input,
             budget,
             threads,
-        } => cmd_oracle(app, input, *budget, *threads, out),
+            trace,
+        } => cmd_oracle(app, input, *budget, *threads, trace, out),
         Command::Inspect { model } => cmd_inspect(model, out),
         Command::Analyze {
             artifacts,
@@ -109,6 +116,7 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             threads,
             fault_plan,
             recovery,
+            trace,
         } => cmd_compare(
             app,
             input,
@@ -119,8 +127,10 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             *threads,
             *fault_plan,
             *recovery,
+            trace,
             out,
         ),
+        Command::Trace { file } => cmd_trace_summarize(file, out),
         Command::Help => cmd_help(out),
     }
 }
@@ -159,10 +169,18 @@ pub fn cmd_help(out: &mut dyn std::io::Write) -> CmdResult {
          \x20 compare  --app A --input I --budget B   OPPROX (validated) vs oracle in one shot\n\
          \x20          [--phases N] [--sparse K] [--seed S] [--threads T]\n\
          \x20          [--fault-plan P] [--max-retries R] [--eval-timeout-ms MS]\n\
+         \x20 trace    summarize FILE                  render the human summary of a JSON\n\
+         \x20                                          telemetry trace (--trace-out)\n\
          \n\
          Inputs are comma-separated parameter values, e.g. --input 64,2 for\n\
          LULESH (mesh_length, num_regions). --threads bounds the evaluation\n\
          engine's worker pool (default: all cores).\n\
+         \n\
+         Engine-backed commands (and model-only optimize) also accept\n\
+         --trace-out FILE [--trace-format json|chrome|text] to export the\n\
+         run's telemetry: spans, counters, gauges, histograms, events.\n\
+         The json format round-trips through `opprox analyze` and\n\
+         `opprox trace summarize`; chrome loads in chrome://tracing.\n\
          \n\
          --fault-plan injects deterministic faults for robustness testing,\n\
          e.g. seed=42,panic=0.1,timeout=0.05,nan=0.05,poison=0.02,fail_first=1;\n\
@@ -221,6 +239,37 @@ fn report_robustness(engine: &EvalEngine, out: &mut dyn std::io::Write) -> CmdRe
     Ok(())
 }
 
+/// Exports the command's telemetry to `--trace-out` in the requested
+/// format; a no-op without the flag.
+fn write_trace(
+    trace: &TraceSpec,
+    report: &TelemetryReport,
+    out: &mut dyn std::io::Write,
+) -> CmdResult {
+    let Some(path) = trace.out.as_deref() else {
+        return Ok(());
+    };
+    let rendered = match trace.format {
+        TraceFormat::Json => report.to_json(),
+        TraceFormat::Chrome => report.to_chrome_trace(),
+        TraceFormat::Text => report.render_text(),
+    };
+    std::fs::write(path, rendered).map_err(|e| format!("writing trace to {path}: {e}"))?;
+    writeln!(out, "trace written to {path}")?;
+    Ok(())
+}
+
+/// `opprox trace summarize FILE`: render the human summary of a JSON
+/// telemetry report captured with `--trace-out` (default format).
+fn cmd_trace_summarize(file: &str, out: &mut dyn std::io::Write) -> CmdResult {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+    let report = TelemetryReport::from_json(&text).map_err(|e| {
+        format!("{file}: {e} (expected a JSON trace written by --trace-out, format json)")
+    })?;
+    write!(out, "{}", report.render_text())?;
+    Ok(())
+}
+
 fn cmd_apps(out: &mut dyn std::io::Write) -> CmdResult {
     for app in opprox_apps::registry::all_apps() {
         let meta = app.meta();
@@ -256,6 +305,7 @@ fn cmd_phases(
     probes: usize,
     seed: u64,
     threads: Option<usize>,
+    trace: &TraceSpec,
     out: &mut dyn std::io::Write,
 ) -> CmdResult {
     let app = lookup_app(app)?;
@@ -268,7 +318,8 @@ fn cmd_phases(
     let engine = make_engine(threads);
     let n = find_phase_granularity_with(&engine, app.as_ref(), &input, &opts)?;
     writeln!(out, "Algorithm 1 chose {n} phases for {}", app.meta().name)?;
-    report_metrics(&engine.metrics(), out)
+    report_metrics(&engine.metrics(), out)?;
+    write_trace(trace, &engine.telemetry_report(), out)
 }
 
 fn training_options(phases: usize, sparse: usize, seed: u64) -> TrainingOptions {
@@ -294,6 +345,7 @@ fn cmd_train(
     threads: Option<usize>,
     fault_plan: Option<FaultPlan>,
     recovery: RecoveryPolicy,
+    trace: &TraceSpec,
     out: &mut dyn std::io::Write,
 ) -> CmdResult {
     let app = lookup_app(app)?;
@@ -320,6 +372,7 @@ fn cmd_train(
     report_metrics(&engine.metrics(), out)?;
     report_robustness(&engine, out)?;
     write!(out, "{}", trained.modeling_metrics())?;
+    write_trace(trace, &engine.telemetry_report(), out)?;
     Ok(())
 }
 
@@ -333,6 +386,7 @@ fn cmd_optimize(
     model: &str,
     input: &[f64],
     budget: f64,
+    trace: &TraceSpec,
     out: &mut dyn std::io::Write,
 ) -> CmdResult {
     let trained = load_model(model)?;
@@ -350,6 +404,7 @@ fn cmd_optimize(
         outcome.plan.predicted_qos,
         spec.error_budget()
     )?;
+    write_trace(trace, &outcome.telemetry, out)?;
     Ok(())
 }
 
@@ -363,6 +418,7 @@ fn cmd_run(
     threads: Option<usize>,
     fault_plan: Option<FaultPlan>,
     recovery: RecoveryPolicy,
+    trace: &TraceSpec,
     out: &mut dyn std::io::Write,
 ) -> CmdResult {
     let trained = load_model(model)?;
@@ -409,7 +465,8 @@ fn cmd_run(
         )?,
     }
     report_metrics(&engine.metrics(), out)?;
-    report_robustness(&engine, out)
+    report_robustness(&engine, out)?;
+    write_trace(trace, &outcome.telemetry, out)
 }
 
 fn cmd_oracle(
@@ -417,6 +474,7 @@ fn cmd_oracle(
     input: &[f64],
     budget: f64,
     threads: Option<usize>,
+    trace: &TraceSpec,
     out: &mut dyn std::io::Write,
 ) -> CmdResult {
     let app = lookup_app(app)?;
@@ -443,7 +501,8 @@ fn cmd_oracle(
             r.evaluated
         )?,
     }
-    report_metrics(&engine.metrics(), out)
+    report_metrics(&engine.metrics(), out)?;
+    write_trace(trace, &engine.telemetry_report(), out)
 }
 
 fn cmd_inspect(model: &str, out: &mut dyn std::io::Write) -> CmdResult {
@@ -520,6 +579,7 @@ fn cmd_compare(
     threads: Option<usize>,
     fault_plan: Option<FaultPlan>,
     recovery: RecoveryPolicy,
+    trace: &TraceSpec,
     out: &mut dyn std::io::Write,
 ) -> CmdResult {
     let app = lookup_app(app)?;
@@ -559,7 +619,10 @@ fn cmd_compare(
         oracle.evaluated
     )?;
     report_metrics(&engine.metrics(), out)?;
-    report_robustness(&engine, out)
+    report_robustness(&engine, out)?;
+    // One engine end to end means one trace covering training, the
+    // validated optimization, and the oracle sweep.
+    write_trace(trace, &engine.telemetry_report(), out)
 }
 
 #[cfg(test)]
@@ -825,6 +888,64 @@ mod tests {
         .unwrap();
         assert!(!out.contains("robustness:"), "{out}");
         std::fs::remove_file(model).ok();
+    }
+
+    #[test]
+    fn trace_out_round_trips_through_summarize_and_analyze() {
+        let dir = std::env::temp_dir().join("opprox_cli_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("pso.json");
+        let trace = dir.join("t.json");
+        let (model_s, trace_s) = (model.to_str().unwrap(), trace.to_str().unwrap());
+        let out = run(&[
+            "train",
+            "--app",
+            "pso",
+            "--out",
+            model_s,
+            "--phases",
+            "2",
+            "--sparse",
+            "6",
+            "--threads",
+            "2",
+            "--trace-out",
+            trace_s,
+        ])
+        .unwrap();
+        assert!(out.contains("trace written to"), "{out}");
+        // The human summary names the span and counter sections.
+        let out = run(&["trace", "summarize", trace_s]).unwrap();
+        assert!(out.contains("telemetry summary"), "{out}");
+        assert!(out.contains("stage/"), "{out}");
+        assert!(out.contains("eval.exec"), "{out}");
+        // A healthy training trace passes the telemetry lints, even with
+        // warnings denied (the self-check guarantees cache hits).
+        let out = run(&["analyze", trace_s, "--deny", "warnings"]).unwrap();
+        assert!(out.contains("0 errors, 0 warnings"), "{out}");
+        // The chrome export is a JSON array (schema-tested elsewhere).
+        let chrome = dir.join("t.chrome.json");
+        let chrome_s = chrome.to_str().unwrap();
+        run(&[
+            "optimize",
+            "--model",
+            model_s,
+            "--input",
+            "16,3",
+            "--budget",
+            "10",
+            "--trace-out",
+            chrome_s,
+            "--trace-format",
+            "chrome",
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&chrome).unwrap();
+        assert!(text.starts_with('['), "{text}");
+        // summarize rejects a non-report file with the path named.
+        let err = run(&["trace", "summarize", chrome_s]).unwrap_err();
+        assert!(err.to_string().contains("t.chrome.json"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::fault::{
 };
 use crate::pool::WorkPool;
 use crate::sync::{AtomicU64, Mutex, Ordering};
+use crate::telemetry::{Clock, Telemetry, TelemetryReport};
 use opprox_approx_rt::log::CallContextLog;
 use opprox_approx_rt::{
     run_with_timeout, ApproxApp, InputParams, PhaseSchedule, RunResult, RuntimeError,
@@ -199,6 +200,7 @@ pub struct EvalEngine {
     total_work: AtomicU64,
     stages: Mutex<Vec<StageMetrics>>,
     faults: FaultState,
+    telemetry: Telemetry,
 }
 
 impl Default for EvalEngine {
@@ -238,6 +240,7 @@ impl EvalEngine {
             total_work: AtomicU64::new(0),
             stages: Mutex::new(Vec::new()),
             faults: FaultState::new(None, policy),
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -254,7 +257,27 @@ impl EvalEngine {
             total_work: AtomicU64::new(0),
             stages: Mutex::new(Vec::new()),
             faults: FaultState::new(Some(plan), policy),
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// Replaces the telemetry clock (and resets the registry), so tests
+    /// can inject a [`crate::telemetry::ManualClock`] and get
+    /// byte-identical trace exports across runs and thread counts.
+    #[must_use]
+    pub fn with_telemetry_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.telemetry = Telemetry::with_clock(clock);
+        self
+    }
+
+    /// The engine's live telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Canonical snapshot of the telemetry registry.
+    pub fn telemetry_report(&self) -> TelemetryReport {
+        self.telemetry.report()
     }
 
     /// The configured worker-pool bound.
@@ -303,14 +326,16 @@ impl EvalEngine {
         schedule: &PhaseSchedule,
     ) -> Result<Arc<RunResult>, OpproxError> {
         let key = CacheKey::new(app, input, schedule);
+        let digest = key.digest();
         if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.note_hit(digest);
             return Ok(Arc::clone(hit));
         }
-        let digest = key.digest();
         let result = Arc::new(self.evaluate_with_recovery(app, input, schedule, digest)?);
         self.executions.fetch_add(1, Ordering::Relaxed);
         self.total_work.fetch_add(result.work, Ordering::Relaxed);
+        self.note_exec(digest, schedule.is_accurate());
         self.cache
             .lock()
             .expect("cache lock")
@@ -331,6 +356,9 @@ impl EvalEngine {
     ) -> Result<RunResult, OpproxError> {
         if self.faults.is_quarantined(digest) {
             self.faults.count_failure(FailureKind::Quarantined);
+            self.telemetry.incr("eval.quarantine.hit");
+            self.telemetry
+                .incr(&format!("eval.quarantine[{digest:#018x}]"));
             return Err(OpproxError::Quarantined {
                 context: format!("app `{}`, key {digest:#018x}", app.meta().name),
             });
@@ -351,6 +379,7 @@ impl EvalEngine {
             }
         }
         self.faults.quarantine(digest, max_attempts);
+        self.telemetry.incr("eval.quarantined");
         Err(OpproxError::EvaluationFailed {
             kind: last,
             attempts: max_attempts,
@@ -517,12 +546,14 @@ impl EvalEngine {
                 let key = CacheKey::new(app, input, schedule);
                 if let Some(hit) = cache.get(&key) {
                     hits += 1;
+                    self.note_hit(key.digest());
                     slots.push(Slot::Cached(Arc::clone(hit)));
                     continue;
                 }
                 match seen.entry(key.clone()) {
                     Entry::Occupied(e) => {
                         hits += 1;
+                        self.note_hit(key.digest());
                         slots.push(Slot::Pending(*e.get()));
                     }
                     Entry::Vacant(e) => {
@@ -534,6 +565,8 @@ impl EvalEngine {
             }
         }
         self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.telemetry
+            .set_gauge("eval.queue_depth", pending.len() as f64);
 
         let results = self.execute_pending(app, &pending);
 
@@ -577,10 +610,12 @@ impl EvalEngine {
         }
         run.outcomes
             .into_iter()
-            .map(|outcome| match outcome {
+            .zip(pending.iter())
+            .map(|(outcome, (key, _, schedule))| match outcome {
                 Ok(Ok(result)) => {
                     self.executions.fetch_add(1, Ordering::Relaxed);
                     self.total_work.fetch_add(result.work, Ordering::Relaxed);
+                    self.note_exec(key.digest(), schedule.is_accurate());
                     Ok(Arc::new(result))
                 }
                 Ok(Err(e)) => Err(e),
@@ -596,14 +631,36 @@ impl EvalEngine {
             .collect()
     }
 
+    /// Per-key cache-hit bookkeeping for the telemetry registry. Counter
+    /// names carry the key digest so tests can assert facts about
+    /// individual `(input, schedule)` keys.
+    fn note_hit(&self, digest: u64) {
+        self.telemetry.incr("eval.cache.hit");
+        self.telemetry.incr(&format!("eval.hit[{digest:#018x}]"));
+    }
+
+    /// Per-key execution bookkeeping; accurate-schedule (golden)
+    /// executions are counted separately so "golden exactly once per
+    /// input" is an assertable fact.
+    fn note_exec(&self, digest: u64, golden: bool) {
+        self.telemetry.incr("eval.exec");
+        self.telemetry.incr(&format!("eval.exec[{digest:#018x}]"));
+        if golden {
+            self.telemetry.incr("eval.golden.exec");
+            self.telemetry
+                .incr(&format!("eval.golden.exec[{digest:#018x}]"));
+        }
+    }
+
     /// Runs `f`, attributing its wall time and the executions and cache
     /// hits it causes to the named pipeline stage. Repeated stages
-    /// accumulate.
+    /// accumulate. The stage is also recorded as a telemetry span
+    /// `stage/<name>` against the engine's injectable clock.
     pub fn stage<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
         let execs_before = self.executions.load(Ordering::Relaxed);
         let hits_before = self.cache_hits.load(Ordering::Relaxed);
         let start = Instant::now();
-        let out = f();
+        let out = self.telemetry.span(&format!("stage/{name}"), f);
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         let executions = self.executions.load(Ordering::Relaxed) - execs_before;
         let cache_hits = self.cache_hits.load(Ordering::Relaxed) - hits_before;

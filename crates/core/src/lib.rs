@@ -59,6 +59,7 @@ pub mod request;
 pub mod sampling;
 pub mod spec;
 pub(crate) mod sync;
+pub mod telemetry;
 
 pub use error::OpproxError;
 pub use evaluator::{EvalEngine, EvalMetrics};
@@ -66,3 +67,4 @@ pub use fault::{FailureKind, FaultPlan, RecoveryPolicy, RobustnessReport};
 pub use pipeline::Opprox;
 pub use request::{OptimizeOutcome, OptimizePath, OptimizeRequest};
 pub use spec::AccuracySpec;
+pub use telemetry::{Clock, ManualClock, MonotonicClock, Telemetry, TelemetryReport};

@@ -24,8 +24,9 @@ use crate::control_flow::ControlFlowModel;
 use crate::error::OpproxError;
 use crate::pool::WorkPool;
 use crate::sampling::{GoldenRecord, SampleRecord, TrainingData};
+use crate::telemetry::Telemetry;
 use opprox_approx_rt::{InputParams, LevelConfig};
-use opprox_ml::fitmetrics::FitCounters;
+use opprox_ml::fitmetrics::{FitCounters, MAX_TRACKED_DEGREE};
 use opprox_ml::model_select::{AutoFitConfig, TargetModel};
 use opprox_ml::polyreg::PredictScratch;
 use opprox_ml::Dataset;
@@ -406,6 +407,25 @@ impl AppModels {
         num_phases: usize,
         options: &ModelingOptions,
     ) -> Result<Self, OpproxError> {
+        Self::fit_traced(data, num_phases, options, None)
+    }
+
+    /// [`AppModels::fit`] with an optional telemetry registry: the two
+    /// fan-out stages become spans (`fit/base`, `fit/combined`), the
+    /// [`ModelingMetrics`] counters are absorbed into the registry
+    /// (`ml.fits_attempted`, `ml.cv_solves`, `ml.degrees_tried`), and the
+    /// per-degree CV-solve counts feed the fixed-bucket
+    /// `ml.cv_solves_per_degree` histogram.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AppModels::fit`].
+    pub fn fit_traced(
+        data: &TrainingData,
+        num_phases: usize,
+        options: &ModelingOptions,
+        telemetry: Option<&Telemetry>,
+    ) -> Result<Self, OpproxError> {
         let fit_start = Instant::now();
         let control_flow = ControlFlowModel::learn(data)?;
         let first = data
@@ -476,23 +496,29 @@ impl AppModels {
         // so the assembled model set is identical to a sequential fit.
         let stage1_start = Instant::now();
         let jobs_per_bucket = 1 + TARGETS.len() * num_blocks;
-        let stage1 = pool.run(buckets.len() * jobs_per_bucket, |i| {
-            let bucket = &buckets[i / jobs_per_bucket];
-            match i % jobs_per_bucket {
-                0 => {
-                    let ds =
-                        iters_dataset(&bucket.records, &bucket.goldens, num_blocks, &param_names)?;
-                    TargetModel::fit_with_counters(&ds, &options.autofit, &counters)
-                        .map_err(OpproxError::from)
+        let stage1 = Telemetry::maybe_span(telemetry, "fit/base", || {
+            pool.run(buckets.len() * jobs_per_bucket, |i| {
+                let bucket = &buckets[i / jobs_per_bucket];
+                match i % jobs_per_bucket {
+                    0 => {
+                        let ds = iters_dataset(
+                            &bucket.records,
+                            &bucket.goldens,
+                            num_blocks,
+                            &param_names,
+                        )?;
+                        TargetModel::fit_with_counters(&ds, &options.autofit, &counters)
+                            .map_err(OpproxError::from)
+                    }
+                    j => {
+                        let (t, b) = ((j - 1) / num_blocks, (j - 1) % num_blocks);
+                        let (transform, raw) = TARGETS[t];
+                        let ds = local_dataset(&bucket.records, b, &param_names, transform, raw)?;
+                        TargetModel::fit_with_counters(&ds, &local_autofit, &counters)
+                            .map_err(OpproxError::from)
+                    }
                 }
-                j => {
-                    let (t, b) = ((j - 1) / num_blocks, (j - 1) % num_blocks);
-                    let (transform, raw) = TARGETS[t];
-                    let ds = local_dataset(&bucket.records, b, &param_names, transform, raw)?;
-                    TargetModel::fit_with_counters(&ds, &local_autofit, &counters)
-                        .map_err(OpproxError::from)
-                }
-            }
+            })
         });
         let base_fit_wall_ms = stage1_start.elapsed().as_secs_f64() * 1e3;
 
@@ -517,19 +543,21 @@ impl AppModels {
         // models and iteration estimator, but not on any other combined
         // fit, so they fan out the same way.
         let stage2_start = Instant::now();
-        let stage2 = pool.run(buckets.len() * TARGETS.len(), |i| {
-            let (bi, t) = (i / TARGETS.len(), i % TARGETS.len());
-            let (transform, raw) = TARGETS[t];
-            let ds = combined_dataset(
-                &buckets[bi].records,
-                &locals[bi][t],
-                &iters_models[bi],
-                num_blocks,
-                transform,
-                raw,
-            )?;
-            TargetModel::fit_with_counters(&ds, &local_autofit, &counters)
-                .map_err(OpproxError::from)
+        let stage2 = Telemetry::maybe_span(telemetry, "fit/combined", || {
+            pool.run(buckets.len() * TARGETS.len(), |i| {
+                let (bi, t) = (i / TARGETS.len(), i % TARGETS.len());
+                let (transform, raw) = TARGETS[t];
+                let ds = combined_dataset(
+                    &buckets[bi].records,
+                    &locals[bi][t],
+                    &iters_models[bi],
+                    num_blocks,
+                    transform,
+                    raw,
+                )?;
+                TargetModel::fit_with_counters(&ds, &local_autofit, &counters)
+                    .map_err(OpproxError::from)
+            })
         });
         let combined_fit_wall_ms = stage2_start.elapsed().as_secs_f64() * 1e3;
 
@@ -585,6 +613,23 @@ impl AppModels {
             combined_fit_wall_ms,
             total_wall_ms: fit_start.elapsed().as_secs_f64() * 1e3,
         };
+
+        // Absorb the modeling counters into the telemetry registry. The
+        // histogram buckets are fixed (one per polynomial degree up to
+        // MAX_TRACKED_DEGREE, plus overflow), so the counts are invariant
+        // under fit-job scheduling order and thread count.
+        if let Some(t) = telemetry {
+            t.add("ml.fits_attempted", counters.fits());
+            t.add("ml.cv_solves", counters.cv_solves());
+            t.add("ml.degrees_tried", counters.degrees_tried());
+            t.set_gauge("ml.threads", pool.threads() as f64);
+            let bounds: Vec<f64> = (0..=MAX_TRACKED_DEGREE).map(|d| d as f64 + 0.5).collect();
+            for (degree, &n) in counters.cv_solves_by_degree().iter().enumerate() {
+                if n > 0 {
+                    t.observe_n("ml.cv_solves_per_degree", &bounds, degree as f64, n);
+                }
+            }
+        }
 
         Ok(AppModels {
             control_flow,

@@ -21,6 +21,7 @@
 use crate::error::OpproxError;
 use crate::modeling::AppModels;
 use crate::spec::AccuracySpec;
+use crate::telemetry::Telemetry;
 use opprox_approx_rt::block::BlockDescriptor;
 use opprox_approx_rt::config::{config_space_size, enumerate_configs};
 use opprox_approx_rt::{InputParams, LevelConfig, PhaseSchedule};
@@ -114,6 +115,37 @@ pub fn optimize_with(
     expected_iters: u64,
     conservatism: Conservatism,
 ) -> Result<OptimizationPlan, OpproxError> {
+    optimize_traced(
+        models,
+        blocks,
+        input,
+        spec,
+        expected_iters,
+        conservatism,
+        None,
+    )
+}
+
+/// [`optimize_with`] with an optional telemetry registry: every phase
+/// visit emits an `optimize.phase` event (solve id, visit step, ROI,
+/// allocated sub-budget, leftover roll-over, predicted QoS/speedup) and
+/// each solve closes with an `optimize.plan` event. Events are emitted in
+/// visit order — decreasing ROI — so traces make Algorithm 2's budget
+/// redistribution an assertable fact.
+///
+/// # Errors
+///
+/// Same as [`optimize`].
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_traced(
+    models: &AppModels,
+    blocks: &[BlockDescriptor],
+    input: &InputParams,
+    spec: &AccuracySpec,
+    expected_iters: u64,
+    conservatism: Conservatism,
+    telemetry: Option<&Telemetry>,
+) -> Result<OptimizationPlan, OpproxError> {
     let num_phases = models.num_phases();
     let rois = models.rois(input)?;
     let roi_sum: f64 = rois.iter().sum();
@@ -131,12 +163,20 @@ pub fn optimize_with(
     let mut leftover = 0.0f64;
     let mut chosen: Vec<Option<PhasePlan>> = vec![None; num_phases];
 
-    for &phase in &order {
+    // A per-registry solve id keeps events from the many candidate solves
+    // a validated request performs distinguishable in one trace.
+    let solve = telemetry.map(|t| {
+        t.incr("optimize.solves");
+        (t.counter_value("optimize.solves") - 1) as f64
+    });
+
+    for (step, &phase) in order.iter().enumerate() {
         let norm_roi = if roi_sum > 0.0 {
             rois[phase] / roi_sum
         } else {
             1.0 / num_phases as f64
         };
+        let leftover_in = leftover;
         let phase_budget = total_budget * norm_roi + leftover;
         let best = optimize_phase(models, blocks, input, phase, phase_budget, conservatism)?;
         match best {
@@ -159,6 +199,23 @@ pub fn optimize_with(
                 });
             }
         }
+        if let (Some(t), Some(solve)) = (telemetry, solve) {
+            let plan = chosen[phase].as_ref().expect("just filled");
+            t.event(
+                "optimize.phase",
+                &[
+                    ("solve", solve),
+                    ("step", step as f64),
+                    ("phase", phase as f64),
+                    ("roi", rois[phase]),
+                    ("allocated", phase_budget),
+                    ("leftover_in", leftover_in),
+                    ("leftover_out", leftover),
+                    ("predicted_qos", plan.predicted_qos),
+                    ("predicted_speedup", plan.predicted_speedup),
+                ],
+            );
+        }
     }
 
     let phases: Vec<PhasePlan> = chosen.into_iter().map(|p| p.expect("filled")).collect();
@@ -179,6 +236,17 @@ pub fn optimize_with(
         expected_iters.max(1),
     )
     .map_err(OpproxError::from)?;
+
+    if let (Some(t), Some(solve)) = (telemetry, solve) {
+        t.event(
+            "optimize.plan",
+            &[
+                ("solve", solve),
+                ("predicted_speedup", predicted_speedup),
+                ("predicted_qos", predicted_qos),
+            ],
+        );
+    }
 
     Ok(OptimizationPlan {
         phases,

@@ -124,15 +124,26 @@ pub fn find_phase_granularity_with(
     input: &InputParams,
     opts: &PhaseSearchOptions,
 ) -> Result<usize, OpproxError> {
+    // Each doubling iteration of Algorithm 1 is its own telemetry span, so
+    // traces show how far the search refined and where its time went.
+    let probe = |n: usize| {
+        engine.telemetry().span(&format!("granularity/n[{n}]"), || {
+            max_qos_diff_with(engine, app, input, n, opts)
+        })
+    };
     engine.stage("granularity", || {
         let mut n = 2usize;
-        let mut max_diff_prev = max_qos_diff_with(engine, app, input, n, opts)?;
+        let mut max_diff_prev = probe(n)?;
         loop {
             let new_n = n * 2;
             if new_n > opts.max_phases {
                 return Ok(n);
             }
-            let max_diff_new = max_qos_diff_with(engine, app, input, new_n, opts)?;
+            let max_diff_new = probe(new_n)?;
+            engine.telemetry().event(
+                "granularity.step",
+                &[("n", new_n as f64), ("max_diff", max_diff_new)],
+            );
             if (max_diff_prev - max_diff_new).abs() > opts.threshold {
                 n = new_n;
                 max_diff_prev = max_diff_new;

@@ -117,7 +117,15 @@ impl Opprox {
             ..options.sampling
         };
         let data = collect_training_data_with(engine, app, &inputs, &plan)?;
-        let mut trained = Self::train_from_data(app, &data, num_phases, &options.modeling)?;
+        let mut trained = engine.telemetry().span("fit", || {
+            Self::train_from_data_traced(
+                app,
+                &data,
+                num_phases,
+                &options.modeling,
+                Some(engine.telemetry()),
+            )
+        })?;
         trained.golden_iter_rel_error = engine.stage("self-check", || {
             let mut total = 0.0f64;
             let mut checked = 0usize;
@@ -156,7 +164,23 @@ impl Opprox {
         num_phases: usize,
         modeling: &ModelingOptions,
     ) -> Result<TrainedOpprox, OpproxError> {
-        let models = AppModels::fit(data, num_phases, modeling)?;
+        Self::train_from_data_traced(app, data, num_phases, modeling, None)
+    }
+
+    /// [`Opprox::train_from_data`] with an optional telemetry registry
+    /// threaded through to [`AppModels::fit_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors.
+    pub fn train_from_data_traced(
+        app: &dyn ApproxApp,
+        data: &TrainingData,
+        num_phases: usize,
+        modeling: &ModelingOptions,
+        telemetry: Option<&crate::telemetry::Telemetry>,
+    ) -> Result<TrainedOpprox, OpproxError> {
+        let models = AppModels::fit_traced(data, num_phases, modeling, telemetry)?;
         let mut trained = TrainedOpprox {
             app_name: app.meta().name.clone(),
             blocks: app.meta().blocks.clone(),

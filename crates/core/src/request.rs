@@ -46,9 +46,10 @@
 use crate::error::OpproxError;
 use crate::evaluator::EvalEngine;
 use crate::fault::{degradable_kind, RobustnessReport};
-use crate::optimizer::{optimize_with, Conservatism, OptimizationPlan};
+use crate::optimizer::{optimize_traced, Conservatism, OptimizationPlan};
 use crate::pipeline::{MeasuredOutcome, TrainedOpprox};
 use crate::spec::AccuracySpec;
+use crate::telemetry::{Telemetry, TelemetryReport};
 use opprox_approx_rt::{ApproxApp, InputParams, LevelConfig, PhaseSchedule};
 use serde::{Deserialize, Serialize};
 
@@ -85,6 +86,12 @@ pub struct OptimizeOutcome {
     /// when fault injection was configured or any recovery event (retry,
     /// quarantine, drop) occurred. `None` for a clean model-only solve.
     pub robustness: Option<RobustnessReport>,
+    /// The telemetry snapshot of the request: optimizer budget-division
+    /// events for every solve, plus — on the validated path — the
+    /// engine's execution/cache counters and stage spans. For a fixed
+    /// seed and an injected manual clock the JSON export is
+    /// byte-identical across thread counts.
+    pub telemetry: TelemetryReport,
 }
 
 /// Builder describing one optimization request against a trained system.
@@ -185,13 +192,22 @@ impl<'a> OptimizeRequest<'a> {
         trained.validate_integrity()?;
         let expected = trained.estimate_golden_iters(&self.input)?;
         let Some(app) = self.validation_app else {
-            let plan = optimize_with(
+            // A model-only solve still traces its budget division: use the
+            // shared engine's registry when one was attached, otherwise a
+            // private registry local to this request.
+            let local = Telemetry::new();
+            let telemetry = match self.engine {
+                Some(e) => e.telemetry(),
+                None => &local,
+            };
+            let plan = optimize_traced(
                 trained.models(),
                 trained.blocks(),
                 &self.input,
                 &self.spec,
                 expected,
                 self.conservatism,
+                Some(telemetry),
             )?;
             return Ok(OptimizeOutcome {
                 plan,
@@ -199,6 +215,7 @@ impl<'a> OptimizeRequest<'a> {
                 measured: None,
                 candidates_tried: 0,
                 robustness: None,
+                telemetry: telemetry.report(),
             });
         };
         let private_engine;
@@ -216,6 +233,7 @@ impl<'a> OptimizeRequest<'a> {
         if engine.fault_injection_enabled() || report.has_activity() {
             outcome.robustness = Some(report);
         }
+        outcome.telemetry = engine.telemetry_report();
         Ok(outcome)
     }
 
@@ -250,13 +268,14 @@ impl<'a> OptimizeRequest<'a> {
         for scale in [1.0, 0.5, 2.0, 0.25, 4.0, 8.0] {
             let scaled = AccuracySpec::try_new(budget * scale)?;
             for mode in [Conservatism::Band, Conservatism::Point] {
-                let plan = optimize_with(
+                let plan = optimize_traced(
                     trained.models(),
                     trained.blocks(),
                     &self.input,
                     &scaled,
                     expected,
                     mode,
+                    Some(engine.telemetry()),
                 )?;
                 for v in trained.plan_variants(&plan, expected)? {
                     push(v, &mut candidates);
@@ -276,13 +295,14 @@ impl<'a> OptimizeRequest<'a> {
         let golden = match engine.golden(app, canary) {
             Ok(g) => g,
             Err(e) if degradable_kind(&e).is_some() => {
-                let plan = optimize_with(
+                let plan = optimize_traced(
                     trained.models(),
                     trained.blocks(),
                     &self.input,
                     &self.spec,
                     expected,
                     self.conservatism,
+                    Some(engine.telemetry()),
                 )?;
                 return Ok(OptimizeOutcome {
                     plan,
@@ -290,6 +310,7 @@ impl<'a> OptimizeRequest<'a> {
                     measured: None,
                     candidates_tried: 0,
                     robustness: None,
+                    telemetry: TelemetryReport::default(),
                 });
             }
             Err(e) => return Err(e),
@@ -371,6 +392,7 @@ impl<'a> OptimizeRequest<'a> {
                 measured: Some(measured),
                 candidates_tried,
                 robustness: None,
+                telemetry: TelemetryReport::default(),
             }),
             None => {
                 // Fall back to the fully accurate schedule.
@@ -391,6 +413,7 @@ impl<'a> OptimizeRequest<'a> {
                     }),
                     candidates_tried,
                     robustness: None,
+                    telemetry: TelemetryReport::default(),
                 })
             }
         }

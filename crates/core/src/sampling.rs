@@ -176,10 +176,10 @@ pub fn collect_training_data_with(
             .collect();
         let mut live_inputs: Vec<&InputParams> = Vec::with_capacity(inputs.len());
         let mut goldens = Vec::with_capacity(inputs.len());
-        for (input, outcome) in inputs
-            .iter()
-            .zip(engine.run_batch_resilient(app, &golden_jobs))
-        {
+        let golden_outcomes = engine.telemetry().span("profiling/goldens", || {
+            engine.run_batch_resilient(app, &golden_jobs)
+        });
+        for (input, outcome) in inputs.iter().zip(golden_outcomes) {
             match outcome {
                 Ok(golden) => {
                     live_inputs.push(input);
@@ -218,6 +218,14 @@ pub fn collect_training_data_with(
         for (ii, input) in live_inputs.iter().enumerate() {
             let golden_iters = goldens[ii].outer_iters;
             for phase in 0..plan.num_phases {
+                engine.telemetry().event(
+                    "profiling.sweep",
+                    &[
+                        ("input", ii as f64),
+                        ("phase", phase as f64),
+                        ("jobs", configs.len() as f64),
+                    ],
+                );
                 for config in &configs {
                     let schedule = PhaseSchedule::single_phase(
                         config.clone(),
@@ -235,7 +243,12 @@ pub fn collect_training_data_with(
             }
         }
         engine.faults().add_requested_samples(labels.len() as u64);
-        let results = engine.run_batch_resilient(app, &jobs);
+        engine
+            .telemetry()
+            .add("sampling.requested", labels.len() as u64);
+        let results = engine.telemetry().span("profiling/samples", || {
+            engine.run_batch_resilient(app, &jobs)
+        });
 
         let mut data = TrainingData::default();
         for (input, golden) in live_inputs.iter().zip(goldens.iter()) {
@@ -279,6 +292,21 @@ pub fn collect_training_data_with(
             return Err(OpproxError::InsufficientData(
                 "every training sample was dropped by degraded-mode collection".into(),
             ));
+        }
+        // Per-phase measured speedup ceilings: an order-independent fact
+        // the A016 lint compares against the optimizer's predictions.
+        for phase in 0..plan.num_phases {
+            let max_speedup = data
+                .records
+                .iter()
+                .filter(|r| r.phase == Some(phase))
+                .map(|r| r.speedup)
+                .fold(0.0, f64::max);
+            if max_speedup > 0.0 {
+                engine
+                    .telemetry()
+                    .set_gauge(&format!("profile.phase[{phase}].max_speedup"), max_speedup);
+            }
         }
         Ok(data)
     })

@@ -1,0 +1,140 @@
+//! Golden-file guards for the telemetry exporters.
+//!
+//! `opprox trace summarize` prints [`TelemetryReport::render_text`] and
+//! external viewers load [`TelemetryReport::to_chrome_trace`]; both are
+//! stable interfaces. This suite pins the text summary's rendered bytes
+//! against `tests/golden/trace_summary.txt` (mirroring the analyze
+//! crate's golden diagnostics test) and checks the Chrome export against
+//! the trace-event schema viewers require. If either format must change,
+//! update the golden file in the same commit and call it out in the
+//! changelog.
+
+use opprox_core::{ManualClock, Telemetry, TelemetryReport};
+use serde_json::value::Value;
+use std::sync::Arc;
+
+/// A fixed report exercising every section of the summary: nested and
+/// repeated spans, aggregate and per-key counters, gauges, a histogram
+/// with out-of-range observations, and structured events.
+fn fixed_report() -> TelemetryReport {
+    let clock = Arc::new(ManualClock::new());
+    let tele = Telemetry::with_clock(clock.clone());
+    tele.span("stage/train", || {
+        tele.span("profiling/goldens", || clock.advance_micros(40));
+        tele.span("profiling/samples", || clock.advance_micros(80));
+    });
+    tele.span("stage/optimize", || clock.advance_micros(15));
+    tele.add("eval.exec", 6);
+    tele.add("eval.cache.hit", 9);
+    tele.incr("eval.golden.exec");
+    tele.incr("eval.golden.exec[0x00000000deadbeef]");
+    tele.set_gauge("eval.queue_depth", 0.0);
+    tele.set_gauge("profile.phase[0].max_speedup", 1.8);
+    let bounds = [1.0, 2.0, 4.0, 8.0];
+    for v in [0.5, 1.5, 3.0, 3.5, 9.0] {
+        tele.observe("ml.cv_solves_per_degree", &bounds, v);
+    }
+    tele.event(
+        "optimize.phase",
+        &[
+            ("solve", 0.0),
+            ("step", 0.0),
+            ("phase", 1.0),
+            ("roi", 2.5),
+            ("allocated", 5.0),
+            ("leftover_in", 0.0),
+            ("leftover_out", 1.5),
+        ],
+    );
+    tele.event("optimize.plan", &[("predicted_speedup", 1.4)]);
+    tele.report()
+}
+
+#[test]
+fn text_summary_matches_golden_file() {
+    let golden = include_str!("golden/trace_summary.txt");
+    let rendered = fixed_report().render_text();
+    assert_eq!(
+        rendered, golden,
+        "the `trace summarize` text format is a stable interface; if this \
+         change is intentional, regenerate tests/golden/trace_summary.txt"
+    );
+}
+
+/// Regenerates the golden file after an intentional format change:
+/// `cargo test -p opprox-core --test telemetry_export -- --ignored regenerate`
+#[test]
+#[ignore = "writes the golden file; run explicitly after format changes"]
+fn regenerate_golden() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/trace_summary.txt"
+    );
+    std::fs::write(path, fixed_report().render_text()).unwrap();
+}
+
+#[test]
+fn golden_file_covers_every_summary_section() {
+    let golden = include_str!("golden/trace_summary.txt");
+    assert!(golden.starts_with("telemetry summary\n=================\n"));
+    for section in [
+        "spans (count / total micros):",
+        "counters:",
+        "gauges (last / max):",
+        "histograms:",
+        "events: 2 recorded",
+    ] {
+        assert!(golden.contains(section), "golden file lost `{section}`");
+    }
+}
+
+fn field<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Chrome's trace-event importer (and speedscope, perfetto) require the
+/// keys asserted here; a missing one makes the whole file unloadable.
+#[test]
+fn chrome_trace_satisfies_the_trace_event_schema() {
+    let report = fixed_report();
+    let parsed = serde_json::parse_value(&report.to_chrome_trace()).expect("valid JSON");
+    let Value::Array(events) = parsed else {
+        panic!("chrome trace must be a JSON array of trace events");
+    };
+    // One complete event per timeline record, one counter sample per
+    // counter — nothing dropped, nothing invented.
+    assert_eq!(
+        events.len(),
+        report.timeline.len() + report.counters.len(),
+        "unexpected trace-event count"
+    );
+    let mut complete = 0;
+    let mut samples = 0;
+    for (i, event) in events.iter().enumerate() {
+        let obj = event.as_object().unwrap_or_else(|| {
+            panic!("trace event {i} is not a JSON object");
+        });
+        for key in ["name", "cat", "ph", "ts", "pid", "tid"] {
+            assert!(field(obj, key).is_some(), "trace event {i} lacks `{key}`");
+        }
+        assert_eq!(field(obj, "cat").unwrap().as_str(), Some("opprox"));
+        assert!(field(obj, "ts").unwrap().as_u64().is_some());
+        match field(obj, "ph").unwrap().as_str() {
+            Some("X") => {
+                complete += 1;
+                let dur = field(obj, "dur").expect("complete events carry `dur`");
+                assert!(dur.as_u64().is_some());
+            }
+            Some("C") => {
+                samples += 1;
+                let args = field(obj, "args")
+                    .and_then(Value::as_object)
+                    .expect("counter samples carry `args`");
+                assert!(field(args, "value").unwrap().as_u64().is_some());
+            }
+            other => panic!("trace event {i} has unexpected phase {other:?}"),
+        }
+    }
+    assert_eq!(complete, report.timeline.len());
+    assert_eq!(samples, report.counters.len());
+}

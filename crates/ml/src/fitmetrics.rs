@@ -6,6 +6,11 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Highest polynomial degree tracked individually by
+/// [`FitCounters::cv_solves_by_degree`]; solves at higher degrees fold
+/// into the last bucket.
+pub const MAX_TRACKED_DEGREE: usize = 8;
+
 /// Shared counters accumulated while fitting [`crate::model_select::TargetModel`]s.
 ///
 /// One instance is typically shared (by reference) across every concurrent
@@ -15,6 +20,7 @@ pub struct FitCounters {
     fits: AtomicU64,
     cv_solves: AtomicU64,
     degrees_tried: AtomicU64,
+    cv_solves_per_degree: [AtomicU64; MAX_TRACKED_DEGREE + 1],
 }
 
 impl FitCounters {
@@ -31,6 +37,14 @@ impl FitCounters {
     /// Records `n` cross-validation linear-system solves.
     pub fn record_cv_solves(&self, n: u64) {
         self.cv_solves.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` cross-validation solves attributed to a specific
+    /// polynomial degree (also counted in the [`FitCounters::cv_solves`]
+    /// total). Degrees above [`MAX_TRACKED_DEGREE`] share the last bucket.
+    pub fn record_cv_solves_at(&self, degree: usize, n: u64) {
+        self.record_cv_solves(n);
+        self.cv_solves_per_degree[degree.min(MAX_TRACKED_DEGREE)].fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records one polynomial degree evaluated during escalation.
@@ -52,6 +66,17 @@ impl FitCounters {
     pub fn degrees_tried(&self) -> u64 {
         self.degrees_tried.load(Ordering::Relaxed)
     }
+
+    /// Cross-validation solves per polynomial degree
+    /// (`0..=MAX_TRACKED_DEGREE`; the last entry also holds any higher
+    /// degrees). Only solves recorded via
+    /// [`FitCounters::record_cv_solves_at`] are attributed.
+    pub fn cv_solves_by_degree(&self) -> Vec<u64> {
+        self.cv_solves_per_degree
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -68,6 +93,20 @@ mod tests {
         assert_eq!(c.fits(), 2);
         assert_eq!(c.cv_solves(), 11);
         assert_eq!(c.degrees_tried(), 1);
+    }
+
+    #[test]
+    fn per_degree_solves_feed_the_total_and_clamp_high_degrees() {
+        let c = FitCounters::new();
+        c.record_cv_solves_at(1, 5);
+        c.record_cv_solves_at(3, 2);
+        c.record_cv_solves_at(MAX_TRACKED_DEGREE + 7, 4);
+        assert_eq!(c.cv_solves(), 11);
+        let by_degree = c.cv_solves_by_degree();
+        assert_eq!(by_degree.len(), MAX_TRACKED_DEGREE + 1);
+        assert_eq!(by_degree[1], 5);
+        assert_eq!(by_degree[3], 2);
+        assert_eq!(by_degree[MAX_TRACKED_DEGREE], 4);
     }
 
     #[test]

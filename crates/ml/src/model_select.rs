@@ -545,7 +545,7 @@ fn fit_best_degree(
             config.seed,
             DEFAULT_RIDGE,
         )?;
-        counters.record_cv_solves(cv.solves);
+        counters.record_cv_solves_at(degree, cv.solves);
         let cv_r2 = cv.mean_r2;
         let improved = best.as_ref().is_none_or(|(_, r)| cv_r2 > *r);
         if improved {

@@ -18,6 +18,8 @@
 //!   [`RecoveryPolicy`](opprox_core::RecoveryPolicy) into an evaluation
 //!   engine, fixture apps that stall or misbehave on demand, and the
 //!   panic-noise filter for suites that inject worker panics.
+//! * [`trace`] — a [`ManualClock`](opprox_core::ManualClock)-driven
+//!   telemetry capture plus the query helpers trace-driven suites share.
 //!
 //! The crate is a **dev-dependency only**: production crates must not
 //! link it.
@@ -29,3 +31,4 @@ pub mod chaos;
 pub mod fixtures;
 pub mod json;
 pub mod rng;
+pub mod trace;

@@ -1,0 +1,157 @@
+//! Deterministic telemetry capture for trace-driven tests.
+//!
+//! [`TraceCapture`] owns a [`ManualClock`] and builds evaluation engines
+//! whose telemetry is timed by it, so span durations — and therefore the
+//! JSON export — are exactly reproducible: no wall clock ever leaks into
+//! a captured trace. The module also carries the query helpers the
+//! trace-driven suites share: per-key counter extraction and grouping of
+//! `optimize.phase` events into their Algorithm-2 solves.
+
+use crate::chaos::ChaosScenario;
+use opprox_core::evaluator::EvalEngine;
+use opprox_core::{ManualClock, TelemetryReport};
+use std::sync::Arc;
+
+/// A manual clock plus engine builders wired to it.
+///
+/// # Example
+///
+/// ```
+/// use opprox_testutil::trace::TraceCapture;
+///
+/// let capture = TraceCapture::new();
+/// let engine = capture.engine(2);
+/// capture.clock().advance_micros(10);
+/// let report = engine.telemetry_report();
+/// assert!(report.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceCapture {
+    clock: Arc<ManualClock>,
+}
+
+impl TraceCapture {
+    /// A capture whose clock starts at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared manual clock; advance it to give spans nonzero
+    /// durations.
+    pub fn clock(&self) -> &Arc<ManualClock> {
+        &self.clock
+    }
+
+    /// A clean engine with `threads` workers, its telemetry timed by
+    /// [`TraceCapture::clock`].
+    pub fn engine(&self, threads: usize) -> EvalEngine {
+        EvalEngine::new(threads).with_telemetry_clock(self.clock.clone())
+    }
+
+    /// A fault-injecting engine built from `scenario`, its telemetry
+    /// timed by [`TraceCapture::clock`].
+    pub fn chaos_engine(&self, scenario: &ChaosScenario) -> EvalEngine {
+        scenario.engine().with_telemetry_clock(self.clock.clone())
+    }
+}
+
+/// The `(key, value)` pairs of every per-key counter under `prefix` —
+/// e.g. `per_key_counters(&report, "eval.golden.exec[")` yields one
+/// entry per distinct golden cache key.
+pub fn per_key_counters(report: &TelemetryReport, prefix: &str) -> Vec<(String, u64)> {
+    report
+        .counters_with_prefix(prefix)
+        .into_iter()
+        .map(|c| (c.name.clone(), c.value))
+        .collect()
+}
+
+/// Groups the report's `optimize.phase` events by their `solve` field,
+/// in solve order; within each solve the events keep emission (= step)
+/// order. Events without a `solve` field are skipped.
+pub fn optimize_solves(report: &TelemetryReport) -> Vec<Vec<OptimizePhaseEvent>> {
+    let mut solves: Vec<Vec<OptimizePhaseEvent>> = Vec::new();
+    for event in report.events_named("optimize.phase") {
+        let Some(solve) = event.field("solve") else {
+            continue;
+        };
+        let parsed = OptimizePhaseEvent {
+            solve: solve as usize,
+            step: event.field("step").unwrap_or(f64::NAN) as usize,
+            phase: event.field("phase").unwrap_or(f64::NAN) as usize,
+            roi: event.field("roi").unwrap_or(f64::NAN),
+            allocated: event.field("allocated").unwrap_or(f64::NAN),
+            leftover_in: event.field("leftover_in").unwrap_or(f64::NAN),
+            leftover_out: event.field("leftover_out").unwrap_or(f64::NAN),
+        };
+        if solves.len() <= parsed.solve {
+            solves.resize_with(parsed.solve + 1, Vec::new);
+        }
+        solves[parsed.solve].push(parsed);
+    }
+    solves
+}
+
+/// One `optimize.phase` event, decoded from its numeric fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizePhaseEvent {
+    /// Which Algorithm-2 solve this step belongs to (0-based).
+    pub solve: usize,
+    /// Position in the decreasing-ROI visit order.
+    pub step: usize,
+    /// The phase visited at this step.
+    pub phase: usize,
+    /// The phase's ROI at solve time.
+    pub roi: f64,
+    /// Budget allocated to the phase (its proportional share plus any
+    /// rolled-over leftover).
+    pub allocated: f64,
+    /// Leftover budget carried into this step.
+    pub leftover_in: f64,
+    /// Leftover budget carried out of this step.
+    pub leftover_out: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opprox_core::Telemetry;
+
+    #[test]
+    fn solves_group_in_step_order() {
+        let t = Telemetry::new();
+        for (solve, step, phase) in [(0, 0, 1), (0, 1, 0), (1, 0, 1)] {
+            t.event(
+                "optimize.phase",
+                &[
+                    ("solve", f64::from(solve)),
+                    ("step", f64::from(step)),
+                    ("phase", f64::from(phase)),
+                    ("roi", 2.0),
+                    ("allocated", 1.0),
+                    ("leftover_in", 0.0),
+                    ("leftover_out", 0.0),
+                ],
+            );
+        }
+        let solves = optimize_solves(&t.report());
+        assert_eq!(solves.len(), 2);
+        assert_eq!(solves[0].len(), 2);
+        assert_eq!(solves[0][1].step, 1);
+        assert_eq!(solves[1][0].phase, 1);
+    }
+
+    #[test]
+    fn captured_engines_share_the_manual_clock() {
+        let capture = TraceCapture::new();
+        let engine = capture.engine(1);
+        capture.clock().advance_micros(25);
+        let t = engine.telemetry();
+        let out = t.span("stage/test", || 7);
+        assert_eq!(out, 7);
+        let report = engine.telemetry_report();
+        // The span opened and closed at the same manual instant.
+        assert_eq!(report.span("stage/test").unwrap().total_micros, 0);
+        assert_eq!(report.timeline[0].start_micros, 25);
+    }
+}

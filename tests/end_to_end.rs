@@ -3,6 +3,7 @@
 //! fast.
 
 use opprox::approx_rt::InputParams;
+use opprox::core::evaluator::EvalEngine;
 use opprox::core::pipeline::Opprox;
 use opprox::core::request::OptimizeRequest;
 use opprox::core::AccuracySpec;
@@ -54,6 +55,36 @@ fn zero_budget_always_yields_accurate_execution() {
     );
     assert_eq!(outcome.speedup, 1.0);
     assert_eq!(outcome.qos, 0.0);
+}
+
+/// The suite long asserted speedups but never evaluation counts: a
+/// cache regression that re-executed every repeated configuration would
+/// have passed unnoticed. The telemetry counters close that gap.
+#[test]
+fn pipeline_reuses_the_cache_instead_of_reexecuting() {
+    let app = opprox_apps::Pso::new();
+    let engine = EvalEngine::new(2);
+    let trained = Opprox::train_with(&engine, &app, &fast_options(2)).expect("training");
+    OptimizeRequest::new(prod_input("PSO"), AccuracySpec::new(10.0))
+        .validate_on(&app)
+        .engine(&engine)
+        .run(&trained)
+        .expect("validated optimization");
+
+    let report = engine.telemetry_report();
+    let metrics = engine.metrics();
+    // The counters agree with the engine's own ledger...
+    assert_eq!(report.counter("eval.exec"), metrics.executions);
+    assert_eq!(report.counter("eval.cache.hit"), metrics.cache_hits);
+    // ...the self-check re-requests and validation replays actually hit...
+    assert!(metrics.cache_hits > 0, "whole pipeline produced no hits");
+    // ...and no configuration was ever executed twice: the sum of the
+    // per-key counters accounts for every execution, each exactly once.
+    let per_key = opprox_testutil::trace::per_key_counters(&report, "eval.exec[");
+    assert_eq!(per_key.len() as u64, metrics.executions);
+    for (key, count) in per_key {
+        assert_eq!(count, 1, "{key} executed {count} times");
+    }
 }
 
 #[test]
