@@ -153,6 +153,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "execution cache hit rate is zero across a non-trivial run",
     },
     RuleInfo {
+        code: "A018",
+        severity: Severity::Warn,
+        kind: RuleKind::Lint,
+        summary: "server trace records admission-control events but zero shed responses",
+    },
+    RuleInfo {
         code: "C001",
         severity: Severity::Error,
         kind: RuleKind::ModelCheck,
@@ -216,6 +222,7 @@ pub fn run_all(set: &ArtifactSet, report: &mut Report) {
     lint_robustness_consistency(set, report);
     lint_phase_speedup_consistency(set, report);
     lint_cache_hit_rate(set, report);
+    lint_admission_control_ledger(set, report);
     report.sort();
 }
 
@@ -750,6 +757,40 @@ fn lint_cache_hit_rate(set: &ArtifactSet, report: &mut Report) {
     }
 }
 
+/// A018 — `opprox serve` writes one `serve.admission` event per request
+/// batch in which load was shed, carrying the shed count, and bumps the
+/// `serve.shed` counter once per shed response. Events with a zero
+/// counter mean the two halves of the admission ledger disagree: shed
+/// responses were recorded as events but never sent (or the counter
+/// wiring broke), so clients saw timeouts instead of `overloaded`
+/// frames. Needs a telemetry report; non-server traces have no
+/// `serve.admission` events and silently pass.
+fn lint_admission_control_ledger(set: &ArtifactSet, report: &mut Report) {
+    let Some(tele) = &set.telemetry else {
+        return;
+    };
+    let events = tele.events_named("serve.admission");
+    if events.is_empty() {
+        return;
+    }
+    let event_shed: f64 = events.iter().map(|e| e.field("shed").unwrap_or(0.0)).sum();
+    let counter_shed = tele.counter("serve.shed");
+    if event_shed > 0.0 && counter_shed == 0 {
+        diag(
+            report,
+            "A018",
+            "telemetry.counter[serve.shed]".into(),
+            format!(
+                "{} admission-control event(s) record {event_shed:.0} shed \
+                 request(s) but the serve.shed counter is zero; the \
+                 admission ledger's two halves disagree — shed responses \
+                 were never delivered or the counter wiring broke",
+                events.len()
+            ),
+        );
+    }
+}
+
 /// A `BlockDescriptor` list formatted for messages (used by callers
 /// building context lines).
 pub fn describe_blocks(blocks: &[BlockDescriptor]) -> String {
@@ -852,6 +893,53 @@ mod tests {
             "optimize.phase",
             &[("phase", 3.0), ("predicted_speedup", 99.0)],
         );
+        let set = ArtifactSet {
+            telemetry: Some(t.report()),
+            ..ArtifactSet::default()
+        };
+        let mut report = crate::Report::new();
+        run_all(&set, &mut report);
+        assert_eq!(report.diagnostics().len(), 0, "{:?}", report.diagnostics());
+    }
+
+    #[test]
+    fn admission_ledger_lint_fires_only_on_disagreement() {
+        use opprox_core::Telemetry;
+
+        // Consistent server trace: shed events with a matching counter.
+        let t = Telemetry::new();
+        t.event(
+            "serve.admission",
+            &[("shed", 2.0), ("queue_limit", 4.0), ("queue_depth", 4.0)],
+        );
+        t.incr("serve.shed");
+        t.incr("serve.shed");
+        let set = ArtifactSet {
+            telemetry: Some(t.report()),
+            ..ArtifactSet::default()
+        };
+        let mut report = crate::Report::new();
+        run_all(&set, &mut report);
+        assert_eq!(report.diagnostics().len(), 0, "{:?}", report.diagnostics());
+
+        // Broken: events claim sheds, counter never moved.
+        let t = Telemetry::new();
+        t.event(
+            "serve.admission",
+            &[("shed", 3.0), ("queue_limit", 4.0), ("queue_depth", 4.0)],
+        );
+        let set = ArtifactSet {
+            telemetry: Some(t.report()),
+            ..ArtifactSet::default()
+        };
+        let mut report = crate::Report::new();
+        run_all(&set, &mut report);
+        let codes: Vec<&str> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["A018"], "{:?}", report.diagnostics());
+
+        // A non-server trace has no admission events: silent.
+        let t = Telemetry::new();
+        t.incr("eval.exec");
         let set = ArtifactSet {
             telemetry: Some(t.report()),
             ..ArtifactSet::default()

@@ -1,0 +1,129 @@
+//! Serving-layer benchmark: per-request latency (p50/p99) and aggregate
+//! throughput of `opprox serve` over real TCP connections, across worker
+//! thread counts. Committed baselines live in `BENCH_serve.json` at the
+//! workspace root.
+
+use opprox_bench::TextTable;
+use opprox_core::api::{ApiRequest, OptimizeParams, PredictParams};
+use opprox_core::pipeline::TrainedOpprox;
+use opprox_core::pipeline::{Opprox, TrainingOptions};
+use opprox_core::sampling::SamplingPlan;
+use opprox_core::serve::{ServeOptions, ServeState, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 100;
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn train_pso() -> TrainedOpprox {
+    let options = TrainingOptions {
+        num_phases: Some(2),
+        sampling: SamplingPlan {
+            num_phases: 2,
+            sparse_samples: 8,
+            whole_run_samples: 0,
+            seed: 5,
+        },
+        ..TrainingOptions::default()
+    };
+    Opprox::train(&opprox_apps::Pso::new(), &options).expect("train PSO")
+}
+
+/// The request mix one client sends: mostly predict frames over a small
+/// rotating input set, with an optimize frame every eighth request (the
+/// repeats exercise the plan cache exactly as a production client would).
+fn request_wire(i: usize) -> String {
+    let input = vec![16.0 + (i % 4) as f64, 3.0];
+    if i % 8 == 7 {
+        ApiRequest::Optimize(OptimizeParams::new("pso", input, 10.0)).to_wire()
+    } else {
+        ApiRequest::Predict(PredictParams {
+            app: "pso".to_string(),
+            input,
+            phase: (i % 2) as u64,
+            configs: vec![vec![0, 0, 0], vec![1, 2, 1], vec![3, 3, 3]],
+        })
+        .to_wire()
+    }
+}
+
+/// Sends the whole request schedule over one connection, returning one
+/// latency sample per request.
+fn run_client(addr: &str) -> Vec<Duration> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("set TCP_NODELAY");
+    let mut writer = stream.try_clone().expect("clone socket");
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
+    let mut reply = String::new();
+    for i in 0..REQUESTS_PER_CLIENT {
+        let mut frame = request_wire(i);
+        frame.push('\n');
+        let start = Instant::now();
+        writer.write_all(frame.as_bytes()).expect("send");
+        writer.flush().expect("flush");
+        reply.clear();
+        reader.read_line(&mut reply).expect("reply");
+        assert!(reply.contains("\"status\":\"ok\""), "error frame: {reply}");
+        latencies.push(start.elapsed());
+    }
+    latencies
+}
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    println!("serve latency/throughput — {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests\n");
+    let trained = train_pso();
+
+    let mut table = TextTable::new(vec![
+        "threads".into(),
+        "p50 (us)".into(),
+        "p99 (us)".into(),
+        "throughput (req/s)".into(),
+    ]);
+
+    for threads in THREAD_COUNTS {
+        let state = Arc::new(ServeState::new(ServeOptions {
+            threads,
+            ..ServeOptions::default()
+        }));
+        state.install(trained.clone(), None);
+        let server = Server::start(Arc::clone(&state)).expect("start server");
+        let addr = server.addr().to_string();
+
+        // Warm-up: populate the plan cache and fault in every code path.
+        run_client(&addr);
+
+        let wall = Instant::now();
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || run_client(&addr))
+            })
+            .collect();
+        let mut latencies: Vec<Duration> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client"))
+            .collect();
+        let elapsed = wall.elapsed();
+        latencies.sort_unstable();
+
+        let total = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
+        table.add_row(vec![
+            threads.to_string(),
+            format!("{:.1}", quantile(&latencies, 0.50).as_secs_f64() * 1e6),
+            format!("{:.1}", quantile(&latencies, 0.99).as_secs_f64() * 1e6),
+            format!("{:.0}", total / elapsed.as_secs_f64()),
+        ]);
+        drop(server);
+    }
+
+    println!("{}", table.render());
+}

@@ -136,6 +136,57 @@ pub enum Command {
         /// Telemetry export (`--trace-out`, `--trace-format`).
         trace: TraceSpec,
     },
+    /// Long-running optimization service speaking the v1 wire protocol
+    /// (line-delimited JSON over TCP).
+    Serve {
+        /// Paths of the trained-model artifacts to load (comma-separated
+        /// in `--model`); each is hot-reloaded on file change.
+        models: Vec<String>,
+        /// Bind address (`host:port`; port 0 picks a free port).
+        addr: String,
+        /// File the bound address is written to once listening
+        /// (`--addr-file`), so scripts can use `--addr 127.0.0.1:0`.
+        addr_file: Option<String>,
+        /// Worker threads for the request pool (`None` = all cores).
+        threads: Option<usize>,
+        /// Admission bound of the request queue (`--queue-limit`).
+        queue_limit: usize,
+        /// Largest request batch handed to the pool (`--batch-max`).
+        batch_max: usize,
+        /// Artifact mtime poll interval (`--reload-poll-ms`).
+        reload_poll_ms: u64,
+        /// Telemetry export at shutdown (`--trace-out`, `--trace-format`).
+        trace: TraceSpec,
+    },
+    /// One-shot wire client for smoke queries against a running server.
+    Client {
+        /// Server address (`host:port`).
+        addr: String,
+        /// Which request to send.
+        op: ClientOp,
+        /// Application name (optimize/predict).
+        app: Option<String>,
+        /// Input parameter values (optimize/predict).
+        input: Option<Vec<f64>>,
+        /// QoS-degradation budget (optimize).
+        budget: Option<f64>,
+        /// Phase index (predict).
+        phase: u64,
+        /// Semicolon-separated level rows, e.g. `0,0,0;1,2,1` (predict).
+        configs: Option<String>,
+        /// Point-estimate conservatism (`--point true`).
+        point: bool,
+        /// Empirical validation on the server (`--validate true`).
+        validate: bool,
+        /// Cap on validation executions (`--validations`).
+        validations: Option<u64>,
+        /// Per-request retry cap (`--max-retries`).
+        max_retries: Option<u64>,
+        /// Per-request retry backoff base (`--backoff-ms`).
+        backoff_ms: Option<u64>,
+        /// Per-request evaluation timeout (`--eval-timeout-ms`).
+        eval_timeout_ms: Option<u64>,
+    },
     /// Summarize a previously captured telemetry trace
     /// (`opprox trace summarize FILE`).
     Trace {
@@ -167,6 +218,21 @@ pub enum TraceFormat {
     Chrome,
     /// The human-readable summary text.
     Text,
+}
+
+/// The request kind `opprox client` sends (`--op`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientOp {
+    /// `health` frame: liveness, loaded apps, queue depth.
+    Health,
+    /// `metrics` frame: the server's telemetry report.
+    Metrics,
+    /// `optimize` frame.
+    Optimize,
+    /// `predict` frame.
+    Predict,
+    /// `shutdown` frame: clean server stop.
+    Shutdown,
 }
 
 /// How `opprox analyze` renders its report.
@@ -260,9 +326,44 @@ const COMMANDS: &[(&str, &[&str])] = &[
             "trace-format",
         ],
     ),
+    (
+        "serve",
+        &[
+            "model",
+            "addr",
+            "addr-file",
+            "threads",
+            "queue-limit",
+            "batch-max",
+            "reload-poll-ms",
+            "trace-out",
+            "trace-format",
+        ],
+    ),
+    (
+        "client",
+        &[
+            "addr",
+            "op",
+            "app",
+            "input",
+            "budget",
+            "phase",
+            "configs",
+            "point",
+            "validate",
+            "validations",
+            "max-retries",
+            "backoff-ms",
+            "eval-timeout-ms",
+        ],
+    ),
     ("trace", &[]),
     ("help", &[]),
 ];
+
+/// Default address `opprox serve` binds and `opprox client` dials.
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7427";
 
 /// Errors from argument parsing and flag extraction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -503,6 +604,42 @@ impl RawArgs {
                 recovery: self.recovery()?,
                 trace: self.trace_spec()?,
             },
+            "serve" => Command::Serve {
+                models: self
+                    .require("model")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect(),
+                addr: self.get("addr").unwrap_or(DEFAULT_SERVE_ADDR).to_string(),
+                addr_file: self.get("addr-file").map(str::to_string),
+                threads: self.threads()?,
+                queue_limit: self.usize_or("queue-limit", 64)?,
+                batch_max: self.usize_or("batch-max", 8)?,
+                reload_poll_ms: self.u64_or("reload-poll-ms", 200)?,
+                trace: self.trace_spec()?,
+            },
+            "client" => Command::Client {
+                addr: self.get("addr").unwrap_or(DEFAULT_SERVE_ADDR).to_string(),
+                op: self.client_op()?,
+                app: self.get("app").map(str::to_string),
+                input: match self.get("input") {
+                    Some(_) => Some(self.require_input("input")?),
+                    None => None,
+                },
+                budget: match self.get("budget") {
+                    Some(_) => Some(self.require_f64("budget")?),
+                    None => None,
+                },
+                phase: self.u64_or("phase", 0)?,
+                configs: self.get("configs").map(str::to_string),
+                point: self.bool_or("point", false)?,
+                validate: self.bool_or("validate", false)?,
+                validations: self.opt_u64("validations")?,
+                max_retries: self.opt_u64("max-retries")?,
+                backoff_ms: self.opt_u64("backoff-ms")?,
+                eval_timeout_ms: self.opt_u64("eval-timeout-ms")?,
+            },
             "trace" => match self.positionals.as_slice() {
                 [verb, file] if verb == "summarize" => Command::Trace { file: file.clone() },
                 _ => return Err(ArgError::BadTraceUsage),
@@ -547,6 +684,46 @@ impl RawArgs {
                 flag: flag.to_string(),
                 value: raw.to_string(),
                 expected: "a non-negative integer",
+            }),
+        }
+    }
+
+    fn opt_u64(&self, flag: &str) -> Result<Option<u64>, ArgError> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+                expected: "a non-negative integer",
+            }),
+        }
+    }
+
+    fn bool_or(&self, flag: &str, default: bool) -> Result<bool, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some("true") => Ok(true),
+            Some("false") => Ok(false),
+            Some(raw) => Err(ArgError::BadValue {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+                expected: "true or false",
+            }),
+        }
+    }
+
+    /// `--op health|metrics|optimize|predict|shutdown` (required).
+    fn client_op(&self) -> Result<ClientOp, ArgError> {
+        match self.require("op")? {
+            "health" => Ok(ClientOp::Health),
+            "metrics" => Ok(ClientOp::Metrics),
+            "optimize" => Ok(ClientOp::Optimize),
+            "predict" => Ok(ClientOp::Predict),
+            "shutdown" => Ok(ClientOp::Shutdown),
+            raw => Err(ArgError::BadValue {
+                flag: "op".to_string(),
+                value: raw.to_string(),
+                expected: "health, metrics, optimize, predict, or shutdown",
             }),
         }
     }

@@ -10,9 +10,10 @@
 //! [`EvalMetrics`] (executions, cache hits, per-stage wall time) are
 //! printed at the end.
 
-use crate::args::{Command, OutputFormat, TraceFormat, TraceSpec};
+use crate::args::{ClientOp, Command, OutputFormat, TraceFormat, TraceSpec};
 use opprox_analyze::{Artifact, ArtifactSet};
 use opprox_approx_rt::{ApproxApp, InputParams};
+use opprox_core::api::{ApiRequest, ApiResponse, OptimizeParams, PredictParams};
 use opprox_core::evaluator::{EvalEngine, EvalMetrics};
 use opprox_core::oracle::phase_agnostic_oracle_with;
 use opprox_core::phases::{find_phase_granularity_with, PhaseSearchOptions};
@@ -20,6 +21,8 @@ use opprox_core::pipeline::{Opprox, TrainedOpprox, TrainingOptions};
 use opprox_core::report::percent_less_work;
 use opprox_core::request::OptimizeRequest;
 use opprox_core::sampling::SamplingPlan;
+use opprox_core::serve::{ServeOptions, ServeState, Server};
+use opprox_core::OpproxError;
 use opprox_core::{AccuracySpec, FaultPlan, RecoveryPolicy, TelemetryReport};
 use std::error::Error;
 
@@ -130,6 +133,58 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             trace,
             out,
         ),
+        Command::Serve {
+            models,
+            addr,
+            addr_file,
+            threads,
+            queue_limit,
+            batch_max,
+            reload_poll_ms,
+            trace,
+        } => cmd_serve(
+            models,
+            addr,
+            addr_file.as_deref(),
+            *threads,
+            *queue_limit,
+            *batch_max,
+            *reload_poll_ms,
+            trace,
+            out,
+        ),
+        Command::Client {
+            addr,
+            op,
+            app,
+            input,
+            budget,
+            phase,
+            configs,
+            point,
+            validate,
+            validations,
+            max_retries,
+            backoff_ms,
+            eval_timeout_ms,
+        } => cmd_client(
+            addr,
+            *op,
+            &ClientRequest {
+                app: app.clone(),
+                input: input.clone(),
+                budget: *budget,
+                phase: *phase,
+                configs: configs.clone(),
+                point: *point,
+                validate: *validate,
+                validations: *validations,
+                max_retries: *max_retries,
+                backoff_ms: *backoff_ms,
+                eval_timeout_ms: *eval_timeout_ms,
+            },
+            out,
+        ),
         Command::Trace { file } => cmd_trace_summarize(file, out),
         Command::Help => cmd_help(out),
     }
@@ -171,6 +226,17 @@ pub fn cmd_help(out: &mut dyn std::io::Write) -> CmdResult {
          \x20          [--fault-plan P] [--max-retries R] [--eval-timeout-ms MS]\n\
          \x20 trace    summarize FILE                  render the human summary of a JSON\n\
          \x20                                          telemetry trace (--trace-out)\n\
+         \x20 serve    --model FILE[,FILE...]          serve optimize/predict/health over the\n\
+         \x20          [--addr H:P] [--addr-file F]    v1 line-delimited JSON wire protocol;\n\
+         \x20          [--threads T] [--queue-limit Q] hot-reloads artifacts on file change,\n\
+         \x20          [--batch-max B]                 sheds load past --queue-limit\n\
+         \x20          [--reload-poll-ms MS]\n\
+         \x20 client   --op health|metrics|optimize|predict|shutdown\n\
+         \x20          [--addr H:P] [--app A] [--input I] [--budget B]\n\
+         \x20          [--phase P] [--configs 0,0,0;1,2,1] [--point true]\n\
+         \x20          [--validate true] [--validations V] [--max-retries R]\n\
+         \x20          [--backoff-ms MS] [--eval-timeout-ms MS]\n\
+         \x20                                          send one wire request, print the reply\n\
          \n\
          Inputs are comma-separated parameter values, e.g. --input 64,2 for\n\
          LULESH (mesh_length, num_regions). --threads bounds the evaluation\n\
@@ -196,7 +262,10 @@ fn lookup_app(name: &str) -> Result<Box<dyn ApproxApp>, Box<dyn Error>> {
             .iter()
             .map(|a| a.meta().name.clone())
             .collect();
-        format!("unknown app `{name}`; available: {}", names.join(", ")).into()
+        Box::new(OpproxError::UnknownApp {
+            given: name.to_string(),
+            available: names.join(", "),
+        }) as Box<dyn Error>
     })
 }
 
@@ -268,6 +337,183 @@ fn cmd_trace_summarize(file: &str, out: &mut dyn std::io::Write) -> CmdResult {
     })?;
     write!(out, "{}", report.render_text())?;
     Ok(())
+}
+
+/// Starts the optimization service: loads every artifact, binds the
+/// listener, and blocks until a `shutdown` frame (or process signal)
+/// ends it. The server's telemetry report is exported to `--trace-out`
+/// on the way out, so a serving session can be linted with
+/// `opprox analyze` like any other run.
+#[allow(clippy::too_many_arguments)]
+fn cmd_serve(
+    models: &[String],
+    addr: &str,
+    addr_file: Option<&str>,
+    threads: Option<usize>,
+    queue_limit: usize,
+    batch_max: usize,
+    reload_poll_ms: u64,
+    trace: &TraceSpec,
+    out: &mut dyn std::io::Write,
+) -> CmdResult {
+    let options = ServeOptions {
+        addr: addr.to_string(),
+        threads: threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }),
+        queue_limit,
+        batch_max,
+        reload_poll_ms,
+        ..ServeOptions::default()
+    };
+    let state = std::sync::Arc::new(ServeState::new(options));
+    for path in models {
+        let app = state.load_artifact(path)?;
+        writeln!(out, "loaded `{app}` from {path}")?;
+    }
+    let server =
+        Server::start(std::sync::Arc::clone(&state)).map_err(|e| format!("binding {addr}: {e}"))?;
+    writeln!(
+        out,
+        "listening on {} ({} threads)",
+        server.addr(),
+        state.options().threads
+    )?;
+    if let Some(file) = addr_file {
+        std::fs::write(file, server.addr().to_string())
+            .map_err(|e| format!("writing {file}: {e}"))?;
+    }
+    out.flush()?;
+    server.run_until_shutdown();
+    write_trace(trace, &state.telemetry().report(), out)?;
+    writeln!(out, "shutdown complete")?;
+    Ok(())
+}
+
+/// The optimize/predict parameters of one `opprox client` invocation,
+/// bundled so `cmd_client` stays below the argument-count lint.
+struct ClientRequest {
+    app: Option<String>,
+    input: Option<Vec<f64>>,
+    budget: Option<f64>,
+    phase: u64,
+    configs: Option<String>,
+    point: bool,
+    validate: bool,
+    validations: Option<u64>,
+    max_retries: Option<u64>,
+    backoff_ms: Option<u64>,
+    eval_timeout_ms: Option<u64>,
+}
+
+impl ClientRequest {
+    /// Builds the wire request for `op`, reporting missing or malformed
+    /// flags through the same [`OpproxError::BadRequest`] variant the
+    /// server uses (wire code `bad_request`).
+    fn to_api(&self, op: ClientOp) -> Result<ApiRequest, OpproxError> {
+        let need = |field: Option<&str>, flag: &str, op_name: &str| match field {
+            Some(v) => Ok(v.to_string()),
+            None => Err(OpproxError::BadRequest(format!(
+                "`opprox client --op {op_name}` needs --{flag}"
+            ))),
+        };
+        match op {
+            ClientOp::Health => Ok(ApiRequest::Health),
+            ClientOp::Metrics => Ok(ApiRequest::Metrics),
+            ClientOp::Shutdown => Ok(ApiRequest::Shutdown),
+            ClientOp::Optimize => {
+                let app = need(self.app.as_deref(), "app", "optimize")?;
+                let input = self.input.clone().ok_or_else(|| {
+                    OpproxError::BadRequest("`opprox client --op optimize` needs --input".into())
+                })?;
+                let budget = self.budget.ok_or_else(|| {
+                    OpproxError::BadRequest("`opprox client --op optimize` needs --budget".into())
+                })?;
+                let mut params = OptimizeParams::new(app, input, budget);
+                params.point = self.point;
+                params.validate = self.validate;
+                params.validation_budget = self.validations;
+                params.max_retries = self.max_retries;
+                params.backoff_ms = self.backoff_ms;
+                params.eval_timeout_ms = self.eval_timeout_ms;
+                Ok(ApiRequest::Optimize(params))
+            }
+            ClientOp::Predict => {
+                let app = need(self.app.as_deref(), "app", "predict")?;
+                let input = self.input.clone().ok_or_else(|| {
+                    OpproxError::BadRequest("`opprox client --op predict` needs --input".into())
+                })?;
+                let spec = need(self.configs.as_deref(), "configs", "predict")?;
+                let configs = parse_config_rows(&spec)?;
+                Ok(ApiRequest::Predict(PredictParams {
+                    app,
+                    input,
+                    phase: self.phase,
+                    configs,
+                }))
+            }
+        }
+    }
+}
+
+/// Parses `--configs` rows: semicolon-separated configurations of
+/// comma-separated levels, e.g. `0,0,0;1,2,1`.
+fn parse_config_rows(spec: &str) -> Result<Vec<Vec<u64>>, OpproxError> {
+    spec.split(';')
+        .filter(|row| !row.trim().is_empty())
+        .map(|row| {
+            row.split(',')
+                .map(|cell| {
+                    cell.trim().parse::<u64>().map_err(|_| {
+                        OpproxError::BadRequest(format!(
+                            "--configs level `{cell}` is not a non-negative integer"
+                        ))
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Sends one request to a running server and prints the raw reply
+/// frame. Exits nonzero when the server answers with an error frame, so
+/// smoke scripts can assert on the exit code alone.
+fn cmd_client(
+    addr: &str,
+    op: ClientOp,
+    request: &ClientRequest,
+    out: &mut dyn std::io::Write,
+) -> CmdResult {
+    use std::io::{BufRead, BufReader, Write as IoWrite};
+    let req = request.to_api(op)?;
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cloning socket: {e}"))?;
+    writer.write_all(req.to_wire().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("reading reply from {addr}: {e}"))?;
+    let line = line.trim_end();
+    if line.is_empty() {
+        return Err(OpproxError::Unavailable(format!(
+            "server at {addr} closed the connection without a reply"
+        ))
+        .into());
+    }
+    writeln!(out, "{line}")?;
+    match ApiResponse::parse(line) {
+        Ok(resp) if resp.is_error() => Err("server returned an error frame".into()),
+        Ok(_) => Ok(()),
+        Err(e) => Err(format!("unparseable reply frame: {e}").into()),
+    }
 }
 
 fn cmd_apps(out: &mut dyn std::io::Write) -> CmdResult {
@@ -635,6 +881,125 @@ mod tests {
         let mut buf = Vec::new();
         dispatch(&command, &mut buf)?;
         Ok(String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn serve_and_client_round_trip_over_tcp() {
+        let dir = std::env::temp_dir().join("opprox_cli_serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("pso_serve.json");
+        let model_s = model.to_str().unwrap().to_string();
+        run(&[
+            "train", "--app", "pso", "--out", &model_s, "--phases", "2", "--sparse", "6",
+        ])
+        .unwrap();
+        let addr_file = dir.join("addr.txt");
+        let _ = std::fs::remove_file(&addr_file);
+        let trace = dir.join("serve_trace.json");
+        let serve_args: Vec<String> = [
+            "serve",
+            "--model",
+            &model_s,
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || {
+            let command = Command::parse(serve_args).unwrap();
+            let mut buf = Vec::new();
+            dispatch(&command, &mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        });
+        let addr = {
+            let mut waited = 0;
+            loop {
+                match std::fs::read_to_string(&addr_file) {
+                    Ok(s) if !s.is_empty() => break s,
+                    _ => {
+                        assert!(waited < 30_000, "server never wrote its address");
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        waited += 50;
+                    }
+                }
+            }
+        };
+        let health = run(&["client", "--addr", &addr, "--op", "health"]).unwrap();
+        assert!(health.contains("\"kind\":\"health\""), "{health}");
+        assert!(health.contains("pso"), "{health}");
+        let pred = run(&[
+            "client",
+            "--addr",
+            &addr,
+            "--op",
+            "predict",
+            "--app",
+            "pso",
+            "--input",
+            "16,3",
+            "--phase",
+            "0",
+            "--configs",
+            "0,0,0;1,2,1",
+        ])
+        .unwrap();
+        assert!(pred.contains("\"predictions\""), "{pred}");
+        let opt = run(&[
+            "client", "--addr", &addr, "--op", "optimize", "--app", "pso", "--input", "16,3",
+            "--budget", "10",
+        ])
+        .unwrap();
+        assert!(opt.contains("\"kind\":\"optimize\""), "{opt}");
+        let metrics = run(&["client", "--addr", &addr, "--op", "metrics"]).unwrap();
+        assert!(metrics.contains("serve.requests"), "{metrics}");
+        // An unknown app is an error frame and a nonzero client exit.
+        assert!(run(&[
+            "client", "--addr", &addr, "--op", "optimize", "--app", "nosuch", "--input", "1",
+            "--budget", "5",
+        ])
+        .is_err());
+        run(&["client", "--addr", &addr, "--op", "shutdown"]).unwrap();
+        let out = server.join().unwrap();
+        assert!(out.contains("shutdown complete"), "{out}");
+        assert!(out.contains("trace written"), "{out}");
+        // The exported server trace is a lintable telemetry artifact.
+        let analyzed = run(&["analyze", trace.to_str().unwrap()]).unwrap();
+        assert!(
+            analyzed.contains("telemetry") || analyzed.contains("0 errors"),
+            "{analyzed}"
+        );
+    }
+
+    #[test]
+    fn client_flag_validation_is_local() {
+        // Missing required pieces fail before any connection attempt.
+        let err = run(&["client", "--op", "optimize", "--addr", "127.0.0.1:1"])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--app"), "{err}");
+        let err = run(&[
+            "client",
+            "--op",
+            "predict",
+            "--addr",
+            "127.0.0.1:1",
+            "--app",
+            "pso",
+            "--input",
+            "1,2",
+            "--configs",
+            "0,x",
+        ])
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("--configs"), "{err}");
     }
 
     #[test]

@@ -44,6 +44,40 @@ pub enum OpproxError {
         /// Human-readable context identifying the key.
         context: String,
     },
+    /// A wire frame was malformed: invalid JSON, a missing or mistyped
+    /// field, or a truncated line (wire code `bad_request`).
+    BadRequest(String),
+    /// A wire frame declared a protocol version this build does not
+    /// speak (wire code `unsupported_version`).
+    UnsupportedVersion {
+        /// The version the frame declared.
+        got: u64,
+    },
+    /// The named application is not registered / not loaded (wire code
+    /// `unknown_app`). Shared by the CLI's app lookup and the server's
+    /// model-store lookup so both report through one variant.
+    UnknownApp {
+        /// The name that failed to resolve.
+        given: String,
+        /// The names that would have resolved, comma-separated.
+        available: String,
+    },
+    /// Admission control refused the request: the server's bounded queue
+    /// was full (wire code `overloaded`). Load-shed responses carry this.
+    Overloaded {
+        /// Queue depth observed at admission.
+        depth: usize,
+        /// The configured admission bound.
+        limit: usize,
+    },
+    /// The service cannot answer right now — no artifact is loaded for
+    /// the app, or the server is shutting down (wire code `unavailable`).
+    Unavailable(String),
+    /// A measured quantity that must be finite (a speedup, a QoS
+    /// degradation) came back NaN or infinite (wire code
+    /// `non_finite_measurement`). Replaces the old panic paths in the
+    /// validated-optimization sort.
+    NonFiniteMeasurement(String),
 }
 
 impl fmt::Display for OpproxError {
@@ -68,6 +102,27 @@ impl fmt::Display for OpproxError {
             ),
             OpproxError::Quarantined { context } => {
                 write!(f, "evaluation refused, key quarantined: {context}")
+            }
+            OpproxError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            OpproxError::UnsupportedVersion { got } => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (this build speaks v{})",
+                    crate::api::API_VERSION
+                )
+            }
+            OpproxError::UnknownApp { given, available } => {
+                write!(f, "unknown app `{given}`; available: {available}")
+            }
+            OpproxError::Overloaded { depth, limit } => {
+                write!(
+                    f,
+                    "overloaded: admission queue at {depth}/{limit}, request shed"
+                )
+            }
+            OpproxError::Unavailable(msg) => write!(f, "service unavailable: {msg}"),
+            OpproxError::NonFiniteMeasurement(msg) => {
+                write!(f, "non-finite measurement: {msg}")
             }
         }
     }

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod control_flow;
 pub mod error;
 pub mod evaluator;
@@ -57,14 +58,17 @@ pub mod pool;
 pub mod report;
 pub mod request;
 pub mod sampling;
+pub mod serve;
 pub mod spec;
 pub(crate) mod sync;
 pub mod telemetry;
 
+pub use api::{ApiRequest, ApiResponse, WireCode, API_VERSION};
 pub use error::OpproxError;
 pub use evaluator::{EvalEngine, EvalMetrics};
 pub use fault::{FailureKind, FaultPlan, RecoveryPolicy, RobustnessReport};
 pub use pipeline::Opprox;
 pub use request::{OptimizeOutcome, OptimizePath, OptimizeRequest};
+pub use serve::{ServeOptions, ServeState, Server, Submission};
 pub use spec::AccuracySpec;
 pub use telemetry::{Clock, ManualClock, MonotonicClock, Telemetry, TelemetryReport};

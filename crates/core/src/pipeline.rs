@@ -12,9 +12,7 @@ use crate::evaluator::EvalEngine;
 use crate::modeling::{AppModels, ModelingOptions};
 use crate::optimizer::OptimizationPlan;
 use crate::phases::{find_phase_granularity_with, PhaseSearchOptions};
-use crate::request::OptimizeRequest;
 use crate::sampling::{collect_training_data_with, SamplingPlan, TrainingData};
-use crate::spec::AccuracySpec;
 use opprox_approx_rt::block::BlockDescriptor;
 use opprox_approx_rt::{ApproxApp, InputParams, LevelConfig, PhaseSchedule};
 use serde::{Deserialize, Serialize};
@@ -248,93 +246,6 @@ impl TrainedOpprox {
         let accurate = LevelConfig::accurate(self.blocks.len());
         let pred = self.models.predict(input, 0, &accurate)?;
         Ok(pred.iters.round().max(1.0) as u64)
-    }
-
-    /// Solves Algorithm 2: the best phase-specific approximation settings
-    /// for a production input under the given budget.
-    ///
-    /// # Errors
-    ///
-    /// Propagates model prediction errors.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `OptimizeRequest::new(input, spec).run(trained)`"
-    )]
-    pub fn optimize(
-        &self,
-        input: &InputParams,
-        spec: &AccuracySpec,
-    ) -> Result<OptimizationPlan, OpproxError> {
-        Ok(OptimizeRequest::new(input.clone(), *spec).run(self)?.plan)
-    }
-
-    /// Model-guided optimization with bounded empirical validation.
-    ///
-    /// The pure model-driven search ([`TrainedOpprox::optimize`]) is only
-    /// as good as the fitted models, and near stability cliffs (LULESH)
-    /// or for heavily saturating metrics the conservative bands are
-    /// either too loose or too tight. This method therefore builds a
-    /// bounded candidate set — Algorithm-2 solves at geometrically scaled
-    /// budgets in both conservative and point modes, structural variants
-    /// of each plan, phase-structured heuristic probes, and pairwise
-    /// merges of the best validated plans — vets every distinct candidate
-    /// with **one** real execution, and returns the fastest plan whose
-    /// *measured* QoS degradation stays within the budget. Validation is
-    /// capped at ~32 executions, orders of magnitude below the exhaustive
-    /// oracle's sweep (hundreds to thousands of runs).
-    ///
-    /// # Errors
-    ///
-    /// Propagates model-prediction and application runtime errors.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `OptimizeRequest::new(input, spec).validate_on(app).run(trained)`"
-    )]
-    pub fn optimize_validated(
-        &self,
-        app: &dyn ApproxApp,
-        input: &InputParams,
-        spec: &AccuracySpec,
-    ) -> Result<(OptimizationPlan, MeasuredOutcome), OpproxError> {
-        let outcome = OptimizeRequest::new(input.clone(), *spec)
-            .validate_on(app)
-            .run(self)?;
-        let measured = outcome.measured.expect("validated requests always measure");
-        Ok((outcome.plan, measured))
-    }
-
-    /// [`TrainedOpprox::optimize_validated`] with a separate *canary*
-    /// input used for the validation executions.
-    ///
-    /// The paper's related-work discussion points to canary inputs
-    /// (Laurenzano et al., PLDI 2016) — scaled-down inputs that exercise
-    /// the same behaviour at a fraction of the cost — as complementary to
-    /// OPPROX. This method optimizes *for* `input` but vets every
-    /// candidate plan on `canary`, so validated optimization stays cheap
-    /// even when the production input is expensive. The returned outcome
-    /// is the canary's measurement; re-run [`TrainedOpprox::evaluate`]
-    /// with the production input for final numbers.
-    ///
-    /// # Errors
-    ///
-    /// Propagates model-prediction and application runtime errors.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `OptimizeRequest::new(input, spec).validate_on(app).canary(canary).run(trained)`"
-    )]
-    pub fn optimize_validated_on(
-        &self,
-        app: &dyn ApproxApp,
-        input: &InputParams,
-        canary: &InputParams,
-        spec: &AccuracySpec,
-    ) -> Result<(OptimizationPlan, MeasuredOutcome), OpproxError> {
-        let outcome = OptimizeRequest::new(input.clone(), *spec)
-            .validate_on(app)
-            .canary(canary.clone())
-            .run(self)?;
-        let measured = outcome.measured.expect("validated requests always measure");
-        Ok((outcome.plan, measured))
     }
 
     /// Heuristic phase-structured candidates: uniform levels confined to
@@ -576,6 +487,7 @@ impl TrainedOpprox {
 mod tests {
     use super::*;
     use crate::request::OptimizeRequest;
+    use crate::spec::AccuracySpec;
     use opprox_apps::Pso;
 
     fn fast_options() -> TrainingOptions {

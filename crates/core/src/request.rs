@@ -325,11 +325,8 @@ impl<'a> OptimizeRequest<'a> {
             .filter_map(|(c, o)| o.map(|o| (c, o)))
             .filter(|(_, o)| o.qos <= budget && o.speedup > 1.0)
             .collect();
-        passing.sort_by(|a, b| {
-            b.1.speedup
-                .partial_cmp(&a.1.speedup)
-                .expect("finite speedups")
-        });
+        check_finite_speedups(&passing)?;
+        passing.sort_by(|a, b| b.1.speedup.total_cmp(&a.1.speedup));
 
         // Step 3: greedy composition — merge the best passing plans
         // pairwise (levelwise max per phase) to compound independent
@@ -379,11 +376,10 @@ impl<'a> OptimizeRequest<'a> {
                 .filter(|(_, o)| o.qos <= budget && o.speedup > 1.0),
         );
 
-        let best = passing.into_iter().max_by(|a, b| {
-            a.1.speedup
-                .partial_cmp(&b.1.speedup)
-                .expect("finite speedups")
-        });
+        check_finite_speedups(&passing)?;
+        let best = passing
+            .into_iter()
+            .max_by(|a, b| a.1.speedup.total_cmp(&b.1.speedup));
 
         match best {
             Some((plan, measured)) => Ok(OptimizeOutcome {
@@ -432,6 +428,27 @@ impl std::fmt::Debug for OptimizeRequest<'_> {
             .field("shared_engine", &self.engine.is_some())
             .finish()
     }
+}
+
+/// A measured speedup must be finite before it can rank candidates; a
+/// NaN or infinite value means the golden run or the approximate run
+/// reported a nonsensical work count, and silently ordering by it would
+/// pick an arbitrary winner. Reported as
+/// [`OpproxError::NonFiniteMeasurement`] (wire code
+/// `non_finite_measurement`) instead of the panic this used to be.
+fn check_finite_speedups(
+    passing: &[(OptimizationPlan, MeasuredOutcome)],
+) -> Result<(), OpproxError> {
+    for (plan, measured) in passing {
+        if !measured.speedup.is_finite() {
+            return Err(OpproxError::NonFiniteMeasurement(format!(
+                "validated candidate {:?} measured speedup {}",
+                plan.schedule.configs(),
+                measured.speedup
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Measures each plan once on `input`, re-anchored on the golden
@@ -567,25 +584,5 @@ mod tests {
         engine.golden(&app, &production).unwrap();
         let after = engine.metrics();
         assert_eq!(after.executions, mid.executions + 1);
-    }
-
-    #[test]
-    fn matches_deprecated_entry_points() {
-        let app = Pso::new();
-        let trained = Opprox::train(&app, &fast_options()).unwrap();
-        let input = InputParams::new(vec![20.0, 3.0]);
-        let spec = AccuracySpec::new(15.0);
-        let outcome = OptimizeRequest::new(input.clone(), spec)
-            .validate_on(&app)
-            .run(&trained)
-            .unwrap();
-        #[allow(deprecated)]
-        let (old_plan, old_measured) = trained.optimize_validated(&app, &input, &spec).unwrap();
-        assert_eq!(outcome.plan.schedule, old_plan.schedule);
-        assert_eq!(outcome.measured, Some(old_measured));
-        #[allow(deprecated)]
-        let old_model_plan = trained.optimize(&input, &spec).unwrap();
-        let model_outcome = OptimizeRequest::new(input, spec).run(&trained).unwrap();
-        assert_eq!(model_outcome.plan.schedule, old_model_plan.schedule);
     }
 }

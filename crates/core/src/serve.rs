@@ -1,0 +1,988 @@
+//! `opprox serve`: a long-running optimization service.
+//!
+//! The offline pipeline is the control plane — train once, write a
+//! [`TrainedOpprox`] artifact — and this module is the data plane: a
+//! dependency-free daemon speaking the versioned line-delimited JSON
+//! protocol of [`crate::api`] over TCP. The design goals, in order:
+//!
+//! 1. **One public protocol.** Every request enters as an
+//!    [`ApiRequest`] and leaves as an [`ApiResponse`];
+//!    [`crate::request::OptimizeRequest`] is only the internal executor.
+//! 2. **Hot reload without dropped requests.** Artifacts live behind an
+//!    atomically swapped `Arc` snapshot: a reload installs a new model
+//!    map while in-flight requests keep the snapshot they started with
+//!    ([`ServeState::handle_with_models`] is the seam that makes this
+//!    provable under a [`ManualClock`](crate::telemetry::ManualClock)).
+//!    A file that fails to parse never replaces a good artifact.
+//! 3. **Admission control.** The request queue is bounded; past the
+//!    bound, optimize/predict requests are shed immediately with the
+//!    `overloaded` wire code instead of queueing unboundedly. `health`
+//!    is exempt so liveness probes still answer under overload.
+//! 4. **Batched execution.** A single dispatcher drains the queue in
+//!    batches and fans each batch out on the shared
+//!    [`WorkPool`](crate::pool::WorkPool); `predict` frames carry many
+//!    configurations and are answered by the batched predictor in one
+//!    flat model pass.
+//!
+//! Model-only optimize replies are memoized in a sharded plan cache
+//! keyed by `(app, control-flow class)` — the pair that selects which
+//! per-class, per-phase model set answers — so hot inputs skip the
+//! Algorithm-2 solve entirely. Reloads bump a generation counter that is
+//! part of the cache key, so a swap invalidates every stale plan at
+//! once.
+
+use crate::api::{
+    ApiRequest, ApiResponse, HealthReply, MetricsReply, OptimizeParams, OptimizeReply,
+    PredictParams, PredictReply, PredictionReply,
+};
+use crate::error::OpproxError;
+use crate::evaluator::EvalEngine;
+use crate::fault::RecoveryPolicy;
+use crate::optimizer::Conservatism;
+use crate::pipeline::TrainedOpprox;
+use crate::pool::WorkPool;
+use crate::request::{OptimizePath, OptimizeRequest};
+use crate::spec::AccuracySpec;
+use crate::telemetry::{Clock, Telemetry};
+use opprox_approx_rt::{InputParams, LevelConfig};
+use serde::Serialize as _;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, SystemTime};
+
+/// Configuration of a serving instance.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads of the request pool.
+    pub threads: usize,
+    /// Admission bound: optimize/predict requests arriving while this
+    /// many are already queued are shed with the `overloaded` code.
+    pub queue_limit: usize,
+    /// Most requests the dispatcher hands to the pool as one batch.
+    pub batch_max: usize,
+    /// Artifact mtime poll interval for hot reload, in milliseconds.
+    pub reload_poll_ms: u64,
+    /// Shards of the model-only plan cache.
+    pub cache_shards: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            queue_limit: 64,
+            batch_max: 8,
+            reload_poll_ms: 200,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// One loaded artifact: the trained system plus the file identity the
+/// reload poller compares against.
+#[derive(Debug)]
+pub struct ModelEntry {
+    /// The trained system.
+    pub trained: Arc<TrainedOpprox>,
+    /// Artifact path, when file-backed (reloadable).
+    pub path: Option<PathBuf>,
+    /// (mtime, len) of the file at load time.
+    file_id: Option<(SystemTime, u64)>,
+    /// Generation stamp of this load (monotonic across the store).
+    pub generation: u64,
+}
+
+type ModelMap = BTreeMap<String, Arc<ModelEntry>>;
+
+/// Key of the sharded plan cache. The `(app, class)` pair picks the
+/// shard — it names the model set that answers — and the remaining
+/// fields (input bits, budget bits, conservatism, generation) make the
+/// entry exact. A reload bumps `generation`, invalidating stale plans.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    app: String,
+    class: usize,
+    generation: u64,
+    input_bits: Vec<u64>,
+    budget_bits: u64,
+    point: bool,
+}
+
+/// One queued request and the channel its reply goes back on.
+struct Job {
+    req: ApiRequest,
+    tx: mpsc::Sender<ApiResponse>,
+}
+
+/// The outcome of [`ServeState::submit`].
+pub enum Submission {
+    /// Admission control refused the request; reply immediately.
+    Shed(ApiResponse),
+    /// The request was queued; the reply arrives on this receiver.
+    Queued(mpsc::Receiver<ApiResponse>),
+}
+
+/// The shared state of a serving instance: model store, request queue,
+/// plan cache, and telemetry registry. [`Server`] wraps it with the TCP
+/// accept/dispatch/reload threads; tests drive it in-process.
+pub struct ServeState {
+    options: ServeOptions,
+    models: Mutex<Arc<ModelMap>>,
+    generation: AtomicU64,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    cache: Vec<Mutex<HashMap<PlanKey, OptimizeReply>>>,
+    tele: Telemetry,
+    start_micros: u64,
+}
+
+impl ServeState {
+    /// A fresh state with a monotonic wall clock.
+    pub fn new(options: ServeOptions) -> Self {
+        Self::build(options, Telemetry::new())
+    }
+
+    /// A fresh state timed by `clock` — tests inject a
+    /// [`ManualClock`](crate::telemetry::ManualClock) so spans, uptime,
+    /// and the exported report are deterministic.
+    pub fn with_clock(options: ServeOptions, clock: Arc<dyn Clock>) -> Self {
+        Self::build(options, Telemetry::with_clock(clock))
+    }
+
+    fn build(options: ServeOptions, tele: Telemetry) -> Self {
+        let start_micros = tele.clock().now_micros();
+        let shards = options.cache_shards.max(1);
+        ServeState {
+            options,
+            models: Mutex::new(Arc::new(BTreeMap::new())),
+            generation: AtomicU64::new(0),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            tele,
+            start_micros,
+        }
+    }
+
+    /// The instance configuration.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// The telemetry registry (server-level counters, gauges, spans).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tele
+    }
+
+    /// Current artifact generation (0 before the first load).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// `true` once a shutdown was requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a shutdown: no new work is admitted, the dispatcher
+    /// drains and exits. Idempotent.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+
+    // -- model store --------------------------------------------------
+
+    /// The current model map. In-flight requests hold the snapshot they
+    /// started with, so a concurrent reload never changes — or frees —
+    /// the models under them.
+    pub fn snapshot(&self) -> Arc<ModelMap> {
+        Arc::clone(&self.models.lock().expect("model store lock"))
+    }
+
+    /// Loads an artifact file and installs it under its app name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/parse failures; the store is unchanged on error.
+    pub fn load_artifact(&self, path: impl AsRef<Path>) -> Result<String, OpproxError> {
+        let path = path.as_ref();
+        let trained = TrainedOpprox::load(path)?;
+        Ok(self.install(trained, Some(path.to_path_buf())))
+    }
+
+    /// Installs a trained system (optionally file-backed for hot
+    /// reload), atomically swapping the model map. Entries are keyed by
+    /// the lowercased app name — lookups are case-insensitive, matching
+    /// `opprox_apps::registry::by_name`. Returns the key.
+    pub fn install(&self, trained: TrainedOpprox, path: Option<PathBuf>) -> String {
+        let app = trained.app_name().to_ascii_lowercase();
+        let file_id = path.as_deref().and_then(file_id);
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let entry = Arc::new(ModelEntry {
+            trained: Arc::new(trained),
+            path,
+            file_id,
+            generation,
+        });
+        let mut store = self.models.lock().expect("model store lock");
+        let mut next: ModelMap = (**store).clone();
+        next.insert(app.clone(), entry);
+        self.tele.set_gauge("serve.models", next.len() as f64);
+        *store = Arc::new(next);
+        app
+    }
+
+    /// One hot-reload poll: every file-backed entry whose (mtime, len)
+    /// changed is re-loaded and swapped in; a file that fails to parse
+    /// is counted (`serve.reload.error`) and the old artifact stays.
+    /// Returns how many entries were swapped.
+    pub fn poll_reload(&self) -> usize {
+        let snap = self.snapshot();
+        let mut swapped = 0;
+        for entry in snap.values() {
+            let Some(path) = entry.path.as_deref() else {
+                continue;
+            };
+            if file_id(path) == entry.file_id {
+                continue;
+            }
+            match TrainedOpprox::load(path) {
+                Ok(trained) => {
+                    self.install(trained, Some(path.to_path_buf()));
+                    self.tele.incr("serve.reload");
+                    swapped += 1;
+                }
+                Err(_) => self.tele.incr("serve.reload.error"),
+            }
+        }
+        swapped
+    }
+
+    // -- request handling ---------------------------------------------
+
+    /// Handles a request against the current model snapshot.
+    pub fn handle(&self, req: &ApiRequest) -> ApiResponse {
+        self.handle_with_models(&self.snapshot(), req)
+    }
+
+    /// Handles a request against an explicit model snapshot. The server
+    /// takes one snapshot per batch; tests take one, trigger a reload,
+    /// and then complete the "in-flight" request against the old
+    /// snapshot to prove reloads never drop running work.
+    pub fn handle_with_models(&self, models: &ModelMap, req: &ApiRequest) -> ApiResponse {
+        self.tele.incr("serve.requests");
+        let result = match req {
+            ApiRequest::Optimize(p) => {
+                self.tele.incr("serve.optimize");
+                self.tele
+                    .span("serve.optimize", || self.handle_optimize(models, p))
+            }
+            ApiRequest::Predict(p) => {
+                self.tele.incr("serve.predict");
+                self.tele
+                    .span("serve.predict", || self.handle_predict(models, p))
+            }
+            ApiRequest::Health => {
+                self.tele.incr("serve.health");
+                Ok(self.handle_health(models))
+            }
+            ApiRequest::Metrics => Ok(self.handle_metrics()),
+            ApiRequest::Shutdown => {
+                self.begin_shutdown();
+                Ok(ApiResponse::Shutdown)
+            }
+        };
+        match result {
+            Ok(resp) => resp,
+            Err(e) => {
+                self.tele.incr("serve.errors");
+                ApiResponse::from_error(&e)
+            }
+        }
+    }
+
+    fn entry<'m>(
+        &self,
+        models: &'m ModelMap,
+        app: &str,
+    ) -> Result<&'m Arc<ModelEntry>, OpproxError> {
+        models
+            .get(&app.to_ascii_lowercase())
+            .ok_or_else(|| OpproxError::UnknownApp {
+                given: app.to_string(),
+                available: models.keys().cloned().collect::<Vec<_>>().join(", "),
+            })
+    }
+
+    fn handle_optimize(
+        &self,
+        models: &ModelMap,
+        p: &OptimizeParams,
+    ) -> Result<ApiResponse, OpproxError> {
+        let entry = self.entry(models, &p.app)?;
+        let trained = &entry.trained;
+        let input = InputParams::new(p.input.clone());
+        let spec = AccuracySpec::try_new(p.budget)?;
+        let class = trained.models().control_flow().predict(&input)?;
+
+        let cache_key = (!p.validate).then(|| PlanKey {
+            app: p.app.to_ascii_lowercase(),
+            class,
+            generation: entry.generation,
+            input_bits: p.input.iter().map(|x| x.to_bits()).collect(),
+            budget_bits: p.budget.to_bits(),
+            point: p.point,
+        });
+        if let Some(key) = &cache_key {
+            if let Some(mut hit) = self.cache_get(key) {
+                self.tele.incr("serve.cache.hit");
+                hit.cached = true;
+                return Ok(ApiResponse::Optimize(hit));
+            }
+            self.tele.incr("serve.cache.miss");
+        }
+
+        let conservatism = if p.point {
+            Conservatism::Point
+        } else {
+            Conservatism::Band
+        };
+        let outcome = if p.validate {
+            // Validation executes the application for real; each request
+            // gets a private single-threaded engine (the concurrency
+            // budget belongs to the pool above us) carrying the
+            // request's own recovery knobs.
+            let app = opprox_apps::registry::by_name(&p.app).ok_or_else(|| {
+                OpproxError::Unavailable(format!(
+                    "app `{}` has a trained artifact but no executable implementation",
+                    p.app
+                ))
+            })?;
+            let mut policy = RecoveryPolicy::default();
+            if let Some(r) = p.max_retries {
+                policy.max_retries = u32::try_from(r).unwrap_or(u32::MAX);
+            }
+            if let Some(b) = p.backoff_ms {
+                policy.backoff_base_ms = b;
+            }
+            if let Some(t) = p.eval_timeout_ms {
+                policy.eval_timeout_ms = Some(t);
+            }
+            let engine = EvalEngine::with_recovery(1, policy);
+            let mut req = OptimizeRequest::new(input, spec)
+                .conservatism(conservatism)
+                .validate_on(app.as_ref())
+                .engine(&engine);
+            if let Some(n) = p.validation_budget {
+                req = req.validation_budget(n as usize);
+            }
+            req.run(trained)?
+        } else {
+            OptimizeRequest::new(input, spec)
+                .conservatism(conservatism)
+                .run(trained)?
+        };
+
+        let reply = OptimizeReply {
+            app: p.app.clone(),
+            generation: entry.generation,
+            path: match outcome.path {
+                OptimizePath::ModelOnly => "model_only",
+                OptimizePath::Validated => "validated",
+                OptimizePath::AccurateFallback => "accurate_fallback",
+            }
+            .to_string(),
+            levels: outcome
+                .plan
+                .schedule
+                .configs()
+                .iter()
+                .map(|c| c.levels().iter().map(|&l| u64::from(l)).collect())
+                .collect(),
+            predicted_speedup: outcome.plan.predicted_speedup,
+            predicted_qos: outcome.plan.predicted_qos,
+            candidates_tried: outcome.candidates_tried as u64,
+            cached: false,
+            measured: outcome.measured.map(|m| crate::api::MeasuredReply {
+                speedup: m.speedup,
+                qos: m.qos,
+                outer_iters: m.outer_iters,
+            }),
+        };
+        if let Some(key) = cache_key {
+            self.cache_put(key, reply.clone());
+        }
+        Ok(ApiResponse::Optimize(reply))
+    }
+
+    fn handle_predict(
+        &self,
+        models: &ModelMap,
+        p: &PredictParams,
+    ) -> Result<ApiResponse, OpproxError> {
+        let entry = self.entry(models, &p.app)?;
+        let trained = &entry.trained;
+        let phase = usize::try_from(p.phase).unwrap_or(usize::MAX);
+        if phase >= trained.num_phases() {
+            return Err(OpproxError::BadRequest(format!(
+                "phase {} out of range (app `{}` has {} phases)",
+                p.phase,
+                p.app,
+                trained.num_phases()
+            )));
+        }
+        let num_blocks = trained.blocks().len();
+        let configs = p
+            .configs
+            .iter()
+            .map(|row| {
+                if row.len() != num_blocks {
+                    return Err(OpproxError::BadRequest(format!(
+                        "config has {} levels, app `{}` has {} blocks",
+                        row.len(),
+                        p.app,
+                        num_blocks
+                    )));
+                }
+                let levels = row
+                    .iter()
+                    .map(|&l| {
+                        u8::try_from(l).map_err(|_| {
+                            OpproxError::BadRequest(format!("level {l} exceeds the u8 range"))
+                        })
+                    })
+                    .collect::<Result<Vec<u8>, OpproxError>>()?;
+                Ok(LevelConfig::new(levels))
+            })
+            .collect::<Result<Vec<_>, OpproxError>>()?;
+        let input = InputParams::new(p.input.clone());
+        let class = trained.models().control_flow().predict(&input)?;
+        // One flat pass through the batched predictor for the whole
+        // frame — bit-identical to per-config scalar calls.
+        let predictions = trained.models().predict_batch(&input, phase, &configs)?;
+        Ok(ApiResponse::Predict(PredictReply {
+            app: p.app.clone(),
+            generation: entry.generation,
+            class: class as u64,
+            predictions: predictions
+                .into_iter()
+                .map(|pr| PredictionReply {
+                    speedup: pr.speedup,
+                    qos: pr.qos,
+                    iters: pr.iters,
+                })
+                .collect(),
+        }))
+    }
+
+    fn handle_health(&self, models: &ModelMap) -> ApiResponse {
+        ApiResponse::Health(HealthReply {
+            apps: models.keys().cloned().collect(),
+            generation: self.generation(),
+            queue_depth: self.queue.lock().expect("queue lock").len() as u64,
+            queue_limit: self.options.queue_limit as u64,
+            threads: self.options.threads as u64,
+            uptime_micros: self
+                .tele
+                .clock()
+                .now_micros()
+                .saturating_sub(self.start_micros),
+        })
+    }
+
+    fn handle_metrics(&self) -> ApiResponse {
+        ApiResponse::Metrics(MetricsReply {
+            report: self.tele.report().to_value(),
+        })
+    }
+
+    // -- plan cache ---------------------------------------------------
+
+    /// Shard index from the cache-defining pair `(app, class)`: FNV-1a
+    /// over the app name folded with the class id.
+    fn shard_of(&self, app: &str, class: usize) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in app.bytes().chain([class as u8]) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.cache.len() as u64) as usize
+    }
+
+    fn cache_get(&self, key: &PlanKey) -> Option<OptimizeReply> {
+        self.cache[self.shard_of(&key.app, key.class)]
+            .lock()
+            .expect("plan cache lock")
+            .get(key)
+            .cloned()
+    }
+
+    fn cache_put(&self, key: PlanKey, reply: OptimizeReply) {
+        let shard = self.shard_of(&key.app, key.class);
+        self.cache[shard]
+            .lock()
+            .expect("plan cache lock")
+            .insert(key, reply);
+    }
+
+    // -- queue + dispatch ---------------------------------------------
+
+    /// Admission control: queues the request (reply arrives on the
+    /// returned receiver) or sheds it immediately with an `overloaded`
+    /// error frame. `health` is exempt from the bound so liveness
+    /// probes answer even under overload; `metrics` and `shutdown` are
+    /// control-plane and are expected to go through
+    /// [`ServeState::handle`] directly.
+    pub fn submit(&self, req: ApiRequest) -> Submission {
+        if self.is_shutdown() {
+            return Submission::Shed(ApiResponse::from_error(&OpproxError::Unavailable(
+                "server is shutting down".to_string(),
+            )));
+        }
+        let exempt = matches!(req, ApiRequest::Health);
+        let mut queue = self.queue.lock().expect("queue lock");
+        let depth = queue.len();
+        if !exempt && depth >= self.options.queue_limit {
+            drop(queue);
+            self.tele.incr("serve.shed");
+            return Submission::Shed(ApiResponse::from_error(&OpproxError::Overloaded {
+                depth,
+                limit: self.options.queue_limit,
+            }));
+        }
+        self.tele.incr("serve.admitted");
+        let (tx, rx) = mpsc::channel();
+        queue.push_back(Job { req, tx });
+        drop(queue);
+        self.queue_cv.notify_all();
+        Submission::Queued(rx)
+    }
+
+    /// Drains up to `batch_max` queued requests and answers them as one
+    /// pool batch. Returns how many were processed (0 when the queue
+    /// was empty). The dispatcher thread loops this; deterministic
+    /// tests call it directly.
+    pub fn drain_once(&self, pool: &WorkPool, last_shed: &mut u64) -> usize {
+        let batch: Vec<Job> = {
+            let mut queue = self.queue.lock().expect("queue lock");
+            let n = queue.len().min(self.options.batch_max.max(1));
+            queue.drain(..n).collect()
+        };
+        if batch.is_empty() {
+            return 0;
+        }
+        let depth = self.queue.lock().expect("queue lock").len();
+        self.tele.set_gauge("serve.queue_depth", depth as f64);
+        // Admission-control ledger: any sheds since the last batch are
+        // recorded as one event from this (orchestrating) thread. Lint
+        // A018 cross-checks these events against the `serve.shed`
+        // counter in exported traces.
+        let shed_total = self.tele.counter_value("serve.shed");
+        if shed_total > *last_shed {
+            self.tele.event(
+                "serve.admission",
+                &[
+                    ("shed", (shed_total - *last_shed) as f64),
+                    ("queue_limit", self.options.queue_limit as f64),
+                    ("queue_depth", depth as f64),
+                ],
+            );
+            *last_shed = shed_total;
+        }
+        let models = self.snapshot();
+        // `Job` carries an `mpsc::Sender` (`!Sync`), so hand the pool a
+        // view of just the requests.
+        let reqs: Vec<&ApiRequest> = batch.iter().map(|job| &job.req).collect();
+        let replies = pool.run(reqs.len(), |i| self.handle_with_models(&models, reqs[i]));
+        for (job, reply) in batch.iter().zip(replies) {
+            // A receiver dropped mid-flight (client hung up) is fine.
+            let _ = job.tx.send(reply);
+        }
+        batch.len()
+    }
+
+    /// The dispatcher loop: drain batches until shutdown, then fail any
+    /// still-queued requests with `unavailable` instead of leaving
+    /// their clients hanging.
+    pub fn dispatch_loop(&self, pool: &WorkPool) {
+        let mut last_shed = 0u64;
+        loop {
+            {
+                let queue = self.queue.lock().expect("queue lock");
+                if queue.is_empty() {
+                    if self.is_shutdown() {
+                        break;
+                    }
+                    let (_guard, _timeout) = self
+                        .queue_cv
+                        .wait_timeout(queue, Duration::from_millis(50))
+                        .expect("queue lock");
+                    // Re-check from the top with the lock released.
+                    continue;
+                }
+            }
+            self.drain_once(pool, &mut last_shed);
+        }
+        let leftovers: Vec<Job> = {
+            let mut queue = self.queue.lock().expect("queue lock");
+            queue.drain(..).collect()
+        };
+        for job in leftovers {
+            let _ = job
+                .tx
+                .send(ApiResponse::from_error(&OpproxError::Unavailable(
+                    "server stopped before the request ran".to_string(),
+                )));
+        }
+    }
+
+    /// Parses one wire line and answers it: control-plane frames
+    /// (`metrics`, `shutdown`) and parse failures are answered inline,
+    /// everything else goes through admission control and the pool.
+    /// Returns the response wire line (no trailing newline).
+    pub fn serve_line(&self, line: &str) -> String {
+        let req = match ApiRequest::parse(line) {
+            Ok(req) => req,
+            Err(e) => {
+                self.tele.incr("serve.errors");
+                return ApiResponse::from_error(&e).to_wire();
+            }
+        };
+        match req {
+            ApiRequest::Metrics | ApiRequest::Shutdown => self.handle(&req).to_wire(),
+            _ => match self.submit(req) {
+                Submission::Shed(resp) => resp.to_wire(),
+                Submission::Queued(rx) => match rx.recv() {
+                    Ok(resp) => resp.to_wire(),
+                    Err(_) => ApiResponse::from_error(&OpproxError::Unavailable(
+                        "server stopped before the reply was produced".to_string(),
+                    ))
+                    .to_wire(),
+                },
+            },
+        }
+    }
+}
+
+/// (mtime, len) of a file, `None` when it cannot be stat'ed.
+fn file_id(path: &Path) -> Option<(SystemTime, u64)> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.modified().ok()?, meta.len()))
+}
+
+/// The running TCP server: listener, dispatcher, and reload threads
+/// around a shared [`ServeState`].
+pub struct Server {
+    state: Arc<ServeState>,
+    addr: SocketAddr,
+    listener: Option<std::thread::JoinHandle<()>>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+    reloader: Option<std::thread::JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds the configured address and starts the accept, dispatch,
+    /// and hot-reload threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(state: Arc<ServeState>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&state.options().addr)?;
+        let addr = listener.local_addr()?;
+        let connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+
+        let dispatcher = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let pool = WorkPool::new(state.options().threads);
+                state.dispatch_loop(&pool);
+            })
+        };
+        let reloader = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let step = Duration::from_millis(20);
+                let mut elapsed = Duration::ZERO;
+                let period = Duration::from_millis(state.options().reload_poll_ms.max(1));
+                while !state.is_shutdown() {
+                    std::thread::sleep(step);
+                    elapsed += step;
+                    if elapsed >= period {
+                        elapsed = Duration::ZERO;
+                        state.poll_reload();
+                    }
+                }
+            })
+        };
+        let accept_handle = {
+            let state = Arc::clone(&state);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if state.is_shutdown() {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let state = Arc::clone(&state);
+                    let handle = std::thread::spawn(move || handle_connection(&state, stream));
+                    connections
+                        .lock()
+                        .expect("connection list lock")
+                        .push(handle);
+                }
+            })
+        };
+        Ok(Server {
+            state,
+            addr,
+            listener: Some(accept_handle),
+            dispatcher: Some(dispatcher),
+            reloader: Some(reloader),
+            connections,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state.
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Blocks until a shutdown is requested (a `shutdown` frame, or
+    /// [`ServeState::begin_shutdown`] from another thread), then joins
+    /// every server thread.
+    pub fn run_until_shutdown(mut self) {
+        while !self.state.is_shutdown() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.stop();
+    }
+
+    /// Requests a shutdown and joins every server thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.state.begin_shutdown();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = {
+            let mut guard = self.connections.lock().expect("connection list lock");
+            guard.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.reloader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One connection: line in, line out, until EOF or shutdown. Reads use
+/// a short timeout so the thread notices a shutdown even while idle.
+fn handle_connection(state: &ServeState, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    // Frames are tiny; without TCP_NODELAY, Nagle + delayed ACKs add
+    // tens of milliseconds to every request/reply exchange.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    line.clear();
+                    continue;
+                }
+                let reply = state.serve_line(&line);
+                if writer.write_all(reply.as_bytes()).is_err()
+                    || writer.write_all(b"\n").is_err()
+                    || writer.flush().is_err()
+                {
+                    break;
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // A partial line (no newline yet) stays in `line` and the
+                // next read keeps appending to it.
+                if state.is_shutdown() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Opprox, TrainingOptions};
+    use crate::sampling::SamplingPlan;
+    use opprox_apps::Pso;
+
+    fn trained() -> TrainedOpprox {
+        let options = TrainingOptions {
+            num_phases: Some(2),
+            sampling: SamplingPlan {
+                num_phases: 2,
+                sparse_samples: 8,
+                whole_run_samples: 0,
+                seed: 5,
+            },
+            ..TrainingOptions::default()
+        };
+        Opprox::train(&Pso::new(), &options).unwrap()
+    }
+
+    fn state_with_pso() -> ServeState {
+        let state = ServeState::new(ServeOptions {
+            threads: 1,
+            ..ServeOptions::default()
+        });
+        state.install(trained(), None);
+        state
+    }
+
+    #[test]
+    fn optimize_and_predict_answer_in_process() {
+        let state = state_with_pso();
+        let req = ApiRequest::Optimize(OptimizeParams::new("pso", vec![16.0, 3.0], 10.0));
+        let ApiResponse::Optimize(reply) = state.handle(&req) else {
+            panic!("expected an optimize reply");
+        };
+        assert_eq!(reply.app, "pso");
+        assert_eq!(reply.path, "model_only");
+        assert_eq!(reply.generation, 1);
+        assert!(!reply.cached);
+
+        let ApiResponse::Predict(pred) = state.handle(&ApiRequest::Predict(PredictParams {
+            app: "pso".to_string(),
+            input: vec![16.0, 3.0],
+            phase: 0,
+            configs: vec![vec![0, 0, 0], vec![1, 2, 1]],
+        })) else {
+            panic!("expected a predict reply");
+        };
+        assert_eq!(pred.predictions.len(), 2);
+        assert!(pred.predictions[1].speedup >= 1.0 || pred.predictions[1].speedup > 0.0);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeat_and_misses_after_reload() {
+        let state = state_with_pso();
+        let req = ApiRequest::Optimize(OptimizeParams::new("pso", vec![16.0, 3.0], 10.0));
+        let first = state.handle(&req);
+        let second = state.handle(&req);
+        let (ApiResponse::Optimize(a), ApiResponse::Optimize(b)) = (first, second) else {
+            panic!("expected optimize replies");
+        };
+        assert!(!a.cached);
+        assert!(b.cached);
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(state.telemetry().counter_value("serve.cache.hit"), 1);
+        // A reload bumps the generation, invalidating the cached plan.
+        state.install(trained(), None);
+        let ApiResponse::Optimize(c) = state.handle(&req) else {
+            panic!("expected an optimize reply");
+        };
+        assert!(!c.cached);
+        assert_eq!(c.generation, 2);
+    }
+
+    #[test]
+    fn unknown_app_and_bad_phase_map_to_wire_errors() {
+        let state = state_with_pso();
+        let resp = state.handle(&ApiRequest::Optimize(OptimizeParams::new(
+            "nope",
+            vec![1.0],
+            5.0,
+        )));
+        let ApiResponse::Error { code, message } = resp else {
+            panic!("expected an error");
+        };
+        assert_eq!(code, crate::api::WireCode::UnknownApp);
+        assert!(message.contains("pso"));
+
+        let resp = state.handle(&ApiRequest::Predict(PredictParams {
+            app: "pso".to_string(),
+            input: vec![16.0, 3.0],
+            phase: 99,
+            configs: vec![],
+        }));
+        let ApiResponse::Error { code, .. } = resp else {
+            panic!("expected an error");
+        };
+        assert_eq!(code, crate::api::WireCode::BadRequest);
+    }
+
+    #[test]
+    fn admission_bound_sheds_and_health_is_exempt() {
+        let state = ServeState::new(ServeOptions {
+            threads: 1,
+            queue_limit: 2,
+            ..ServeOptions::default()
+        });
+        state.install(trained(), None);
+        let mk = || ApiRequest::Optimize(OptimizeParams::new("pso", vec![16.0, 3.0], 10.0));
+        let q1 = state.submit(mk());
+        let q2 = state.submit(mk());
+        assert!(matches!(q1, Submission::Queued(_)));
+        assert!(matches!(q2, Submission::Queued(_)));
+        let Submission::Shed(resp) = state.submit(mk()) else {
+            panic!("third request must be shed");
+        };
+        assert!(resp.is_error());
+        assert_eq!(state.telemetry().counter_value("serve.shed"), 1);
+        // Health still gets through.
+        assert!(matches!(
+            state.submit(ApiRequest::Health),
+            Submission::Queued(_)
+        ));
+        // Drain the queue and check the admission event was recorded.
+        let pool = WorkPool::new(1);
+        let mut last_shed = 0;
+        while state.drain_once(&pool, &mut last_shed) > 0 {}
+        let report = state.telemetry().report();
+        assert_eq!(report.events_named("serve.admission").len(), 1);
+        assert_eq!(report.counter("serve.shed"), 1);
+    }
+}

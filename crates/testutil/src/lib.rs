@@ -20,6 +20,8 @@
 //!   panic-noise filter for suites that inject worker panics.
 //! * [`trace`] — a [`ManualClock`](opprox_core::ManualClock)-driven
 //!   telemetry capture plus the query helpers trace-driven suites share.
+//! * [`serve`] — artifact-file writers and a line-oriented TCP client
+//!   for suites that drive `opprox serve` over the v1 wire protocol.
 //!
 //! The crate is a **dev-dependency only**: production crates must not
 //! link it.
@@ -31,4 +33,5 @@ pub mod chaos;
 pub mod fixtures;
 pub mod json;
 pub mod rng;
+pub mod serve;
 pub mod trace;

@@ -1,0 +1,269 @@
+//! Property tests on the v1 wire protocol: every request/response frame
+//! survives serialize→parse byte-identically, and malformed frames are
+//! rejected with the right wire error code.
+
+use opprox::core::api::{
+    ApiRequest, ApiResponse, HealthReply, OptimizeParams, OptimizeReply, PredictParams,
+    PredictReply, PredictionReply, WireCode, ALL_CODES, API_VERSION,
+};
+use opprox::core::OpproxError;
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use proptest::test_runner::TestRng;
+
+/// Uniform choice between boxed strategies (the vendored proptest
+/// stand-in has no `prop_oneof!`).
+struct OneOf<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+fn a_bool() -> impl Strategy<Value = bool> {
+    (0u64..2).prop_map(|b| b == 1)
+}
+
+fn opt_u64(range: std::ops::Range<u64>) -> impl Strategy<Value = Option<u64>> {
+    (0u64..2, range).prop_map(|(some, v)| (some == 1).then_some(v))
+}
+
+/// Finite inputs only: the wire renders non-finite floats as `null`, so
+/// NaN/∞ cannot round-trip (the server rejects them as measurements via
+/// `non_finite_measurement` instead).
+fn finite_f64() -> impl Strategy<Value = f64> {
+    OneOf(vec![
+        (-1e9..1e9f64).boxed(),
+        Just(0.0).boxed(),
+        Just(16.0).boxed(),
+        Just(0.015625).boxed(),
+        Just(-3.5e-7).boxed(),
+    ])
+}
+
+/// Printable strings drawn from an alphabet that exercises the JSON
+/// string escaper; quotes and backslashes included deliberately.
+fn app_name() -> impl Strategy<Value = String> {
+    const ALPHABET: &[u8] = b"abcpsoXYZ089_\\\" ./-";
+    proptest::collection::vec(0usize..ALPHABET.len(), 0..12)
+        .prop_map(|ix| ix.into_iter().map(|i| ALPHABET[i] as char).collect())
+}
+
+fn levels() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(proptest::collection::vec(0u64..8, 0..4), 0..4)
+}
+
+fn optimize_params() -> impl Strategy<Value = OptimizeParams> {
+    (
+        app_name(),
+        proptest::collection::vec(finite_f64(), 0..4),
+        finite_f64(),
+        (a_bool(), a_bool()),
+        (opt_u64(0..1000), opt_u64(0..10)),
+        (opt_u64(0..5000), opt_u64(0..5000)),
+    )
+        .prop_map(
+            |(
+                app,
+                input,
+                budget,
+                (point, validate),
+                (validations, retries),
+                (backoff, timeout),
+            )| {
+                let mut p = OptimizeParams::new(app, input, budget);
+                p.point = point;
+                p.validate = validate;
+                p.validation_budget = validations;
+                p.max_retries = retries;
+                p.backoff_ms = backoff;
+                p.eval_timeout_ms = timeout;
+                p
+            },
+        )
+}
+
+fn predict_params() -> impl Strategy<Value = PredictParams> {
+    (
+        app_name(),
+        proptest::collection::vec(finite_f64(), 0..4),
+        0u64..16,
+        levels(),
+    )
+        .prop_map(|(app, input, phase, configs)| PredictParams {
+            app,
+            input,
+            phase,
+            configs,
+        })
+}
+
+fn api_request() -> impl Strategy<Value = ApiRequest> {
+    OneOf(vec![
+        optimize_params().prop_map(ApiRequest::Optimize).boxed(),
+        predict_params().prop_map(ApiRequest::Predict).boxed(),
+        Just(ApiRequest::Health).boxed(),
+        Just(ApiRequest::Metrics).boxed(),
+        Just(ApiRequest::Shutdown).boxed(),
+    ])
+}
+
+fn api_response() -> impl Strategy<Value = ApiResponse> {
+    let optimize = (
+        app_name(),
+        0u64..100,
+        levels(),
+        (finite_f64(), finite_f64()),
+        0u64..64,
+        a_bool(),
+    )
+        .prop_map(|(app, generation, levels, (sp, qos), tried, cached)| {
+            ApiResponse::Optimize(OptimizeReply {
+                app,
+                generation,
+                path: "model_only".to_string(),
+                levels,
+                predicted_speedup: sp,
+                predicted_qos: qos,
+                candidates_tried: tried,
+                cached,
+                measured: None,
+            })
+        });
+    let predict = (
+        app_name(),
+        0u64..100,
+        0u64..8,
+        proptest::collection::vec((finite_f64(), finite_f64(), finite_f64()), 0..4),
+    )
+        .prop_map(|(app, generation, class, rows)| {
+            ApiResponse::Predict(PredictReply {
+                app,
+                generation,
+                class,
+                predictions: rows
+                    .into_iter()
+                    .map(|(speedup, qos, iters)| PredictionReply {
+                        speedup,
+                        qos,
+                        iters,
+                    })
+                    .collect(),
+            })
+        });
+    let health = (
+        proptest::collection::vec(app_name(), 0..3),
+        0u64..100,
+        (0u64..64, 1u64..64),
+        (1u64..32, 0u64..1_000_000),
+    )
+        .prop_map(|(apps, generation, (depth, limit), (threads, uptime))| {
+            ApiResponse::Health(HealthReply {
+                apps,
+                generation,
+                queue_depth: depth,
+                queue_limit: limit,
+                threads,
+                uptime_micros: uptime,
+            })
+        });
+    let error = (app_name(), 0usize..ALL_CODES.len()).prop_map(|(message, i)| ApiResponse::Error {
+        code: ALL_CODES[i],
+        message,
+    });
+    OneOf(vec![
+        optimize.boxed(),
+        predict.boxed(),
+        health.boxed(),
+        error.boxed(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// serialize → parse → serialize is byte-identical and recovers the
+    /// original request DTO.
+    #[test]
+    fn requests_round_trip_byte_identically(req in api_request()) {
+        let wire = req.to_wire();
+        let parsed = ApiRequest::parse(&wire).expect("parse own frame");
+        prop_assert_eq!(&parsed, &req);
+        prop_assert_eq!(parsed.to_wire(), wire);
+    }
+
+    /// Same for responses.
+    #[test]
+    fn responses_round_trip_byte_identically(resp in api_response()) {
+        let wire = resp.to_wire();
+        let parsed = ApiResponse::parse(&wire).expect("parse own frame");
+        prop_assert_eq!(&parsed, &resp);
+        prop_assert_eq!(parsed.to_wire(), wire);
+    }
+
+    /// A frame declaring any version other than v1 is rejected with
+    /// `unsupported_version`, echoing the declared version.
+    #[test]
+    fn unknown_versions_are_rejected(req in api_request(), v in 2u64..1000) {
+        let wire = req.to_wire();
+        let needle = format!("\"v\":{API_VERSION}");
+        let bumped = wire.replacen(&needle, &format!("\"v\":{v}"), 1);
+        prop_assert_ne!(&bumped, &wire, "version field must be present");
+        match ApiRequest::parse(&bumped) {
+            Err(OpproxError::UnsupportedVersion { got }) => prop_assert_eq!(got, v),
+            other => prop_assert!(false, "expected unsupported_version, got {other:?}"),
+        }
+        prop_assert_eq!(
+            WireCode::of(&OpproxError::UnsupportedVersion { got: v }),
+            WireCode::UnsupportedVersion
+        );
+    }
+
+    /// Every strict prefix of a valid frame is malformed JSON and maps
+    /// to `bad_request` — a truncated line never parses as a lesser
+    /// request.
+    #[test]
+    fn truncated_frames_are_bad_requests(req in api_request(), cut in 0.0..1.0f64) {
+        let wire = req.to_wire();
+        let mut at = ((wire.len() - 1) as f64 * cut) as usize;
+        while !wire.is_char_boundary(at) {
+            at -= 1;
+        }
+        let truncated = &wire[..at];
+        match ApiRequest::parse(truncated) {
+            Err(e) => prop_assert_eq!(
+                WireCode::of(&e),
+                WireCode::BadRequest,
+                "prefix {:?} mapped to the wrong code",
+                truncated
+            ),
+            Ok(parsed) => prop_assert!(
+                false,
+                "truncated frame {:?} parsed as {:?}",
+                truncated,
+                parsed
+            ),
+        }
+    }
+}
+
+/// Every `OpproxError` variant maps onto a distinct, parseable wire
+/// code, and error responses carry it faithfully.
+#[test]
+fn wire_codes_are_total_and_stable() {
+    for &code in ALL_CODES {
+        assert_eq!(WireCode::parse(code.as_str()).unwrap(), code);
+        let resp = ApiResponse::Error {
+            code,
+            message: "m".to_string(),
+        };
+        let wire = resp.to_wire();
+        assert!(wire.contains(code.as_str()), "{wire}");
+        assert_eq!(ApiResponse::parse(&wire).unwrap(), resp);
+    }
+    assert!(WireCode::parse("no_such_code").is_err());
+}

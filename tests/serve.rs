@@ -1,0 +1,237 @@
+//! Server-level integration tests: deterministic hot reload and
+//! dispatch driven in-process with a [`ManualClock`], plus a real TCP
+//! server answering concurrent clients.
+
+use opprox::core::api::{ApiRequest, ApiResponse, OptimizeParams, PredictParams};
+use opprox::core::pool::WorkPool;
+use opprox::core::telemetry::Clock;
+use opprox::core::{ManualClock, ServeOptions, ServeState, Server, Submission};
+use opprox_testutil::serve::{send_lines, write_pso_artifact};
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::sync::Arc;
+
+fn temp_artifact(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("opprox_serve_tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(name);
+    write_pso_artifact(&path);
+    path
+}
+
+fn optimize_req() -> ApiRequest {
+    ApiRequest::Optimize(OptimizeParams::new("pso", vec![16.0, 3.0], 10.0))
+}
+
+/// A reload swaps the model map atomically: a request that started
+/// before the swap finishes against the snapshot it took, while new
+/// requests see the new generation. Nothing is dropped either way.
+#[test]
+fn hot_reload_swaps_without_dropping_in_flight_requests() {
+    let clock = Arc::new(ManualClock::new());
+    let state = ServeState::with_clock(
+        ServeOptions {
+            threads: 1,
+            ..ServeOptions::default()
+        },
+        clock.clone() as Arc<dyn Clock>,
+    );
+    let path = temp_artifact("hot_reload.json");
+    let app = state.load_artifact(&path).expect("load artifact");
+    assert_eq!(app, "pso");
+    assert_eq!(state.generation(), 1);
+
+    // An "in-flight" request pins the pre-reload snapshot.
+    let in_flight = state.snapshot();
+
+    // Touch the artifact: vendored JSON parsing tolerates trailing
+    // whitespace, so appending a newline changes the (mtime, len) file
+    // id without corrupting the file.
+    let mut file = OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .expect("open artifact");
+    file.write_all(b"\n").expect("touch artifact");
+    drop(file);
+
+    assert_eq!(state.poll_reload(), 1);
+    assert_eq!(state.generation(), 2);
+    assert_eq!(state.telemetry().counter_value("serve.reload"), 1);
+
+    // The in-flight request still completes against generation 1...
+    let ApiResponse::Optimize(old) = state.handle_with_models(&in_flight, &optimize_req()) else {
+        panic!("expected an optimize reply from the old snapshot");
+    };
+    assert_eq!(old.generation, 1);
+
+    // ...while a fresh request sees generation 2, with the same plan.
+    let ApiResponse::Optimize(new) = state.handle(&optimize_req()) else {
+        panic!("expected an optimize reply from the new snapshot");
+    };
+    assert_eq!(new.generation, 2);
+    assert_eq!(new.levels, old.levels);
+
+    // A second poll with an unchanged file is a no-op.
+    assert_eq!(state.poll_reload(), 0);
+    assert_eq!(state.generation(), 2);
+}
+
+/// A corrupt artifact on disk never takes down the server: the reload
+/// is counted as an error and the previous artifact keeps serving.
+#[test]
+fn failed_reload_keeps_the_old_artifact() {
+    let state = ServeState::new(ServeOptions {
+        threads: 1,
+        ..ServeOptions::default()
+    });
+    let path = temp_artifact("failed_reload.json");
+    state.load_artifact(&path).expect("load artifact");
+
+    std::fs::write(&path, "{ this is not an artifact").expect("corrupt artifact");
+    assert_eq!(state.poll_reload(), 0);
+    assert_eq!(state.telemetry().counter_value("serve.reload.error"), 1);
+    assert_eq!(state.generation(), 1);
+
+    let ApiResponse::Optimize(reply) = state.handle(&optimize_req()) else {
+        panic!("expected the old artifact to keep serving");
+    };
+    assert_eq!(reply.generation, 1);
+}
+
+/// Uptime is read from the injected clock, so health frames are exactly
+/// reproducible.
+#[test]
+fn health_uptime_follows_the_manual_clock() {
+    let clock = Arc::new(ManualClock::new());
+    let state = ServeState::with_clock(
+        ServeOptions {
+            threads: 3,
+            queue_limit: 11,
+            ..ServeOptions::default()
+        },
+        clock.clone() as Arc<dyn Clock>,
+    );
+    let path = temp_artifact("uptime.json");
+    state.load_artifact(&path).expect("load artifact");
+
+    clock.set_micros(1_234_567);
+    let ApiResponse::Health(health) = state.handle(&ApiRequest::Health) else {
+        panic!("expected a health reply");
+    };
+    assert_eq!(health.uptime_micros, 1_234_567);
+    assert_eq!(health.apps, vec!["pso".to_string()]);
+    assert_eq!(health.threads, 3);
+    assert_eq!(health.queue_limit, 11);
+    assert_eq!(health.queue_depth, 0);
+}
+
+/// Driving the queue by hand: submissions beyond the bound shed, one
+/// `drain_once` answers a full batch on the pool, and the dispatcher
+/// records the shed in a `serve.admission` ledger event.
+#[test]
+fn drain_once_answers_queued_requests_and_logs_admission() {
+    let state = ServeState::new(ServeOptions {
+        threads: 2,
+        queue_limit: 2,
+        batch_max: 8,
+        ..ServeOptions::default()
+    });
+    let path = temp_artifact("drain.json");
+    state.load_artifact(&path).expect("load artifact");
+
+    let rx1 = match state.submit(optimize_req()) {
+        Submission::Queued(rx) => rx,
+        Submission::Shed(_) => panic!("first submission must be admitted"),
+    };
+    let rx2 = match state.submit(ApiRequest::Predict(PredictParams {
+        app: "pso".to_string(),
+        input: vec![16.0, 3.0],
+        phase: 0,
+        configs: vec![vec![1, 1, 1]],
+    })) {
+        Submission::Queued(rx) => rx,
+        Submission::Shed(_) => panic!("second submission must be admitted"),
+    };
+    let Submission::Shed(shed) = state.submit(optimize_req()) else {
+        panic!("third submission must shed");
+    };
+    assert!(shed.is_error());
+
+    let pool = WorkPool::new(2);
+    let mut last_shed = 0u64;
+    assert_eq!(state.drain_once(&pool, &mut last_shed), 2);
+    assert!(matches!(
+        rx1.recv().expect("reply for job 1"),
+        ApiResponse::Optimize(_)
+    ));
+    assert!(matches!(
+        rx2.recv().expect("reply for job 2"),
+        ApiResponse::Predict(_)
+    ));
+
+    let report = state.telemetry().report();
+    let events = report.events_named("serve.admission");
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].field("shed"), Some(1.0));
+    assert_eq!(events[0].field("queue_limit"), Some(2.0));
+    assert_eq!(state.telemetry().counter_value("serve.shed"), 1);
+    assert_eq!(state.telemetry().counter_value("serve.admitted"), 2);
+}
+
+/// A real TCP server answering several concurrent connections, then
+/// shutting down cleanly on a wire `shutdown` frame.
+#[test]
+fn tcp_server_answers_concurrent_clients() {
+    let state = Arc::new(ServeState::new(ServeOptions {
+        threads: 2,
+        ..ServeOptions::default()
+    }));
+    let path = temp_artifact("tcp.json");
+    state.load_artifact(&path).expect("load artifact");
+    let mut server = Server::start(Arc::clone(&state)).expect("start server");
+    let addr = server.addr().to_string();
+
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let optimize = optimize_req().to_wire();
+                let predict = ApiRequest::Predict(PredictParams {
+                    app: "PSO".to_string(),
+                    input: vec![16.0, 3.0 + i as f64],
+                    phase: 1,
+                    configs: vec![vec![0, 0, 0], vec![2, 2, 2]],
+                })
+                .to_wire();
+                let health = ApiRequest::Health.to_wire();
+                send_lines(&addr, &[&health, &predict, &optimize])
+            })
+        })
+        .collect();
+    for client in clients {
+        let replies = client.join().expect("client thread");
+        assert_eq!(replies.len(), 3);
+        assert!(matches!(
+            ApiResponse::parse(&replies[0]).expect("health frame"),
+            ApiResponse::Health(_)
+        ));
+        let ApiResponse::Predict(pred) = ApiResponse::parse(&replies[1]).expect("predict frame")
+        else {
+            panic!("expected a predict reply, got {}", replies[1]);
+        };
+        assert_eq!(pred.predictions.len(), 2);
+        assert!(matches!(
+            ApiResponse::parse(&replies[2]).expect("optimize frame"),
+            ApiResponse::Optimize(_)
+        ));
+    }
+
+    let replies = send_lines(&addr, &[&ApiRequest::Shutdown.to_wire()]);
+    assert_eq!(
+        ApiResponse::parse(&replies[0]).expect("shutdown frame"),
+        ApiResponse::Shutdown
+    );
+    server.stop();
+    assert!(state.is_shutdown());
+    assert!(state.telemetry().counter_value("serve.requests") >= 13);
+}
