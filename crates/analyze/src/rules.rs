@@ -159,6 +159,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "server trace records admission-control events but zero shed responses",
     },
     RuleInfo {
+        code: "A019",
+        severity: Severity::Warn,
+        kind: RuleKind::Lint,
+        summary: "phase-search pruning statistics are self-inconsistent or degenerate",
+    },
+    RuleInfo {
         code: "C001",
         severity: Severity::Error,
         kind: RuleKind::ModelCheck,
@@ -187,6 +193,12 @@ pub const RULES: &[RuleInfo] = &[
         severity: Severity::Error,
         kind: RuleKind::ModelCheck,
         summary: "a failed evaluation is never memoized or served from the cache",
+    },
+    RuleInfo {
+        code: "C006",
+        severity: Severity::Error,
+        kind: RuleKind::ModelCheck,
+        summary: "sharded execution cache loses no entries under per-shard locking",
     },
 ];
 
@@ -223,6 +235,7 @@ pub fn run_all(set: &ArtifactSet, report: &mut Report) {
     lint_phase_speedup_consistency(set, report);
     lint_cache_hit_rate(set, report);
     lint_admission_control_ledger(set, report);
+    lint_search_pruning_ledger(set, report);
     report.sort();
 }
 
@@ -788,6 +801,60 @@ fn lint_admission_control_ledger(set: &ArtifactSet, report: &mut Report) {
                 events.len()
             ),
         );
+    }
+}
+
+/// A019 — the bound-pruned phase search stamps its node accounting on
+/// every `optimize.phase` event: the enumerated `space`, nodes `visited`,
+/// and the `expanded`/`pruned` split. Two defects are visible from the
+/// trace alone. The ledger not balancing (`expanded + pruned != visited`)
+/// is impossible by construction, so the artifact is corrupt or the
+/// counters were hand-edited. A search over a space past the exhaustive
+/// threshold that visited nodes yet pruned *nothing* means the bounds
+/// have degenerated to no-ops — the "pruned" search is an exhaustive
+/// scan in disguise and the hardware-limited latency claim is void.
+/// Needs a telemetry report; events without the search fields (older
+/// traces, bare plan events) silently pass.
+fn lint_search_pruning_ledger(set: &ArtifactSet, report: &mut Report) {
+    let Some(tele) = &set.telemetry else {
+        return;
+    };
+    let limit = opprox_core::optimizer::EXHAUSTIVE_LIMIT as f64;
+    for event in tele.events_named("optimize.phase") {
+        let (Some(space), Some(visited), Some(expanded), Some(pruned)) = (
+            event.field("space"),
+            event.field("visited"),
+            event.field("expanded"),
+            event.field("pruned"),
+        ) else {
+            continue;
+        };
+        let location = format!("telemetry.event[{}].optimize.phase", event.seq);
+        if expanded + pruned != visited {
+            diag(
+                report,
+                "A019",
+                location,
+                format!(
+                    "search ledger does not balance: {expanded:.0} expanded + \
+                     {pruned:.0} pruned != {visited:.0} visited; the counters \
+                     hold this identity by construction, so the trace is \
+                     corrupt or was edited"
+                ),
+            );
+        } else if space > limit && visited > 0.0 && pruned == 0.0 {
+            diag(
+                report,
+                "A019",
+                location,
+                format!(
+                    "searched a {space:.0}-configuration space (over the \
+                     {limit:.0} exhaustive threshold) without pruning a single \
+                     subtree; the admissible bounds have degenerated and the \
+                     search is an exhaustive scan in disguise"
+                ),
+            );
+        }
     }
 }
 

@@ -98,36 +98,69 @@ impl LevelConfig {
 }
 
 /// Enumerates the full cartesian level space of the given blocks:
-/// every combination of `0..=max_level` per block, accurate config first.
+/// every combination of `0..=max_level` per block, accurate config
+/// first, block 0 varying fastest (ascending mixed-radix count).
 ///
 /// The space can be large (the paper reports up to ~2M combinations for
-/// Bodytrack); prefer [`sample_configs`] for sparse sampling.
-pub fn enumerate_configs(blocks: &[BlockDescriptor]) -> Vec<LevelConfig> {
-    let mut out = vec![LevelConfig::accurate(blocks.len())];
-    let mut current = vec![0u8; blocks.len()];
-    loop {
-        // Odometer increment over the mixed-radix level space.
+/// Bodytrack), so enumeration is lazy: configurations are produced one
+/// odometer step at a time and the full space is never materialized.
+/// Collect only when a `Vec` is genuinely needed, or prefer
+/// [`sample_configs`] for sparse sampling.
+pub fn enumerate_configs(blocks: &[BlockDescriptor]) -> ConfigEnumerator<'_> {
+    ConfigEnumerator {
+        blocks,
+        current: vec![0u8; blocks.len()],
+        started: false,
+    }
+}
+
+/// Lazy iterator over the cartesian level space; see
+/// [`enumerate_configs`].
+#[derive(Debug, Clone)]
+pub struct ConfigEnumerator<'a> {
+    blocks: &'a [BlockDescriptor],
+    current: Vec<u8>,
+    started: bool,
+}
+
+impl Iterator for ConfigEnumerator<'_> {
+    type Item = LevelConfig;
+
+    fn next(&mut self) -> Option<LevelConfig> {
+        if !self.started {
+            self.started = true;
+            return Some(LevelConfig::accurate(self.blocks.len()));
+        }
+        // Odometer increment over the mixed-radix level space. Once every
+        // position sits at its maximum the scan falls off the end and the
+        // iterator stays exhausted.
         let mut pos = 0;
         loop {
-            if pos == blocks.len() {
-                return out;
+            if pos == self.blocks.len() {
+                return None;
             }
-            if current[pos] < blocks[pos].max_level {
-                current[pos] += 1;
-                for c in current.iter_mut().take(pos) {
+            if self.current[pos] < self.blocks[pos].max_level {
+                self.current[pos] += 1;
+                for c in self.current.iter_mut().take(pos) {
                     *c = 0;
                 }
                 break;
             }
             pos += 1;
         }
-        out.push(LevelConfig::new(current.clone()));
+        Some(LevelConfig::new(self.current.clone()))
     }
 }
 
 /// Total number of level combinations without materializing them.
+/// Saturates at `u64::MAX` on pathological block counts (e.g. 64 blocks
+/// of 4 levels is 2^128 combinations) instead of overflowing; callers
+/// compare the result against enumeration limits, and a saturated size
+/// routes to the pruned/capped search exactly like any huge space.
 pub fn config_space_size(blocks: &[BlockDescriptor]) -> u64 {
-    blocks.iter().map(|b| b.num_levels() as u64).product()
+    blocks
+        .iter()
+        .fold(1u64, |acc, b| acc.saturating_mul(b.num_levels() as u64))
 }
 
 /// Draws `count` random sparse configurations (paper Sec. 3.3: "random
@@ -215,7 +248,7 @@ mod tests {
     #[test]
     fn enumerate_covers_full_space_once() {
         let bs = blocks();
-        let all = enumerate_configs(&bs);
+        let all: Vec<LevelConfig> = enumerate_configs(&bs).collect();
         assert_eq!(all.len(), 6); // 3 * 2
         assert_eq!(all.len() as u64, config_space_size(&bs));
         let mut set = std::collections::HashSet::new();
@@ -233,6 +266,35 @@ mod tests {
             .map(|i| BlockDescriptor::new(format!("b{i}"), TechniqueKind::LoopPerforation, 5))
             .collect();
         assert_eq!(config_space_size(&bs), 1296);
+    }
+
+    #[test]
+    fn enumeration_is_lazy_and_stays_exhausted() {
+        let bs = blocks();
+        let mut it = enumerate_configs(&bs);
+        assert!(it.next().unwrap().is_accurate());
+        assert_eq!(it.by_ref().count(), 5);
+        assert_eq!(it.next(), None, "exhausted enumerator must stay empty");
+    }
+
+    #[test]
+    fn space_size_saturates_on_pathological_block_counts() {
+        // 64 blocks of 4 levels each is 2^128 combinations: far past
+        // u64. The size must saturate, not wrap to something small that
+        // would trick the optimizer into exhaustive enumeration.
+        let bs: Vec<BlockDescriptor> = (0..64)
+            .map(|i| BlockDescriptor::new(format!("b{i}"), TechniqueKind::LoopPerforation, 3))
+            .collect();
+        assert_eq!(config_space_size(&bs), u64::MAX);
+        // A single block past 2^64 levels is impossible (levels are u8),
+        // but a long chain of modest blocks must still be monotone:
+        // adding a block never shrinks the reported size.
+        let mut prev = 1u64;
+        for n in 1..=64 {
+            let size = config_space_size(&bs[..n]);
+            assert!(size >= prev, "size shrank at {n} blocks");
+            prev = size;
+        }
     }
 
     #[test]

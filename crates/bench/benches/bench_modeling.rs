@@ -42,7 +42,6 @@ fn bench_predict(c: &mut Criterion) {
     let models = AppModels::fit(&data, NUM_PHASES, &ModelingOptions::default()).unwrap();
     let input = InputParams::new(vec![16.0, 3.0]);
     let configs: Vec<LevelConfig> = enumerate_configs(&Pso::new().meta().blocks)
-        .into_iter()
         .filter(|c| !c.is_accurate())
         .collect();
     let mut group = c.benchmark_group("predict_phase");

@@ -16,7 +16,11 @@
 //!   `(app, input, schedule)`. Benchmark applications are deterministic by
 //!   contract, so a cached [`RunResult`] is indistinguishable from a fresh
 //!   execution. Repeated goldens and re-probed configurations become cache
-//!   hits instead of work.
+//!   hits instead of work. The cache is split into [`CACHE_SHARDS`]
+//!   independently locked shards selected by the key's stable FNV-1a
+//!   digest, so concurrent lookups and insert-backs on different keys do
+//!   not serialize on one global lock (rule `C006` in the
+//!   `opprox-analyze` registry).
 //! * **Metrics.** The engine counts executions, cache hits, and work
 //!   units, and records wall time per pipeline stage; [`EvalMetrics`] is
 //!   surfaced through `core::report` and printed by the CLI.
@@ -90,6 +94,59 @@ impl CacheKey {
             h = eat(h, levels);
         }
         eat(h, &self.expected_iters.to_le_bytes())
+    }
+}
+
+/// Number of independently locked cache shards. A power of two, so the
+/// shard index is a mask of the key digest. Sixteen shards keep the
+/// expected lock-collision rate low for worker pools up to the core
+/// counts this engine targets, while costing only sixteen empty maps on
+/// an idle engine.
+const CACHE_SHARDS: usize = 16;
+
+/// The execution cache, split into [`CACHE_SHARDS`] shards each behind
+/// its own lock. The owning shard is a pure function of the key's stable
+/// FNV-1a digest, so every entry lives in exactly one shard and the
+/// never-cache-failures contract (rule `C005`) is shard-local. Lookups
+/// and insert-backs on keys in different shards proceed without
+/// contention (rule `C006`).
+struct ShardedCache {
+    shards: Vec<Mutex<HashMap<CacheKey, Arc<RunResult>>>>,
+}
+
+impl ShardedCache {
+    fn new() -> Self {
+        ShardedCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// The shard owning `digest`. FNV-1a disperses low bits well, so the
+    /// mask spreads keys evenly.
+    fn shard(&self, digest: u64) -> &Mutex<HashMap<CacheKey, Arc<RunResult>>> {
+        &self.shards[(digest as usize) & (CACHE_SHARDS - 1)]
+    }
+
+    /// Looks up `key` in its shard, cloning the hit out so the shard lock
+    /// is held only for the probe.
+    fn get(&self, digest: u64, key: &CacheKey) -> Option<Arc<RunResult>> {
+        self.shard(digest)
+            .lock()
+            .expect("cache shard lock")
+            .get(key)
+            .map(Arc::clone)
+    }
+
+    /// Total entries across all shards, taking the shard locks one at a
+    /// time. The sum is exact when no writer runs concurrently, which is
+    /// how the metrics paths use it.
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
     }
 }
 
@@ -194,7 +251,7 @@ impl fmt::Display for EvalMetrics {
 /// ```
 pub struct EvalEngine {
     threads: usize,
-    cache: Mutex<HashMap<CacheKey, Arc<RunResult>>>,
+    cache: ShardedCache,
     executions: AtomicU64,
     cache_hits: AtomicU64,
     total_work: AtomicU64,
@@ -234,7 +291,7 @@ impl EvalEngine {
     pub fn with_recovery(threads: usize, policy: RecoveryPolicy) -> Self {
         EvalEngine {
             threads: threads.max(1),
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedCache::new(),
             executions: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             total_work: AtomicU64::new(0),
@@ -251,7 +308,7 @@ impl EvalEngine {
     pub fn with_faults(threads: usize, plan: FaultPlan, policy: RecoveryPolicy) -> Self {
         EvalEngine {
             threads: threads.max(1),
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedCache::new(),
             executions: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             total_work: AtomicU64::new(0),
@@ -327,18 +384,19 @@ impl EvalEngine {
     ) -> Result<Arc<RunResult>, OpproxError> {
         let key = CacheKey::new(app, input, schedule);
         let digest = key.digest();
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+        if let Some(hit) = self.cache.get(digest, &key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             self.note_hit(digest);
-            return Ok(Arc::clone(hit));
+            return Ok(hit);
         }
         let result = Arc::new(self.evaluate_with_recovery(app, input, schedule, digest)?);
         self.executions.fetch_add(1, Ordering::Relaxed);
         self.total_work.fetch_add(result.work, Ordering::Relaxed);
         self.note_exec(digest, schedule.is_accurate());
         self.cache
+            .shard(digest)
             .lock()
-            .expect("cache lock")
+            .expect("cache shard lock")
             .entry(key)
             .or_insert_with(|| Arc::clone(&result));
         Ok(result)
@@ -531,7 +589,10 @@ impl EvalEngine {
         jobs: &[(InputParams, PhaseSchedule)],
     ) -> Vec<Result<Arc<RunResult>, OpproxError>> {
         // Resolve each submission to a cached result or a unique pending
-        // execution; duplicates alias the first occurrence.
+        // execution; duplicates alias the first occurrence. Each probe
+        // takes only the owning shard's lock; in-batch deduplication runs
+        // through the local `seen` map, not the cache, so no lock is held
+        // across the scan.
         enum Slot {
             Cached(Arc<RunResult>),
             Pending(usize),
@@ -540,27 +601,25 @@ impl EvalEngine {
         let mut pending: Vec<(CacheKey, &InputParams, &PhaseSchedule)> = Vec::new();
         let mut seen: HashMap<CacheKey, usize> = HashMap::new();
         let mut hits = 0u64;
-        {
-            let cache = self.cache.lock().expect("cache lock");
-            for (input, schedule) in jobs {
-                let key = CacheKey::new(app, input, schedule);
-                if let Some(hit) = cache.get(&key) {
+        for (input, schedule) in jobs {
+            let key = CacheKey::new(app, input, schedule);
+            let digest = key.digest();
+            if let Some(hit) = self.cache.get(digest, &key) {
+                hits += 1;
+                self.note_hit(digest);
+                slots.push(Slot::Cached(hit));
+                continue;
+            }
+            match seen.entry(key.clone()) {
+                Entry::Occupied(e) => {
                     hits += 1;
-                    self.note_hit(key.digest());
-                    slots.push(Slot::Cached(Arc::clone(hit)));
-                    continue;
+                    self.note_hit(digest);
+                    slots.push(Slot::Pending(*e.get()));
                 }
-                match seen.entry(key.clone()) {
-                    Entry::Occupied(e) => {
-                        hits += 1;
-                        self.note_hit(key.digest());
-                        slots.push(Slot::Pending(*e.get()));
-                    }
-                    Entry::Vacant(e) => {
-                        e.insert(pending.len());
-                        slots.push(Slot::Pending(pending.len()));
-                        pending.push((key, input, schedule));
-                    }
+                Entry::Vacant(e) => {
+                    e.insert(pending.len());
+                    slots.push(Slot::Pending(pending.len()));
+                    pending.push((key, input, schedule));
                 }
             }
         }
@@ -570,14 +629,16 @@ impl EvalEngine {
 
         let results = self.execute_pending(app, &pending);
 
-        {
-            // Only successful results cross the cache boundary; failed
-            // entries are never stored (rule C005).
-            let mut cache = self.cache.lock().expect("cache lock");
-            for ((key, _, _), result) in pending.iter().zip(results.iter()) {
-                if let Ok(result) = result {
-                    cache.insert(key.clone(), Arc::clone(result));
-                }
+        // Only successful results cross the cache boundary; failed
+        // entries are never stored (rule C005). Each insert-back takes
+        // only the owning shard's lock (rule C006).
+        for ((key, _, _), result) in pending.iter().zip(results.iter()) {
+            if let Ok(result) = result {
+                self.cache
+                    .shard(key.digest())
+                    .lock()
+                    .expect("cache shard lock")
+                    .insert(key.clone(), Arc::clone(result));
             }
         }
 
@@ -691,9 +752,10 @@ impl EvalEngine {
         }
     }
 
-    /// Number of distinct executions currently memoized.
+    /// Number of distinct executions currently memoized, summed across
+    /// all cache shards.
     pub fn cached_results(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        self.cache.len()
     }
 }
 
@@ -822,6 +884,33 @@ mod tests {
         let back: EvalMetrics = serde_json::from_str(&json).unwrap();
         assert_eq!(back, m);
         assert!((m.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_cache_counts_and_serves_across_shards() {
+        use opprox_approx_rt::config::enumerate_configs;
+        let engine = EvalEngine::new(2);
+        let app = app();
+        // Distinct keys by construction; enough of them that multiple
+        // shards are populated (digest-selected, so coverage is
+        // probabilistic but the counts below are exact either way).
+        let schedules: Vec<PhaseSchedule> = enumerate_configs(&app.meta().blocks)
+            .filter(|c| !c.is_accurate())
+            .take(12)
+            .map(PhaseSchedule::constant)
+            .collect();
+        for s in &schedules {
+            engine.run(&app, &input(), s).unwrap();
+        }
+        assert_eq!(engine.cached_results(), 12, "every distinct key memoized");
+        // A full re-submission is served entirely from the shards.
+        let jobs: Vec<_> = schedules.iter().map(|s| (input(), s.clone())).collect();
+        let results = engine.run_batch(&app, &jobs).unwrap();
+        assert_eq!(results.len(), 12);
+        let m = engine.metrics();
+        assert_eq!(m.executions, 12);
+        assert_eq!(m.cache_hits, 12);
+        assert_eq!(engine.cached_results(), 12, "re-submission adds nothing");
     }
 
     #[test]

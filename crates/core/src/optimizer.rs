@@ -13,13 +13,20 @@
 //!    predictions, and
 //! 4. rolls any unused sub-budget over to the remaining phases.
 //!
-//! The per-phase problem is solved exhaustively when the level space is
-//! small enough (the paper's applications have 4–8 levels over 3–4
-//! blocks, i.e. ≤ ~1300 combinations per phase) and by coordinate ascent
-//! otherwise.
+//! The per-phase problem is solved by a best-first branch-and-bound
+//! search over partial level assignments: subtrees are cut when an
+//! admissible per-block speedup upper bound cannot beat the incumbent,
+//! when a conservative QoS lower bound already exceeds the sub-budget,
+//! or when the upper bound cannot clear the worth-it gate (see
+//! [`PhaseBounds`](crate::modeling::PhaseBounds)). The pruning rules are
+//! chosen so the search returns the *identical* plan the exhaustive scan
+//! would (ties broken by enumeration index), which the exhaustive oracle
+//! [`exhaustive_phase_oracle`] pins under property test. Spaces above
+//! [`EXHAUSTIVE_LIMIT`] additionally cap the number of leaf evaluations,
+//! turning the search into an any-time heuristic there.
 
 use crate::error::OpproxError;
-use crate::modeling::AppModels;
+use crate::modeling::{AppModels, PhaseBounds};
 use crate::spec::AccuracySpec;
 use crate::telemetry::Telemetry;
 use opprox_approx_rt::block::BlockDescriptor;
@@ -27,9 +34,35 @@ use opprox_approx_rt::config::{config_space_size, enumerate_configs};
 use opprox_approx_rt::{InputParams, LevelConfig, PhaseSchedule};
 use serde::{Deserialize, Serialize};
 
-/// Above this per-phase configuration-space size the optimizer switches
-/// from exhaustive enumeration to coordinate ascent.
+/// Above this per-phase configuration-space size the pruned search caps
+/// its number of leaf evaluations at this many configurations (capped
+/// subtrees are reported as pruned in the search stats), trading
+/// exhaustive optimality for bounded latency. At or below the limit the
+/// search is exact: it returns the configuration the exhaustive scan
+/// would.
 pub const EXHAUSTIVE_LIMIT: u64 = 20_000;
+
+/// The "worth it" gate (Algorithm 2): a configuration must predict at
+/// least this point speedup to be preferred over staying accurate.
+/// Slightly above 1.0 so model noise around break-even never flips a
+/// phase into approximation for a ~0% win.
+pub const WORTH_IT_SPEEDUP: f64 = 1.005;
+
+/// Subtrees with at most this many leaf configurations are evaluated
+/// directly (batched) instead of bounded further: a bound costs three
+/// interval predictions — on the order of tens of batched row
+/// evaluations — so below this size just evaluating the leaves is
+/// cheaper, and in the worst (unprunable) case the search degrades to
+/// the exhaustive scan plus only a handful of bound calls.
+const DIRECT_EVAL_LEAVES: u64 = 48;
+
+/// Flush the buffered-leaf batch to the models once it reaches this many
+/// rows, so the incumbent tightens while the search is still running.
+const LEAF_BATCH: usize = 512;
+
+/// Minimum buffered rows worth flushing early just to tighten the
+/// incumbent between sibling subtrees.
+const LEAF_FLUSH_MIN: usize = 36;
 
 /// The plan chosen for one phase.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -178,7 +211,8 @@ pub fn optimize_traced(
         };
         let leftover_in = leftover;
         let phase_budget = total_budget * norm_roi + leftover;
-        let best = optimize_phase(models, blocks, input, phase, phase_budget, conservatism)?;
+        let (best, stats) =
+            optimize_phase(models, blocks, input, phase, phase_budget, conservatism)?;
         match best {
             Some(plan) => {
                 leftover = (phase_budget - plan.predicted_qos).max(0.0);
@@ -213,6 +247,12 @@ pub fn optimize_traced(
                     ("leftover_out", leftover),
                     ("predicted_qos", plan.predicted_qos),
                     ("predicted_speedup", plan.predicted_speedup),
+                    ("space", config_space_size(blocks) as f64),
+                    ("visited", stats.visited as f64),
+                    ("expanded", stats.expanded as f64),
+                    ("pruned", stats.pruned as f64),
+                    ("evaluated", stats.evaluated as f64),
+                    ("bound_quality", stats.bound_quality()),
                 ],
             );
         }
@@ -256,9 +296,298 @@ pub fn optimize_traced(
     })
 }
 
+/// Counters describing one per-phase search, surfaced as fields on the
+/// `optimize.phase` telemetry event. A considered interior node is either
+/// pruned or expanded, so `visited == pruned + expanded` always holds —
+/// the `analyze` A019 rule lints traces that violate it.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Interior nodes whose bounds were computed.
+    pub visited: u64,
+    /// Visited nodes whose subtree was searched further.
+    pub expanded: u64,
+    /// Visited nodes whose subtree was cut (infeasible, gated, dominated
+    /// by the incumbent, or dropped by the evaluation cap).
+    pub pruned: u64,
+    /// Leaf configurations batch-evaluated through the models.
+    pub evaluated: u64,
+}
+
+impl SearchStats {
+    /// Fraction of considered nodes the bounds managed to cut — a cheap
+    /// proxy for how tight the bounds were on this space.
+    pub fn bound_quality(&self) -> f64 {
+        self.pruned as f64 / self.visited.max(1) as f64
+    }
+}
+
 /// Solves the per-phase constrained maximization (`optimizePhase` in
-/// Algorithm 2). Returns `None` when no non-accurate configuration fits.
-fn optimize_phase(
+/// Algorithm 2) by bound-pruned search. Returns `None` when no
+/// non-accurate configuration fits, along with the search counters.
+///
+/// On spaces at or below [`EXHAUSTIVE_LIMIT`] the result is bitwise
+/// identical to [`exhaustive_phase_oracle`]'s.
+///
+/// # Errors
+///
+/// Propagates model prediction errors.
+pub fn optimize_phase(
+    models: &AppModels,
+    blocks: &[BlockDescriptor],
+    input: &InputParams,
+    phase: usize,
+    budget: f64,
+    conservatism: Conservatism,
+) -> Result<(Option<PhasePlan>, SearchStats), OpproxError> {
+    if budget <= 0.0 {
+        return Ok((None, SearchStats::default()));
+    }
+    let cap = (config_space_size(blocks) > EXHAUSTIVE_LIMIT).then_some(EXHAUSTIVE_LIMIT);
+    let bounds = models.phase_bounds(input, phase, blocks)?;
+    let mut radix_prefix = Vec::with_capacity(blocks.len() + 1);
+    radix_prefix.push(1u64);
+    for block in blocks {
+        let last = *radix_prefix.last().expect("non-empty");
+        radix_prefix.push(last.saturating_mul(block.num_levels() as u64));
+    }
+    let mut search = PhaseSearch {
+        models,
+        input,
+        phase,
+        budget,
+        conservatism,
+        bounds,
+        radix_prefix,
+        cap,
+        capped: false,
+        stats: SearchStats::default(),
+        buf: Vec::new(),
+        buf_idx: Vec::new(),
+        incumbent: None,
+    };
+    let mut levels = vec![0u8; blocks.len()];
+    search.stats.visited += 1;
+    let root = search.bounds.bound_suffix(&[], search.band());
+    if root.qos_lb > budget || root.speedup_ub <= WORTH_IT_SPEEDUP {
+        search.stats.pruned += 1;
+    } else {
+        search.stats.expanded += 1;
+        search.visit(blocks.len(), &mut levels)?;
+        search.flush()?;
+    }
+    let plan = search.incumbent.take().map(|inc| PhasePlan {
+        phase,
+        config: inc.config,
+        allocated_budget: budget,
+        predicted_qos: inc.qos,
+        predicted_speedup: inc.speedup,
+    });
+    Ok((plan, search.stats))
+}
+
+/// The best feasible leaf seen so far. `idx` is the configuration's
+/// mixed-radix enumeration index (block 0 least significant), which is
+/// exactly its position in [`enumerate_configs`] order — the tie-break
+/// that keeps the pruned search plan-identical to the exhaustive scan.
+struct Incumbent {
+    speedup: f64,
+    qos: f64,
+    idx: u64,
+    config: LevelConfig,
+}
+
+/// One in-flight per-phase branch-and-bound search.
+///
+/// A node fixes the levels of a trailing run of blocks (`levels[split..]`)
+/// and leaves the rest free; expanding it pins block `split - 1` to each
+/// of its levels. Fixing from the most significant block down makes every
+/// subtree a *contiguous* range of enumeration indices, and the pruning
+/// rules preserve exhaustive-scan identity:
+///
+/// * `qos_lb > budget` — no leaf in the subtree is feasible;
+/// * `speedup_ub <= WORTH_IT_SPEEDUP` — no leaf clears the gate;
+/// * `speedup_ub < incumbent.speedup` (strictly) — no leaf can beat the
+///   incumbent, and a leaf that merely *ties* it can still never win,
+///   because ties go to the lower enumeration index and an equal-speedup
+///   subtree is only cut when its bound is strictly below (never happens
+///   for a tie, as bounds are admissible).
+///
+/// Children are expanded best-bound-first so strong incumbents appear
+/// early and dominate more of the remaining siblings.
+struct PhaseSearch<'a> {
+    models: &'a AppModels,
+    input: &'a InputParams,
+    phase: usize,
+    budget: f64,
+    conservatism: Conservatism,
+    bounds: PhaseBounds<'a>,
+    /// `radix_prefix[i]` = number of level combinations of blocks `..i`
+    /// (saturating); doubles as the enumeration-index weight of block `i`.
+    radix_prefix: Vec<u64>,
+    cap: Option<u64>,
+    capped: bool,
+    stats: SearchStats,
+    buf: Vec<LevelConfig>,
+    buf_idx: Vec<u64>,
+    incumbent: Option<Incumbent>,
+}
+
+impl PhaseSearch<'_> {
+    fn band(&self) -> bool {
+        matches!(self.conservatism, Conservatism::Band)
+    }
+
+    fn index_of(&self, levels: &[u8]) -> u64 {
+        levels
+            .iter()
+            .zip(&self.radix_prefix)
+            .map(|(&l, &w)| (l as u64).saturating_mul(w))
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Searches the subtree where `levels[split..]` is fixed.
+    fn visit(&mut self, split: usize, levels: &mut [u8]) -> Result<(), OpproxError> {
+        if self.radix_prefix[split] <= DIRECT_EVAL_LEAVES {
+            return self.buffer_subtree(split, levels);
+        }
+        let b = split - 1;
+        let band = self.band();
+
+        // Bound every child once; feasibility and the worth-it gate do
+        // not depend on the incumbent, so those cuts are final.
+        let mut survivors: Vec<(u8, f64)> = Vec::new();
+        for level in 0..=self.bounds.max_level(b) {
+            levels[b] = level;
+            self.stats.visited += 1;
+            let nb = self.bounds.bound_suffix(&levels[b..], band);
+            if nb.qos_lb > self.budget || nb.speedup_ub <= WORTH_IT_SPEEDUP {
+                self.stats.pruned += 1;
+            } else {
+                survivors.push((level, nb.speedup_ub));
+            }
+        }
+
+        // Best bound first (ties by level, though the order of ties
+        // cannot change the result thanks to the index tie-break).
+        survivors.sort_by(|x, y| {
+            y.1.partial_cmp(&x.1)
+                .expect("bounds are never NaN")
+                .then(x.0.cmp(&y.0))
+        });
+        for (level, ub) in survivors {
+            // Let the incumbent catch up with recently buffered leaves
+            // before judging the next sibling.
+            if self.buf.len() >= LEAF_FLUSH_MIN {
+                self.flush()?;
+            }
+            let dominated = self.incumbent.as_ref().is_some_and(|inc| ub < inc.speedup);
+            if self.capped || dominated {
+                self.stats.pruned += 1;
+                continue;
+            }
+            self.stats.expanded += 1;
+            levels[b] = level;
+            self.visit(b, levels)?;
+        }
+        levels[b] = 0;
+        Ok(())
+    }
+
+    /// Buffers every leaf of the subtree (all level combinations of
+    /// blocks `..split`) for batched evaluation, in enumeration order.
+    fn buffer_subtree(&mut self, split: usize, levels: &mut [u8]) -> Result<(), OpproxError> {
+        for l in &mut levels[..split] {
+            *l = 0;
+        }
+        'leaves: loop {
+            if levels.iter().any(|&l| l > 0) {
+                // (The all-zero leaf is the accurate config — never a
+                // candidate.)
+                if let Some(cap) = self.cap {
+                    if self.stats.evaluated + self.buf.len() as u64 >= cap {
+                        self.capped = true;
+                        break 'leaves;
+                    }
+                }
+                self.buf.push(LevelConfig::new(levels.to_vec()));
+                self.buf_idx.push(self.index_of(levels));
+            }
+            let mut b = 0;
+            loop {
+                if b == split {
+                    break 'leaves;
+                }
+                if levels[b] < self.bounds.max_level(b) {
+                    levels[b] += 1;
+                    break;
+                }
+                levels[b] = 0;
+                b += 1;
+            }
+        }
+        for l in &mut levels[..split] {
+            *l = 0;
+        }
+        if self.buf.len() >= LEAF_BATCH {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates the buffered leaves in one fused batched model pass
+    /// (the same pass the exhaustive scan uses, so the values are bit
+    /// identical) and folds the feasible ones into the incumbent.
+    /// Feasibility uses the conservative (upper-band) QoS estimate; the
+    /// worth-it gate and the ranking use the point speedup estimate,
+    /// since the band is a per-phase constant in log space and would
+    /// shift every candidate identically.
+    fn flush(&mut self) -> Result<(), OpproxError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let pairs = self
+            .models
+            .predict_pair_batch(self.input, self.phase, &self.buf)?;
+        self.stats.evaluated += self.buf.len() as u64;
+        for (i, (point, conservative)) in pairs.iter().enumerate() {
+            let constrained_qos = match self.conservatism {
+                Conservatism::Band => conservative.qos,
+                Conservatism::Point => point.qos,
+            };
+            if constrained_qos > self.budget || point.speedup <= WORTH_IT_SPEEDUP {
+                continue;
+            }
+            let idx = self.buf_idx[i];
+            let better = self.incumbent.as_ref().is_none_or(|inc| {
+                point.speedup > inc.speedup || (point.speedup == inc.speedup && idx < inc.idx)
+            });
+            if better {
+                self.incumbent = Some(Incumbent {
+                    speedup: point.speedup,
+                    qos: constrained_qos,
+                    idx,
+                    config: self.buf[i].clone(),
+                });
+            }
+        }
+        self.buf.clear();
+        self.buf_idx.clear();
+        Ok(())
+    }
+}
+
+/// The exhaustive per-phase scan, kept as the oracle the pruned search is
+/// checked against: property tests assert the branch-and-bound plan is
+/// bitwise identical on every space at or below [`EXHAUSTIVE_LIMIT`].
+///
+/// Enumerates the level space once and predicts it in one fused batched
+/// model pass (point + conservative together), then applies the
+/// feasibility gate and strictly-greater ranking in enumeration order.
+///
+/// # Errors
+///
+/// Propagates model prediction errors.
+pub fn exhaustive_phase_oracle(
     models: &AppModels,
     blocks: &[BlockDescriptor],
     input: &InputParams,
@@ -269,70 +598,17 @@ fn optimize_phase(
     if budget <= 0.0 {
         return Ok(None);
     }
-    if config_space_size(blocks) <= EXHAUSTIVE_LIMIT {
-        exhaustive_phase(models, blocks, input, phase, budget, conservatism)
-    } else {
-        coordinate_ascent_phase(models, blocks, input, phase, budget, conservatism)
-    }
-}
-
-/// Scores one configuration against a phase budget. Feasibility uses the
-/// conservative (upper-band) QoS estimate; the "is it worth it" gate and
-/// the ranking use the point speedup estimate, since the band is a
-/// per-phase constant in log space and would shift every candidate
-/// identically.
-fn evaluate(
-    models: &AppModels,
-    input: &InputParams,
-    phase: usize,
-    config: &LevelConfig,
-    budget: f64,
-    conservatism: Conservatism,
-) -> Result<Option<(f64, f64)>, OpproxError> {
-    let point = models.predict_point(input, phase, config)?;
-    let constrained_qos = match conservatism {
-        Conservatism::Band => models.predict(input, phase, config)?.qos,
-        Conservatism::Point => point.qos,
-    };
-    if constrained_qos > budget {
-        return Ok(None);
-    }
-    if point.speedup > 1.005 {
-        Ok(Some((point.speedup, constrained_qos)))
-    } else {
-        Ok(None)
-    }
-}
-
-fn exhaustive_phase(
-    models: &AppModels,
-    blocks: &[BlockDescriptor],
-    input: &InputParams,
-    phase: usize,
-    budget: f64,
-    conservatism: Conservatism,
-) -> Result<Option<PhasePlan>, OpproxError> {
-    // Enumerate the level space once and predict it in two batched model
-    // passes (point + conservative) instead of two scalar pipelines per
-    // configuration; the scan then applies the same feasibility gate and
-    // strictly-greater ranking in enumeration order, so the chosen plan
-    // is identical to the per-row loop's.
     let configs: Vec<LevelConfig> = enumerate_configs(blocks)
-        .into_iter()
         .filter(|c| !c.is_accurate())
         .collect();
-    let points = models.predict_point_batch(input, phase, &configs)?;
-    let conservative = match conservatism {
-        Conservatism::Band => Some(models.predict_batch(input, phase, &configs)?),
-        Conservatism::Point => None,
-    };
+    let pairs = models.predict_pair_batch(input, phase, &configs)?;
     let mut best: Option<PhasePlan> = None;
-    for (i, (config, point)) in configs.iter().zip(&points).enumerate() {
-        let constrained_qos = match &conservative {
-            Some(cons) => cons[i].qos,
-            None => point.qos,
+    for (config, (point, conservative)) in configs.iter().zip(&pairs) {
+        let constrained_qos = match conservatism {
+            Conservatism::Band => conservative.qos,
+            Conservatism::Point => point.qos,
         };
-        if constrained_qos > budget || point.speedup <= 1.005 {
+        if constrained_qos > budget || point.speedup <= WORTH_IT_SPEEDUP {
             continue;
         }
         let better = best
@@ -349,53 +625,6 @@ fn exhaustive_phase(
         }
     }
     Ok(best)
-}
-
-fn coordinate_ascent_phase(
-    models: &AppModels,
-    blocks: &[BlockDescriptor],
-    input: &InputParams,
-    phase: usize,
-    budget: f64,
-    conservatism: Conservatism,
-) -> Result<Option<PhasePlan>, OpproxError> {
-    let mut current = LevelConfig::accurate(blocks.len());
-    let mut current_score = 1.0f64; // speedup of the accurate config
-    let mut improved = true;
-    while improved {
-        improved = false;
-        for (b, block) in blocks.iter().enumerate() {
-            for level in 0..=block.max_level {
-                if level == current.level(b) {
-                    continue;
-                }
-                let candidate = current.with_level(b, level);
-                if candidate.is_accurate() {
-                    continue;
-                }
-                if let Some((speedup, _)) =
-                    evaluate(models, input, phase, &candidate, budget, conservatism)?
-                {
-                    if speedup > current_score + 1e-9 {
-                        current = candidate;
-                        current_score = speedup;
-                        improved = true;
-                    }
-                }
-            }
-        }
-    }
-    if current.is_accurate() {
-        return Ok(None);
-    }
-    let pred = models.predict(input, phase, &current)?;
-    Ok(Some(PhasePlan {
-        phase,
-        config: current,
-        allocated_budget: budget,
-        predicted_qos: pred.qos,
-        predicted_speedup: pred.speedup,
-    }))
 }
 
 #[cfg(test)]
@@ -422,6 +651,35 @@ mod tests {
         let iters = data.goldens[0].outer_iters;
         let models = AppModels::fit(&data, 2, &ModelingOptions::default()).unwrap();
         (app, models, iters)
+    }
+
+    #[test]
+    fn pruned_search_prunes_and_ledger_balances() {
+        let (app, models, _) = setup();
+        let input = InputParams::new(vec![16.0, 3.0]);
+        let mut total = SearchStats::default();
+        for budget in [2.0, 10.0, 40.0] {
+            for cons in [Conservatism::Band, Conservatism::Point] {
+                for phase in 0..2 {
+                    let (_, s) =
+                        optimize_phase(&models, &app.meta().blocks, &input, phase, budget, cons)
+                            .unwrap();
+                    println!("budget {budget} {cons:?} phase {phase}: {s:?}");
+                    assert_eq!(s.visited, s.expanded + s.pruned);
+                    total.visited += s.visited;
+                    total.pruned += s.pruned;
+                    total.evaluated += s.evaluated;
+                }
+            }
+        }
+        // Individual solves may degenerate to a full scan (a flat phase
+        // under a huge budget gives the bounds nothing to cut), but the
+        // reference workload as a whole must show substantial pruning.
+        assert!(total.pruned > 0, "no pruning on the reference workload");
+        assert!(
+            total.evaluated < 12 * 215 * 3 / 4,
+            "bounds cut less than a quarter of the total leaf work: {total:?}"
+        );
     }
 
     #[test]

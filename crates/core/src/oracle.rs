@@ -70,7 +70,6 @@ pub fn phase_agnostic_oracle_with(
 
         let configs: Vec<LevelConfig> = if config_space_size(blocks) as usize <= ORACLE_RUN_LIMIT {
             enumerate_configs(blocks)
-                .into_iter()
                 .filter(|c| !c.is_accurate())
                 .collect()
         } else {

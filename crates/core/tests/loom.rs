@@ -11,6 +11,11 @@
 //! * `C005` — the cache's failure contract under fault injection: a key
 //!   whose every attempt fails is never memoized, so no later request can
 //!   be served a poisoned or partial result, on any interleaving.
+//! * `C006` — the cache's shard protocol: the cache is split into
+//!   digest-selected shards each behind its own lock; concurrent
+//!   population of different keys (direct `run` and the batch
+//!   insert-back path) loses no entry on any interleaving, and
+//!   `cached_results` sums correctly across shards.
 //!
 //! Compiled only under `RUSTFLAGS="--cfg loom"`, which also swaps the
 //! pool's and evaluator's sync primitives for loom's instrumented
@@ -155,6 +160,95 @@ fn c002_run_batch_dedup_under_worker_interleavings() {
         assert_eq!(m.executions, 2, "duplicate submission deduplicated");
         assert_eq!(m.cache_hits, 1);
         assert_eq!(engine.cached_results(), 2);
+    });
+}
+
+/// C006: two threads populate *different* keys — digest-selected, so
+/// possibly in different shards — then each reads back the sibling key.
+/// On every interleaving both entries must be memoized exactly once per
+/// shard, the sibling readback must be served (as an execution or a hit,
+/// never an error or a lost entry), and `cached_results` must sum the
+/// shard sizes to exactly two.
+#[test]
+fn c006_sharded_cache_cross_key_population_converges() {
+    loom::model(|| {
+        let engine = EvalEngine::new(1);
+        let app = StubApp::new();
+        let k1 = InputParams::new(vec![1.0]);
+        let k2 = InputParams::new(vec![2.0]);
+        let schedule = PhaseSchedule::accurate(1);
+        loom::thread::scope(|s| {
+            let (engine, app, schedule) = (&engine, &app, &schedule);
+            let (a, b) = (&k1, &k2);
+            s.spawn(move || {
+                assert_eq!(engine.run(app, a, schedule).unwrap().output, vec![1.0]);
+                assert_eq!(engine.run(app, b, schedule).unwrap().output, vec![2.0]);
+            });
+            s.spawn(move || {
+                assert_eq!(engine.run(app, b, schedule).unwrap().output, vec![2.0]);
+                assert_eq!(engine.run(app, a, schedule).unwrap().output, vec![1.0]);
+            });
+        });
+        let m = engine.metrics();
+        assert_eq!(
+            m.executions + m.cache_hits,
+            4,
+            "every request either executed or hit"
+        );
+        assert!(
+            (2..=4).contains(&m.executions),
+            "each key executes at least once; same-key races may double"
+        );
+        assert_eq!(
+            engine.cached_results(),
+            2,
+            "both keys memoized; shard sum is exact"
+        );
+    });
+}
+
+/// C006 (batch path): the batch insert-back takes each result's shard
+/// lock individually, racing a concurrent direct `run` on one of the
+/// batch's keys. Whichever side wins each per-shard race, no entry is
+/// lost, nothing is double-memoized, and every request is answered.
+#[test]
+fn c006_batch_insert_back_races_with_direct_run() {
+    loom::model(|| {
+        let engine = EvalEngine::new(1);
+        let app = StubApp::new();
+        let shared = InputParams::new(vec![1.0]);
+        let schedule = PhaseSchedule::accurate(1);
+        loom::thread::scope(|s| {
+            let (engine, app, schedule) = (&engine, &app, &schedule);
+            let shared = &shared;
+            s.spawn(move || {
+                let jobs = vec![
+                    (shared.clone(), schedule.clone()),
+                    (InputParams::new(vec![2.0]), schedule.clone()),
+                ];
+                let results = engine.run_batch(app, &jobs).unwrap();
+                assert_eq!(results[0].output, vec![1.0]);
+                assert_eq!(results[1].output, vec![2.0]);
+            });
+            s.spawn(move || {
+                assert_eq!(engine.run(app, shared, schedule).unwrap().output, vec![1.0]);
+            });
+        });
+        let m = engine.metrics();
+        assert_eq!(
+            m.executions + m.cache_hits,
+            3,
+            "every request either executed or hit"
+        );
+        assert!(
+            (2..=3).contains(&m.executions),
+            "the shared key may double-execute but never loses"
+        );
+        assert_eq!(
+            engine.cached_results(),
+            2,
+            "one memoized entry per distinct key, summed across shards"
+        );
     });
 }
 

@@ -123,6 +123,15 @@ impl PolynomialFeatures {
     pub fn transform(&self, xs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, MlError> {
         xs.iter().map(|x| self.transform_one(x)).collect()
     }
+
+    /// Exponent vectors of the non-constant output features, in output
+    /// order. Each inner slice has one exponent per input variable; the
+    /// struct-of-arrays prediction path walks these to rebuild every
+    /// monomial with exactly the multiplication sequence of
+    /// [`PolynomialFeatures::transform_one`].
+    pub(crate) fn exponents(&self) -> &[Vec<usize>] {
+        &self.exponents
+    }
 }
 
 /// Appends all exponent vectors of `num_vars` variables summing to
@@ -249,6 +258,37 @@ impl Standardizer {
     /// Returns [`MlError::FeatureMismatch`] on the first malformed row.
     pub fn transform(&self, xs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, MlError> {
         xs.iter().map(|x| self.transform_one(x)).collect()
+    }
+
+    /// Standardizes a flat row-major batch into a *column-major* buffer:
+    /// appends all of column 0, then all of column 1, and so on. Each
+    /// value is produced by exactly the `(v - mean) / std` expression of
+    /// [`Standardizer::transform_one`], so the transposed layout stays
+    /// bit-identical per value; only the memory order changes, which is
+    /// what lets the struct-of-arrays prediction path stream contiguous
+    /// columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureMismatch`] if `rows.len()` is not a
+    /// multiple of the fitted column count.
+    pub fn transform_flat_transposed(
+        &self,
+        rows: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), MlError> {
+        let dim = self.means.len();
+        if dim == 0 || !rows.len().is_multiple_of(dim) {
+            return Err(MlError::FeatureMismatch {
+                expected: dim,
+                actual: rows.len() % dim.max(1),
+            });
+        }
+        out.reserve(rows.len());
+        for ((c, m), s) in (0..dim).zip(self.means.iter()).zip(self.stds.iter()) {
+            out.extend(rows.iter().skip(c).step_by(dim).map(|v| (v - m) / s));
+        }
+        Ok(())
     }
 }
 

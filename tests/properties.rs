@@ -2,9 +2,34 @@
 
 use opprox::approx_rt::config::{config_space_size, enumerate_configs, sample_configs};
 use opprox::approx_rt::{ApproxApp, InputParams, LevelConfig, PhaseSchedule};
+use opprox::core::modeling::{AppModels, ModelingOptions};
+use opprox::core::optimizer::{exhaustive_phase_oracle, optimize_phase, Conservatism};
+use opprox::core::sampling::{collect_training_data, SamplingPlan};
 use opprox_apps::Pso;
 use opprox_testutil::fixtures::{blocks_with_levels, pso_blocks};
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// PSO models fitted once and shared across property cases (fitting is
+/// far more expensive than the searches under test).
+fn pso_models() -> &'static AppModels {
+    static MODELS: OnceLock<AppModels> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let app = Pso::new();
+        let inputs = vec![
+            InputParams::new(vec![16.0, 3.0]),
+            InputParams::new(vec![24.0, 4.0]),
+        ];
+        let plan = SamplingPlan {
+            num_phases: 2,
+            sparse_samples: 10,
+            whole_run_samples: 0,
+            seed: 5,
+        };
+        let data = collect_training_data(&app, &inputs, &plan).unwrap();
+        AppModels::fit(&data, 2, &ModelingOptions::default()).unwrap()
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -35,7 +60,7 @@ proptest! {
     #[test]
     fn config_enumeration_matches_size(levels in proptest::collection::vec(0u8..4, 1..4)) {
         let blocks = blocks_with_levels(&levels);
-        let all = enumerate_configs(&blocks);
+        let all: Vec<_> = enumerate_configs(&blocks).collect();
         prop_assert_eq!(all.len() as u64, config_space_size(&blocks));
         let set: std::collections::HashSet<_> = all.iter().collect();
         prop_assert_eq!(set.len(), all.len());
@@ -76,4 +101,73 @@ proptest! {
         prop_assert_eq!(app.qos_degradation(&g, &g), 0.0);
         prop_assert_eq!(g.speedup_over(&g), 1.0);
     }
+
+    /// The bound-pruned per-phase search returns the *bitwise identical*
+    /// plan to the exhaustive oracle, in both conservatism modes, across
+    /// randomized sub-spaces of the trained block space, and its node
+    /// accounting always balances (`visited == expanded + pruned`).
+    #[test]
+    fn pruned_phase_search_matches_exhaustive_oracle(
+        maxes in proptest::collection::vec(1u8..6, 3),
+        budget in 0.0f64..40.0,
+        phase in 0usize..2,
+        band in 0u8..2,
+        swarm in 12u32..28,
+    ) {
+        let models = pso_models();
+        let mut blocks = pso_blocks();
+        for (b, &m) in blocks.iter_mut().zip(&maxes) {
+            b.max_level = m;
+        }
+        prop_assert!(config_space_size(&blocks) <= opprox::core::optimizer::EXHAUSTIVE_LIMIT);
+        let input = InputParams::new(vec![swarm as f64, 3.0]);
+        let cons = if band == 1 { Conservatism::Band } else { Conservatism::Point };
+        let (pruned, stats) =
+            optimize_phase(models, &blocks, &input, phase, budget, cons).unwrap();
+        let oracle =
+            exhaustive_phase_oracle(models, &blocks, &input, phase, budget, cons).unwrap();
+        prop_assert_eq!(pruned, oracle);
+        prop_assert_eq!(stats.visited, stats.expanded + stats.pruned);
+        prop_assert!(stats.evaluated < config_space_size(&blocks));
+    }
+}
+
+/// The validated optimizer's outcome must not depend on how many worker
+/// threads the evaluation engine runs: the pruned search is sequential
+/// and the engine's batch results are order-stable, so one thread and
+/// eight must produce byte-identical schedules.
+#[test]
+fn schedule_is_identical_across_engine_thread_counts() {
+    use opprox::core::evaluator::EvalEngine;
+    use opprox::core::pipeline::{Opprox, TrainingOptions};
+    use opprox::core::request::OptimizeRequest;
+    use opprox::core::AccuracySpec;
+
+    let app = Pso::new();
+    let opts = TrainingOptions {
+        num_phases: Some(2),
+        sampling: SamplingPlan {
+            num_phases: 2,
+            sparse_samples: 8,
+            whole_run_samples: 0,
+            seed: 7,
+        },
+        ..TrainingOptions::default()
+    };
+    let trained = Opprox::train(&app, &opts).unwrap();
+    let input = InputParams::new(vec![16.0, 3.0]);
+
+    let schedule_with = |threads: usize| {
+        let engine = EvalEngine::new(threads);
+        let outcome = OptimizeRequest::new(input.clone(), AccuracySpec::new(12.0))
+            .validate_on(&app)
+            .engine(&engine)
+            .run(&trained)
+            .unwrap();
+        serde_json::to_string(&outcome.plan.schedule).unwrap()
+    };
+
+    let single = schedule_with(1);
+    let eight = schedule_with(8);
+    assert_eq!(single, eight, "schedule artifact varies with thread count");
 }
