@@ -1,7 +1,8 @@
-//! The diagnostics data model and the text/JSON emitters.
+//! The diagnostics data model and the text/JSON/SARIF emitters.
 //!
 //! Diagnostics are compiler-style: a stable rule code (`A0xx` for
-//! semantic lints, `C0xx` for concurrency rules), a severity, an
+//! semantic lints, `C0xx` for concurrency rules, `X0xx` for
+//! cross-artifact audit rules), a severity, an
 //! artifact *location* (a dotted path such as
 //! `schedule.phase[3].block[AB2]`), and a human-readable message. The
 //! JSON encoding is a stable schema — exactly the keys `code`,
@@ -161,6 +162,86 @@ impl Report {
         ])
         .render_compact()
     }
+
+    /// Renders the findings as a minimal SARIF 2.1.0 log, the
+    /// interchange format CI code-scanning UIs ingest. One run, driver
+    /// `opprox`; the driver's rule table lists each distinct fired code
+    /// (in code order, with its registry summary), and every finding
+    /// becomes a `result` whose logical location carries the artifact
+    /// path. Severities map `error`→`error`, `warning`→`warning`,
+    /// `info`→`note`. Built with the same deterministic value printer
+    /// as [`Report::render_json`], so output is byte-stable.
+    pub fn render_sarif(&self) -> String {
+        let mut fired: Vec<&'static str> = self.diagnostics.iter().map(|d| d.code).collect();
+        fired.sort_unstable();
+        fired.dedup();
+        let rules: Vec<Value> = fired
+            .iter()
+            .map(|code| {
+                let summary = crate::rules::rule(code).map_or("", |r| r.summary);
+                Value::Object(vec![
+                    ("id".into(), Value::String((*code).into())),
+                    (
+                        "shortDescription".into(),
+                        Value::Object(vec![("text".into(), Value::String(summary.into()))]),
+                    ),
+                ])
+            })
+            .collect();
+        let results: Vec<Value> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let level = match d.severity {
+                    Severity::Error => "error",
+                    Severity::Warn => "warning",
+                    Severity::Info => "note",
+                };
+                Value::Object(vec![
+                    ("ruleId".into(), Value::String(d.code.into())),
+                    ("level".into(), Value::String(level.into())),
+                    (
+                        "message".into(),
+                        Value::Object(vec![("text".into(), Value::String(d.message.clone()))]),
+                    ),
+                    (
+                        "locations".into(),
+                        Value::Array(vec![Value::Object(vec![(
+                            "logicalLocations".into(),
+                            Value::Array(vec![Value::Object(vec![(
+                                "fullyQualifiedName".into(),
+                                Value::String(d.location.clone()),
+                            )])]),
+                        )])]),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            (
+                "$schema".into(),
+                Value::String("https://json.schemastore.org/sarif-2.1.0.json".into()),
+            ),
+            ("version".into(), Value::String("2.1.0".into())),
+            (
+                "runs".into(),
+                Value::Array(vec![Value::Object(vec![
+                    (
+                        "tool".into(),
+                        Value::Object(vec![(
+                            "driver".into(),
+                            Value::Object(vec![
+                                ("name".into(), Value::String("opprox".into())),
+                                ("rules".into(), Value::Array(rules)),
+                            ]),
+                        )]),
+                    ),
+                    ("results".into(), Value::Array(results)),
+                ])]),
+            ),
+        ])
+        .render_compact()
+    }
 }
 
 #[cfg(test)]
@@ -216,5 +297,38 @@ mod tests {
         let first = diags[0].as_object().unwrap();
         let keys: Vec<&str> = first.iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(keys, ["code", "severity", "location", "message"]);
+    }
+
+    #[test]
+    fn sarif_emitter_is_parseable_and_carries_rules_and_results() {
+        let sarif = sample().render_sarif();
+        let v = serde_json::parse_value(&sarif).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj[0].0, "$schema");
+        assert_eq!(obj[1].1, Value::String("2.1.0".into()));
+        let Value::Array(runs) = &obj[2].1 else {
+            panic!("runs is an array");
+        };
+        let run = runs[0].as_object().unwrap();
+        let driver = run[0].1.as_object().unwrap()[0].1.as_object().unwrap();
+        assert_eq!(driver[0].1, Value::String("opprox".into()));
+        let Value::Array(rules) = &driver[1].1 else {
+            panic!("rules is an array");
+        };
+        // Distinct fired codes, in code order.
+        assert_eq!(
+            rules[0].as_object().unwrap()[0].1,
+            Value::String("A001".into())
+        );
+        assert_eq!(rules.len(), 2);
+        let Value::Array(results) = &run[1].1 else {
+            panic!("results is an array");
+        };
+        assert_eq!(results.len(), 2);
+        let first = results[0].as_object().unwrap();
+        assert_eq!(first[0].1, Value::String("A001".into()));
+        assert_eq!(first[1].1, Value::String("error".into()));
+        // Same input twice → identical bytes (the emitter is pure).
+        assert_eq!(sarif, sample().render_sarif());
     }
 }

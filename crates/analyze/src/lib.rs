@@ -34,6 +34,13 @@
 //! assert_eq!(d.location, "schedule.phase[1].block[AB0]");
 //! ```
 //!
+//! Beyond the single-artifact lints, [`audit`] runs the `X0xx`
+//! *cross-artifact* rules (see [`cross`]) over a whole session — a
+//! trained model set, schedules, a telemetry trace, and a robustness
+//! report from one run — and statically verifies that the artifacts
+//! agree with each other: budgets conserve, counters telescope, spans
+//! nest, realized speedups sit inside the model's band.
+//!
 //! [`PhaseSchedule`]: opprox_approx_rt::PhaseSchedule
 //! [`AccuracySpec`]: opprox_core::AccuracySpec
 
@@ -41,17 +48,36 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod cross;
 pub mod diag;
 pub mod rules;
+pub mod session;
 
 pub use artifact::{Artifact, ArtifactSet};
+pub use cross::DEFAULT_DRIFT_TOLERANCE;
 pub use diag::{Diagnostic, Report, Severity};
 pub use rules::{rule, RuleInfo, RuleKind, RULES};
+pub use session::{Session, SessionModel};
 
 /// Runs every semantic lint over the artifact set and returns the
 /// sorted report.
 pub fn analyze(set: &ArtifactSet) -> Report {
     let mut report = Report::new();
     rules::run_all(set, &mut report);
+    report
+}
+
+/// Runs every cross-artifact audit rule over the session's artifacts
+/// and returns the sorted report. `tolerance` is the X001 drift band
+/// widening ([`DEFAULT_DRIFT_TOLERANCE`] when unconfigured).
+pub fn audit(artifacts: impl IntoIterator<Item = Artifact>, tolerance: f64) -> Report {
+    audit_session(&Session::from_artifacts(artifacts), tolerance)
+}
+
+/// [`audit`] over an already-assembled [`Session`].
+pub fn audit_session(session: &Session, tolerance: f64) -> Report {
+    let mut report = Report::new();
+    cross::run_audit(session, tolerance, &mut report);
+    report.sort();
     report
 }

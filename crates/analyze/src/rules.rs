@@ -30,6 +30,10 @@ pub enum RuleKind {
     /// A CI job (Miri or ThreadSanitizer) over the pool/evaluator test
     /// subset.
     CiJob,
+    /// A cross-artifact audit rule executed by [`crate::audit`]: it
+    /// needs two or more linked artifacts of one session, so it cannot
+    /// run as a single-artifact lint.
+    Audit,
 }
 
 /// One registry entry: the stable code, its severity when it fires, and
@@ -200,6 +204,54 @@ pub const RULES: &[RuleInfo] = &[
         kind: RuleKind::ModelCheck,
         summary: "sharded execution cache loses no entries under per-shard locking",
     },
+    RuleInfo {
+        code: "X001",
+        severity: Severity::Warn,
+        kind: RuleKind::Audit,
+        summary: "realized per-phase speedup stays inside the model's observed band",
+    },
+    RuleInfo {
+        code: "X002",
+        severity: Severity::Error,
+        kind: RuleKind::Audit,
+        summary: "optimize.phase ledger conserves the declared QoS budget",
+    },
+    RuleInfo {
+        code: "X003",
+        severity: Severity::Error,
+        kind: RuleKind::Audit,
+        summary: "per-key evaluation counters telescope to their totals",
+    },
+    RuleInfo {
+        code: "X004",
+        severity: Severity::Error,
+        kind: RuleKind::Audit,
+        summary: "span timeline is a well-formed tree matching its aggregates",
+    },
+    RuleInfo {
+        code: "X005",
+        severity: Severity::Error,
+        kind: RuleKind::Audit,
+        summary: "robustness report agrees with the trace it summarizes",
+    },
+    RuleInfo {
+        code: "X006",
+        severity: Severity::Error,
+        kind: RuleKind::Audit,
+        summary: "every schedule is executable against the session's block set",
+    },
+    RuleInfo {
+        code: "X007",
+        severity: Severity::Warn,
+        kind: RuleKind::Audit,
+        summary: "composed plan prediction follows from its per-phase parts",
+    },
+    RuleInfo {
+        code: "X008",
+        severity: Severity::Info,
+        kind: RuleKind::Audit,
+        summary: "audit coverage: reports rules skipped for missing artifacts",
+    },
 ];
 
 /// Registry lookup by code.
@@ -239,7 +291,7 @@ pub fn run_all(set: &ArtifactSet, report: &mut Report) {
     report.sort();
 }
 
-fn diag(report: &mut Report, code: &'static str, location: String, message: String) {
+pub(crate) fn diag(report: &mut Report, code: &'static str, location: String, message: String) {
     let info = rule(code).expect("registered rule code");
     report.push(Diagnostic {
         code,
@@ -882,7 +934,32 @@ mod tests {
         assert_eq!(codes, sorted, "codes unique and in order");
         assert!(rule("A001").is_some());
         assert!(rule("C005").is_some());
+        assert!(rule("X001").is_some());
         assert!(rule("Z999").is_none());
+    }
+
+    #[test]
+    fn every_registered_code_is_catalogued_in_design_md() {
+        let design = include_str!("../../../DESIGN.md");
+        for r in RULES {
+            assert!(
+                design.contains(&format!("| {} ", r.code)),
+                "{} has no catalog row in DESIGN.md",
+                r.code
+            );
+        }
+    }
+
+    #[test]
+    fn audit_rules_are_audits_and_only_they_are() {
+        for r in RULES {
+            assert_eq!(
+                r.code.starts_with('X'),
+                r.kind == RuleKind::Audit,
+                "{}: the X prefix and the Audit kind must coincide",
+                r.code
+            );
+        }
     }
 
     #[test]

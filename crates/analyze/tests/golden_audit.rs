@@ -1,0 +1,108 @@
+//! Golden-file guard for `opprox audit` text output.
+//!
+//! The audit's rendered text is part of the CI surface (the audit-smoke
+//! job greps it, users diff it across runs), and its determinism is a
+//! stated contract. This test pins the bytes a fixed synthetic session
+//! renders to against `tests/golden/audit.txt`. The session is built
+//! from handcrafted events and counters only — no engine, no clock — so
+//! it is identical on every platform.
+
+use opprox_analyze::{audit_session, Session, DEFAULT_DRIFT_TOLERANCE};
+use opprox_approx_rt::{LevelConfig, PhaseSchedule};
+use opprox_core::Telemetry;
+use opprox_testutil::fixtures::pso_blocks;
+
+/// A session seeded with one defect per applicable rule family: an
+/// out-of-ROI-order ledger (X002), a non-telescoping counter (X003),
+/// ledger events with no matching phase spans (X004), an unexecutable
+/// schedule level (X006), and a plan that does not compose (X007).
+/// X001/X005 skip (no trained model, no robustness report) as X008
+/// coverage notes.
+fn fixed_session() -> Session {
+    let t = Telemetry::new();
+    t.event(
+        "optimize.start",
+        &[("solve", 0.0), ("budget", 10.0), ("phases", 2.0)],
+    );
+    t.event(
+        "optimize.phase",
+        &[
+            ("solve", 0.0),
+            ("step", 0.0),
+            ("phase", 0.0),
+            ("roi", 1.0),
+            ("allocated", 6.0),
+            ("leftover_in", 0.0),
+            ("leftover_out", 1.0),
+            ("predicted_qos", 5.0),
+            ("predicted_speedup", 1.5),
+        ],
+    );
+    t.event(
+        "optimize.phase",
+        &[
+            ("solve", 0.0),
+            ("step", 1.0),
+            ("phase", 1.0),
+            ("roi", 2.0),
+            ("allocated", 5.0),
+            ("leftover_in", 1.0),
+            ("leftover_out", 0.0),
+            ("predicted_qos", 5.0),
+            ("predicted_speedup", 1.25),
+        ],
+    );
+    t.event(
+        "optimize.plan",
+        &[
+            ("solve", 0.0),
+            ("predicted_speedup", 2.0),
+            ("predicted_qos", 10.0),
+        ],
+    );
+    t.add("eval.exec", 5);
+    t.add("eval.exec[0x00000000000000ff]", 3);
+    Session {
+        trained: None,
+        blocks: Some(pso_blocks()),
+        schedules: vec![PhaseSchedule::new(
+            vec![LevelConfig::new(vec![9, 0, 0]), LevelConfig::accurate(3)],
+            100,
+        )
+        .unwrap()],
+        telemetry: Some(t.report()),
+        robustness: None,
+    }
+}
+
+#[test]
+fn audit_text_matches_golden_file() {
+    let golden = include_str!("golden/audit.txt");
+    let rendered = audit_session(&fixed_session(), DEFAULT_DRIFT_TOLERANCE).render_text();
+    assert_eq!(
+        rendered, golden,
+        "audit text output is a stable interface; if this change is \
+         intentional, regenerate tests/golden/audit.txt"
+    );
+}
+
+/// Regenerates the golden file after an intentional output change:
+/// `cargo test -p opprox-analyze --test golden_audit -- --ignored regenerate`
+#[test]
+#[ignore = "writes the golden file; run explicitly after output changes"]
+fn regenerate_golden() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/audit.txt");
+    let rendered = audit_session(&fixed_session(), DEFAULT_DRIFT_TOLERANCE).render_text();
+    std::fs::write(path, rendered).unwrap();
+}
+
+#[test]
+fn golden_file_covers_the_expected_rule_families() {
+    let golden = include_str!("golden/audit.txt");
+    for code in ["X002", "X003", "X004", "X006", "X007", "X008"] {
+        assert!(
+            golden.contains(code),
+            "{code} missing from the golden audit"
+        );
+    }
+}

@@ -5,9 +5,10 @@
 //! collected, then immediately checked against the selected command's
 //! flag set and converted into a typed [`Command`]. Unknown commands and
 //! unknown flags fail **at parse time** with a nearest-match suggestion,
-//! so nothing stringly-typed survives into dispatch. Only `analyze`
-//! (its artifact files) and `trace` (its subcommand and trace file) take
-//! positional arguments; everywhere else a positional is an error.
+//! so nothing stringly-typed survives into dispatch. Only `analyze` and
+//! `audit` (their artifact files) and `trace` (its subcommand and trace
+//! file) take positional arguments; everywhere else a positional is an
+//! error.
 
 use opprox_core::{FaultPlan, RecoveryPolicy};
 use std::collections::BTreeMap;
@@ -112,6 +113,17 @@ pub enum Command {
         format: OutputFormat,
         /// Treat warnings as fatal (`--deny warnings`).
         deny_warnings: bool,
+    },
+    /// Cross-artifact audit of one run's linked artifacts.
+    Audit {
+        /// Paths to artifact files or directories of them.
+        artifacts: Vec<String>,
+        /// Report format.
+        format: OutputFormat,
+        /// Treat warnings as fatal (`--deny warnings`).
+        deny_warnings: bool,
+        /// X001 drift band widening (`--tolerance T`).
+        tolerance: f64,
     },
     /// OPPROX (validated) vs the oracle in one shot.
     Compare {
@@ -235,13 +247,15 @@ pub enum ClientOp {
     Shutdown,
 }
 
-/// How `opprox analyze` renders its report.
+/// How `opprox analyze` / `opprox audit` render their reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OutputFormat {
     /// Human-readable, compiler-style lines.
     Text,
     /// The stable JSON schema (golden-file tested in `opprox-analyze`).
     Json,
+    /// Minimal SARIF 2.1.0 for CI code-scanning upload.
+    Sarif,
 }
 
 /// `(name, allowed flags)` for every command, used for validation and
@@ -309,6 +323,7 @@ const COMMANDS: &[(&str, &[&str])] = &[
     ),
     ("inspect", &["model"]),
     ("analyze", &["format", "deny"]),
+    ("audit", &["format", "deny", "tolerance"]),
     (
         "compare",
         &[
@@ -408,7 +423,8 @@ pub enum ArgError {
     },
     /// A positional argument appeared where a flag was expected.
     UnexpectedPositional(String),
-    /// `opprox analyze` was invoked with no artifact files.
+    /// `opprox analyze` or `opprox audit` was invoked with no artifact
+    /// files.
     NoArtifacts,
     /// `opprox trace` was invoked with anything other than
     /// `summarize FILE`.
@@ -452,8 +468,8 @@ impl fmt::Display for ArgError {
             }
             ArgError::NoArtifacts => write!(
                 f,
-                "`opprox analyze` needs at least one artifact file; \
-                 try `opprox analyze model.json schedule.json`"
+                "`opprox analyze`/`opprox audit` need at least one artifact \
+                 file or directory; try `opprox analyze model.json schedule.json`"
             ),
             ArgError::BadTraceUsage => write!(
                 f,
@@ -517,7 +533,7 @@ impl RawArgs {
                 given: self.command,
             });
         };
-        if name != "analyze" && name != "trace" {
+        if name != "analyze" && name != "audit" && name != "trace" {
             if let Some(stray) = self.positionals.first() {
                 return Err(ArgError::UnexpectedPositional(stray.clone()));
             }
@@ -589,6 +605,17 @@ impl RawArgs {
                 Command::Analyze {
                     format: self.output_format()?,
                     deny_warnings: self.deny_warnings()?,
+                    artifacts: self.positionals,
+                }
+            }
+            "audit" => {
+                if self.positionals.is_empty() {
+                    return Err(ArgError::NoArtifacts);
+                }
+                Command::Audit {
+                    format: self.output_format()?,
+                    deny_warnings: self.deny_warnings()?,
+                    tolerance: self.tolerance()?,
                     artifacts: self.positionals,
                 }
             }
@@ -728,16 +755,33 @@ impl RawArgs {
         }
     }
 
-    /// `--format text|json` (default `text`).
+    /// `--format text|json|sarif` (default `text`).
     fn output_format(&self) -> Result<OutputFormat, ArgError> {
         match self.get("format") {
             None | Some("text") => Ok(OutputFormat::Text),
             Some("json") => Ok(OutputFormat::Json),
+            Some("sarif") => Ok(OutputFormat::Sarif),
             Some(raw) => Err(ArgError::BadValue {
                 flag: "format".to_string(),
                 value: raw.to_string(),
-                expected: "`text` or `json`",
+                expected: "`text`, `json`, or `sarif`",
             }),
+        }
+    }
+
+    /// `--tolerance T` for the X001 drift band (finite, non-negative;
+    /// defaults to [`opprox_analyze::DEFAULT_DRIFT_TOLERANCE`]).
+    fn tolerance(&self) -> Result<f64, ArgError> {
+        match self.get("tolerance") {
+            None => Ok(opprox_analyze::DEFAULT_DRIFT_TOLERANCE),
+            Some(raw) => match raw.parse::<f64>() {
+                Ok(t) if t.is_finite() && t >= 0.0 => Ok(t),
+                _ => Err(ArgError::BadValue {
+                    flag: "tolerance".to_string(),
+                    value: raw.to_string(),
+                    expected: "a finite non-negative number",
+                }),
+            },
         }
     }
 
@@ -1171,6 +1215,64 @@ mod tests {
             parse(&["inspect", "m.json"]).unwrap_err(),
             ArgError::UnexpectedPositional("m.json".into())
         );
+    }
+
+    #[test]
+    fn audit_parses_artifacts_formats_and_tolerance() {
+        let c = parse(&["audit", "session/"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Audit {
+                artifacts: vec!["session/".into()],
+                format: OutputFormat::Text,
+                deny_warnings: false,
+                tolerance: opprox_analyze::DEFAULT_DRIFT_TOLERANCE,
+            }
+        );
+        let c = parse(&[
+            "audit",
+            "m.json",
+            "t.json",
+            "--format",
+            "sarif",
+            "--deny",
+            "warnings",
+            "--tolerance",
+            "0.5",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Audit {
+                artifacts: vec!["m.json".into(), "t.json".into()],
+                format: OutputFormat::Sarif,
+                deny_warnings: true,
+                tolerance: 0.5,
+            }
+        );
+        assert_eq!(parse(&["audit"]).unwrap_err(), ArgError::NoArtifacts);
+        assert!(matches!(
+            parse(&["audit", "m.json", "--tolerance", "-1"]).unwrap_err(),
+            ArgError::BadValue { flag, .. } if flag == "tolerance"
+        ));
+        assert!(matches!(
+            parse(&["audit", "m.json", "--tolerance", "NaN"]).unwrap_err(),
+            ArgError::BadValue { flag, .. } if flag == "tolerance"
+        ));
+        // `analyze` does not take --tolerance; the suggestion machinery
+        // still points somewhere sensible.
+        assert!(matches!(
+            parse(&["analyze", "m.json", "--tolerance", "0.5"]).unwrap_err(),
+            ArgError::UnknownFlag { command, .. } if command == "analyze"
+        ));
+        // SARIF is shared with analyze.
+        assert!(matches!(
+            parse(&["analyze", "m.json", "--format", "sarif"]).unwrap(),
+            Command::Analyze {
+                format: OutputFormat::Sarif,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -109,6 +109,12 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             format,
             deny_warnings,
         } => cmd_analyze(artifacts, *format, *deny_warnings, out),
+        Command::Audit {
+            artifacts,
+            format,
+            deny_warnings,
+            tolerance,
+        } => cmd_audit(artifacts, *format, *deny_warnings, *tolerance, out),
         Command::Compare {
             app,
             input,
@@ -218,9 +224,13 @@ pub fn cmd_help(out: &mut dyn std::io::Write) -> CmdResult {
          \x20 oracle   --app A --input I --budget B  phase-agnostic exhaustive baseline\n\
          \x20          [--threads T]\n\
          \x20 inspect  --model FILE                   summarize a trained model\n\
-         \x20 analyze  FILE...                        lint artifacts (models, schedules, specs,\n\
-         \x20          [--format text|json]           training data); exits nonzero on errors,\n\
+         \x20 analyze  FILE|DIR...                    lint artifacts (models, schedules, specs,\n\
+         \x20          [--format text|json|sarif]     training data); exits nonzero on errors,\n\
          \x20          [--deny warnings]              or on warnings under --deny warnings\n\
+         \x20 audit    FILE|DIR...                    cross-artifact session audit: link model,\n\
+         \x20          [--format text|json|sarif]     schedules, trace, and robustness report,\n\
+         \x20          [--deny warnings]              verify end-to-end invariants (X0xx rules);\n\
+         \x20          [--tolerance T]                T widens the X001 drift band (default 0.25)\n\
          \x20 compare  --app A --input I --budget B   OPPROX (validated) vs oracle in one shot\n\
          \x20          [--phases N] [--sparse K] [--seed S] [--threads T]\n\
          \x20          [--fault-plan P] [--max-retries R] [--eval-timeout-ms MS]\n\
@@ -784,29 +794,102 @@ fn cmd_analyze(
     out: &mut dyn std::io::Write,
 ) -> CmdResult {
     let mut set = ArtifactSet::default();
-    for path in artifacts {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let artifact = Artifact::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    for path in expand_artifact_paths(artifacts)? {
+        let (artifact, _) = load_artifact(&path)?;
         if let Some(kind) = set.add(artifact) {
             writeln!(out, "note: {path} replaces an earlier {kind} artifact")?;
         }
     }
     let report = opprox_analyze::analyze(&set);
+    render_report(&report, format, out)?;
+    fail_on_findings(&report, deny_warnings, "analysis")
+}
+
+/// `opprox audit`: classify every file of the session, link the
+/// artifacts, run the cross-artifact `X0xx` rules, render, and gate the
+/// exit status like `analyze` does. Unlike `analyze`, every schedule in
+/// the session is kept (a run emits many candidates), so nothing is
+/// replaced.
+fn cmd_audit(
+    artifacts: &[String],
+    format: OutputFormat,
+    deny_warnings: bool,
+    tolerance: f64,
+    out: &mut dyn std::io::Write,
+) -> CmdResult {
+    let mut loaded = Vec::new();
+    for path in expand_artifact_paths(artifacts)? {
+        loaded.push(load_artifact(&path)?.0);
+    }
+    let report = opprox_analyze::audit(loaded, tolerance);
+    render_report(&report, format, out)?;
+    fail_on_findings(&report, deny_warnings, "audit")
+}
+
+/// Expands each path that names a directory into its `*.json` entries,
+/// in file-name order, so `opprox audit session-dir/` works on a whole
+/// `--trace-out` + model + report dump. Plain file paths pass through
+/// untouched (they may be any kind; only directories are filtered to
+/// `.json`).
+fn expand_artifact_paths(paths: &[String]) -> Result<Vec<String>, Box<dyn Error>> {
+    let mut expanded = Vec::new();
+    for path in paths {
+        if std::fs::metadata(path).map(|m| m.is_dir()).unwrap_or(false) {
+            let mut entries: Vec<String> = std::fs::read_dir(path)
+                .map_err(|e| format!("reading directory {path}: {e}"))?
+                .filter_map(|entry| {
+                    let p = entry.ok()?.path();
+                    (p.extension().is_some_and(|ext| ext == "json"))
+                        .then(|| p.to_string_lossy().into_owned())
+                })
+                .collect();
+            entries.sort();
+            if entries.is_empty() {
+                return Err(format!("directory {path} contains no .json artifacts").into());
+            }
+            expanded.extend(entries);
+        } else {
+            expanded.push(path.clone());
+        }
+    }
+    Ok(expanded)
+}
+
+/// Reads and classifies one artifact file.
+fn load_artifact(path: &str) -> Result<(Artifact, String), Box<dyn Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let artifact = Artifact::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok((artifact, path.to_string()))
+}
+
+fn render_report(
+    report: &opprox_analyze::Report,
+    format: OutputFormat,
+    out: &mut dyn std::io::Write,
+) -> CmdResult {
     match format {
         OutputFormat::Text => write!(out, "{}", report.render_text())?,
         OutputFormat::Json => writeln!(out, "{}", report.render_json())?,
+        OutputFormat::Sarif => writeln!(out, "{}", report.render_sarif())?,
     }
+    Ok(())
+}
+
+/// The shared exit-status gate: errors always fail, warnings fail under
+/// `--deny warnings`. The report has already been printed — the
+/// findings are the point, not the exit code.
+fn fail_on_findings(report: &opprox_analyze::Report, deny_warnings: bool, what: &str) -> CmdResult {
     let (errors, warnings) = (report.errors(), report.warnings());
     if errors > 0 {
         return Err(format!(
-            "analysis found {errors} error{}",
+            "{what} found {errors} error{}",
             if errors == 1 { "" } else { "s" }
         )
         .into());
     }
     if deny_warnings && warnings > 0 {
         return Err(format!(
-            "analysis found {warnings} warning{} (denied by --deny warnings)",
+            "{what} found {warnings} warning{} (denied by --deny warnings)",
             if warnings == 1 { "" } else { "s" }
         )
         .into());
@@ -1180,6 +1263,62 @@ mod tests {
         std::fs::write(&junk, "17").unwrap();
         let err = run(&["analyze", junk.to_str().unwrap()]).unwrap_err();
         assert!(err.to_string().contains("unrecognized artifact"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn audit_over_session_directory_links_artifacts_and_gates_exit() {
+        let dir = std::env::temp_dir().join("opprox_cli_audit");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("model.json");
+        let trace = dir.join("trace.json");
+        run(&[
+            "train",
+            "--app",
+            "pso",
+            "--out",
+            model.to_str().unwrap(),
+            "--phases",
+            "2",
+            "--sparse",
+            "6",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        let dir_s = dir.to_str().unwrap();
+
+        // A healthy (model, trace) session: no findings beyond X008
+        // coverage notes, which survive --deny warnings.
+        let out = run(&["audit", dir_s, "--deny", "warnings"]).unwrap();
+        assert!(out.contains("0 errors, 0 warnings"), "{out}");
+        assert!(out.contains("info[X008]"), "{out}");
+
+        // SARIF renders from the same findings.
+        let sarif = run(&["audit", dir_s, "--format", "sarif"]).unwrap();
+        assert!(sarif.contains("sarif-2.1.0.json"), "{sarif}");
+        assert!(sarif.contains("\"ruleId\":\"X008\""), "{sarif}");
+
+        // Drop an unexecutable schedule into the session: X006 fires and
+        // the exit status gates.
+        std::fs::write(
+            dir.join("schedule.json"),
+            r#"{"configs":[{"levels":[9,0,0]},{"levels":[0,0,0]}],"expected_iters":100}"#,
+        )
+        .unwrap();
+        let command = Command::parse(["audit", dir_s].iter().map(|s| s.to_string())).unwrap();
+        let mut buf = Vec::new();
+        let result = dispatch(&command, &mut buf);
+        let rendered = String::from_utf8(buf).unwrap();
+        assert!(result.is_err(), "X006 must gate the exit status");
+        assert!(rendered.contains("error[X006]"), "{rendered}");
+
+        // An empty directory is an explicit error, not a silent pass.
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run(&["audit", empty.to_str().unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("no .json artifacts"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1343,6 +1343,19 @@ pub enum IssueKind {
     ShapeMismatch,
 }
 
+impl IssueKind {
+    /// The stable `opprox analyze` rule code this corruption maps to.
+    /// Boundary enforcers (model load, the serve reload audit) use it to
+    /// name the rule that rejected an artifact.
+    pub fn rule_code(self) -> &'static str {
+        match self {
+            IssueKind::NonFiniteCoefficient => "A004",
+            IssueKind::InvalidBand => "A007",
+            IssueKind::ShapeMismatch => "A012",
+        }
+    }
+}
+
 /// Checks one fitted model's submodels for non-finite coefficients and
 /// invalid confidence bands.
 fn check_target_model(model: &TargetModel, location: &str, issues: &mut Vec<IntegrityIssue>) {

@@ -197,10 +197,22 @@ pub fn optimize_traced(
     let mut chosen: Vec<Option<PhasePlan>> = vec![None; num_phases];
 
     // A per-registry solve id keeps events from the many candidate solves
-    // a validated request performs distinguishable in one trace.
+    // a validated request performs distinguishable in one trace. The root
+    // `optimize.start` event carries the total budget, so the per-phase
+    // allocations in the `optimize.phase` ledger telescope to an amount a
+    // cross-artifact audit can check (rule X002).
     let solve = telemetry.map(|t| {
         t.incr("optimize.solves");
-        (t.counter_value("optimize.solves") - 1) as f64
+        let solve = (t.counter_value("optimize.solves") - 1) as f64;
+        t.event(
+            "optimize.start",
+            &[
+                ("solve", solve),
+                ("budget", total_budget),
+                ("phases", num_phases as f64),
+            ],
+        );
+        solve
     });
 
     for (step, &phase) in order.iter().enumerate() {
@@ -211,8 +223,15 @@ pub fn optimize_traced(
         };
         let leftover_in = leftover;
         let phase_budget = total_budget * norm_roi + leftover;
-        let (best, stats) =
-            optimize_phase(models, blocks, input, phase, phase_budget, conservatism)?;
+        // The span path carries the phase id, linking the span tree to
+        // the `optimize.phase` event ledger (one span per phase visit).
+        let searched = match telemetry {
+            Some(t) => t.span(&format!("optimize/phase[{phase}]"), || {
+                optimize_phase(models, blocks, input, phase, phase_budget, conservatism)
+            }),
+            None => optimize_phase(models, blocks, input, phase, phase_budget, conservatism),
+        };
+        let (best, stats) = searched?;
         match best {
             Some(plan) => {
                 leftover = (phase_budget - plan.predicted_qos).max(0.0);

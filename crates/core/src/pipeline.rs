@@ -424,15 +424,15 @@ impl TrainedOpprox {
         serde_json::from_str(json).map_err(|e| OpproxError::Serialization(e.to_string()))
     }
 
-    /// Checks the trained system for corruption that would poison every
-    /// downstream prediction: the Error-severity subset of the `opprox
-    /// analyze` rules (A004 non-finite coefficients, A007 invalid
-    /// confidence bands, A012 shape mismatches).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`OpproxError::InvalidModel`] naming the first defects.
-    pub fn validate_integrity(&self) -> Result<(), OpproxError> {
+    /// Every corruption the Error-severity integrity audit finds in this
+    /// trained system (A004 non-finite coefficients, A007 invalid
+    /// confidence bands, A012 shape mismatches, including the
+    /// descriptor/model block-count check). Each issue's
+    /// [`IssueKind::rule_code`](crate::modeling::IssueKind::rule_code)
+    /// names the `opprox analyze` rule it maps to; boundary enforcers
+    /// like the serve reload audit use that to say *why* an artifact was
+    /// rejected.
+    pub fn integrity_issues(&self) -> Vec<crate::modeling::IntegrityIssue> {
         let mut issues = self.models.integrity_issues();
         if self.blocks.len() != self.models.num_blocks() {
             issues.insert(
@@ -448,6 +448,19 @@ impl TrainedOpprox {
                 },
             );
         }
+        issues
+    }
+
+    /// Checks the trained system for corruption that would poison every
+    /// downstream prediction: the Error-severity subset of the `opprox
+    /// analyze` rules (A004 non-finite coefficients, A007 invalid
+    /// confidence bands, A012 shape mismatches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpproxError::InvalidModel`] naming the first defects.
+    pub fn validate_integrity(&self) -> Result<(), OpproxError> {
+        let issues = self.integrity_issues();
         if issues.is_empty() {
             return Ok(());
         }

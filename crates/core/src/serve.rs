@@ -144,6 +144,11 @@ pub struct ServeState {
     cache: Vec<Mutex<HashMap<PlanKey, OptimizeReply>>>,
     tele: Telemetry,
     start_micros: u64,
+    /// The rendered diagnostic of the most recent refused reload
+    /// (`"A004 models.class[0]...: coefficient 2 is NaN"`), kept so
+    /// operators can see *why* the swap was refused — the event ledger
+    /// only carries the rule code numerically.
+    last_reload_rejection: Mutex<Option<String>>,
 }
 
 impl ServeState {
@@ -172,7 +177,17 @@ impl ServeState {
             cache: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             tele,
             start_micros,
+            last_reload_rejection: Mutex::new(None),
         }
+    }
+
+    /// The rendered diagnostic of the most recent refused hot reload,
+    /// `None` while every poll has accepted (or found nothing to do).
+    pub fn last_reload_rejection(&self) -> Option<String> {
+        self.last_reload_rejection
+            .lock()
+            .expect("reload rejection lock")
+            .clone()
     }
 
     /// The instance configuration.
@@ -245,29 +260,131 @@ impl ServeState {
     }
 
     /// One hot-reload poll: every file-backed entry whose (mtime, len)
-    /// changed is re-loaded and swapped in; a file that fails to parse
-    /// is counted (`serve.reload.error`) and the old artifact stays.
-    /// Returns how many entries were swapped.
+    /// changed is audited and — only if clean — swapped in. The audit is
+    /// the Error-severity rule set a corrupt candidate could violate:
+    /// the single-artifact integrity rules (A004/A007/A012) plus the
+    /// cross-artifact coverage check between the candidate's level space
+    /// and the plans currently served from the schedule cache (X006). A
+    /// rejected candidate leaves the old artifact installed, increments
+    /// `serve.reload.error` and `serve.reload.reject[CODE]`, and every
+    /// poll outcome lands in the `serve.reload` event ledger with the
+    /// rejecting rule encoded numerically (see [`rule_field`]). Returns
+    /// how many entries were swapped.
     pub fn poll_reload(&self) -> usize {
         let snap = self.snapshot();
         let mut swapped = 0;
-        for entry in snap.values() {
+        for (app, entry) in snap.iter() {
             let Some(path) = entry.path.as_deref() else {
                 continue;
             };
             if file_id(path) == entry.file_id {
                 continue;
             }
-            match TrainedOpprox::load(path) {
+            match self.audit_candidate(app, entry, path) {
                 Ok(trained) => {
                     self.install(trained, Some(path.to_path_buf()));
                     self.tele.incr("serve.reload");
+                    self.tele.event(
+                        "serve.reload",
+                        &[
+                            ("accepted", 1.0),
+                            ("generation", self.generation() as f64),
+                            ("rule", 0.0),
+                        ],
+                    );
                     swapped += 1;
                 }
-                Err(_) => self.tele.incr("serve.reload.error"),
+                Err(rejection) => {
+                    self.tele.incr("serve.reload.error");
+                    self.tele.incr(&format!(
+                        "serve.reload.reject[{}]",
+                        rejection.code.unwrap_or("unreadable")
+                    ));
+                    self.tele.event(
+                        "serve.reload",
+                        &[
+                            ("accepted", 0.0),
+                            ("generation", entry.generation as f64),
+                            ("rule", rule_field(rejection.code)),
+                        ],
+                    );
+                    *self
+                        .last_reload_rejection
+                        .lock()
+                        .expect("reload rejection lock") = Some(match rejection.code {
+                        Some(code) => format!("{code} {}", rejection.message),
+                        None => rejection.message,
+                    });
+                }
             }
         }
         swapped
+    }
+
+    /// The reload audit: loads the candidate artifact leniently, runs the
+    /// Error-severity integrity rules, and cross-checks the candidate's
+    /// level space against every plan the schedule cache is serving for
+    /// this app's current generation. Returns the audited system or the
+    /// first rejection (rule code + diagnostic).
+    fn audit_candidate(
+        &self,
+        app: &str,
+        entry: &ModelEntry,
+        path: &Path,
+    ) -> Result<TrainedOpprox, ReloadRejection> {
+        let json = std::fs::read_to_string(path).map_err(|e| ReloadRejection {
+            code: None,
+            message: format!("reading {}: {e}", path.display()),
+        })?;
+        let trained = TrainedOpprox::from_json(&json).map_err(|e| ReloadRejection {
+            code: None,
+            message: e.to_string(),
+        })?;
+        if let Some(issue) = trained.integrity_issues().into_iter().next() {
+            return Err(ReloadRejection {
+                code: Some(issue.kind.rule_code()),
+                message: format!("{}: {}", issue.location, issue.message),
+            });
+        }
+        // Cross-artifact coverage (rule X006): every (block, level) a
+        // cached plan of the serving generation selects must stay inside
+        // the candidate's trained level space, or in-flight clients
+        // would hold schedules the new model never covered.
+        let blocks = trained.blocks();
+        for shard in &self.cache {
+            let shard = shard.lock().expect("plan cache lock");
+            for (key, reply) in shard.iter() {
+                if key.app != app || key.generation != entry.generation {
+                    continue;
+                }
+                for (p, levels) in reply.levels.iter().enumerate() {
+                    if levels.len() != blocks.len() {
+                        return Err(ReloadRejection {
+                            code: Some("X006"),
+                            message: format!(
+                                "cached plan phase {p} sets {} blocks but the \
+                                 candidate trains {}",
+                                levels.len(),
+                                blocks.len()
+                            ),
+                        });
+                    }
+                    for (b, &level) in levels.iter().enumerate() {
+                        if level > u64::from(blocks[b].max_level) {
+                            return Err(ReloadRejection {
+                                code: Some("X006"),
+                                message: format!(
+                                    "cached plan phase {p} sets block {b} to level \
+                                     {level}, above the candidate's max level {}",
+                                    blocks[b].max_level
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(trained)
     }
 
     // -- request handling ---------------------------------------------
@@ -676,6 +793,33 @@ impl ServeState {
     }
 }
 
+/// Why a reload candidate was refused: the rejecting rule code (`None`
+/// when the file never deserialized far enough to audit) and the
+/// rendered diagnostic. The code lands in the `serve.reload.reject[..]`
+/// counter name and, numerically encoded, in the `serve.reload` event.
+struct ReloadRejection {
+    code: Option<&'static str>,
+    message: String,
+}
+
+/// Numeric encoding of a rule code for event fields (events carry only
+/// `f64`s): the series letter maps to a thousands digit (A = 1000,
+/// C = 2000, X = 3000) and the code's number is added, so `A004` is
+/// `1004.0` and `X006` is `3006.0`. `0.0` means "no rule" — the
+/// candidate was unreadable or not valid JSON.
+fn rule_field(code: Option<&str>) -> f64 {
+    let Some(code) = code else {
+        return 0.0;
+    };
+    let series = match code.as_bytes().first() {
+        Some(b'A') => 1000.0,
+        Some(b'C') => 2000.0,
+        Some(b'X') => 3000.0,
+        _ => 9000.0,
+    };
+    series + code[1..].parse::<f64>().unwrap_or(0.0)
+}
+
 /// (mtime, len) of a file, `None` when it cannot be stat'ed.
 fn file_id(path: &Path) -> Option<(SystemTime, u64)> {
     let meta = std::fs::metadata(path).ok()?;
@@ -984,5 +1128,153 @@ mod tests {
         let report = state.telemetry().report();
         assert_eq!(report.events_named("serve.admission").len(), 1);
         assert_eq!(report.counter("serve.shed"), 1);
+    }
+
+    /// Rewrites every value stored under `key`, anywhere in the tree
+    /// (local copy of the testutil mutator — core cannot depend on
+    /// opprox-testutil without a dev-dependency cycle).
+    fn rewrite_key(value: &mut serde::value::Value, key: &str, to: &serde::value::Value) {
+        use serde::value::Value;
+        match value {
+            Value::Object(entries) => {
+                for (k, v) in entries.iter_mut() {
+                    if k == key {
+                        *v = to.clone();
+                    } else {
+                        rewrite_key(v, key, to);
+                    }
+                }
+            }
+            Value::Array(items) => {
+                for item in items.iter_mut() {
+                    rewrite_key(item, key, to);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn reload_audit_rejects_corrupt_and_uncovering_candidates() {
+        use crate::telemetry::ManualClock;
+        use serde::value::{Number, Value};
+
+        let dir = std::env::temp_dir().join(format!("opprox-serve-reload-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let healthy = trained();
+        std::fs::write(&path, healthy.to_json().unwrap()).unwrap();
+
+        let clock = Arc::new(ManualClock::default());
+        let state = ServeState::with_clock(
+            ServeOptions {
+                threads: 1,
+                ..ServeOptions::default()
+            },
+            clock.clone(),
+        );
+        state.load_artifact(&path).unwrap();
+        assert_eq!(state.generation(), 1);
+
+        // Populate the plan cache so the X006 cross-check has a served
+        // schedule to pair with reload candidates.
+        let req = ApiRequest::Optimize(OptimizeParams::new("pso", vec![16.0, 3.0], 10.0));
+        let ApiResponse::Optimize(reply) = state.handle(&req) else {
+            panic!("expected an optimize reply");
+        };
+        assert!(
+            reply.levels.iter().flatten().any(|&l| l > 0),
+            "the cached plan must approximate something: {:?}",
+            reply.levels
+        );
+
+        // 1. Integrity rejection (A007): a negative band half-width
+        //    survives the JSON text round-trip, so it can reach disk.
+        let mut v = serde_json::parse_value(&healthy.to_json().unwrap()).unwrap();
+        let mut poisoned = false;
+        rewrite_first(&mut v, "half_width", &mut poisoned);
+        assert!(poisoned, "fixture must carry a confidence band");
+        std::fs::write(&path, v.render_compact()).unwrap();
+        clock.advance_micros(10);
+        assert_eq!(
+            state.poll_reload(),
+            0,
+            "the corrupt candidate must not swap"
+        );
+        assert_eq!(state.generation(), 1, "the old artifact stays installed");
+        assert_eq!(
+            state.telemetry().counter_value("serve.reload.reject[A007]"),
+            1
+        );
+        let msg = state.last_reload_rejection().expect("diagnostic kept");
+        assert!(msg.starts_with("A007 "), "{msg}");
+        assert!(msg.contains("half-width"), "{msg}");
+
+        // 2. Coverage rejection (X006): a structurally clean candidate
+        //    whose level space no longer covers the cached plan.
+        let mut v = serde_json::parse_value(&healthy.to_json().unwrap()).unwrap();
+        rewrite_key(&mut v, "max_level", &Value::Number(Number::U64(0)));
+        std::fs::write(&path, v.render_compact()).unwrap();
+        clock.advance_micros(10);
+        assert_eq!(state.poll_reload(), 0);
+        assert_eq!(
+            state.telemetry().counter_value("serve.reload.reject[X006]"),
+            1
+        );
+        let msg = state.last_reload_rejection().expect("diagnostic kept");
+        assert!(msg.starts_with("X006 "), "{msg}");
+
+        // 3. A healthy rewrite passes the audit, swaps, and closes the
+        //    ledger with an acceptance event.
+        std::fs::write(&path, healthy.to_json().unwrap()).unwrap();
+        clock.advance_micros(10);
+        assert_eq!(state.poll_reload(), 1);
+        assert_eq!(state.generation(), 2);
+        let report = state.telemetry().report();
+        let events = report.events_named("serve.reload");
+        assert_eq!(events.len(), 3, "one ledger event per poll outcome");
+        assert_eq!(events[0].field("accepted"), Some(0.0));
+        assert_eq!(
+            events[0].field("rule"),
+            Some(1007.0),
+            "A007 encodes as 1007"
+        );
+        assert_eq!(
+            events[1].field("rule"),
+            Some(3006.0),
+            "X006 encodes as 3006"
+        );
+        assert_eq!(events[2].field("accepted"), Some(1.0));
+        assert_eq!(events[2].field("rule"), Some(0.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Sets the first `half_width` in the tree to `-2.5` (tree order).
+    fn rewrite_first(value: &mut serde::value::Value, key: &str, done: &mut bool) {
+        use serde::value::{Number, Value};
+        match value {
+            Value::Object(entries) => {
+                for (k, v) in entries.iter_mut() {
+                    if *done {
+                        return;
+                    }
+                    if k == key {
+                        *v = Value::Number(Number::F64(-2.5));
+                        *done = true;
+                        return;
+                    }
+                    rewrite_first(v, key, done);
+                }
+            }
+            Value::Array(items) => {
+                for item in items.iter_mut() {
+                    if *done {
+                        return;
+                    }
+                    rewrite_first(item, key, done);
+                }
+            }
+            _ => {}
+        }
     }
 }
