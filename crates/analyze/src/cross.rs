@@ -11,7 +11,8 @@
 //! must be executable against the model's block set (X006), and the
 //! composed plan prediction must follow from its per-phase parts
 //! (X007). X008 reports which of these could not run because the
-//! session lacks an artifact.
+//! session lacks an artifact, and the adaptive controller's
+//! `control.step` budget ledger must conserve what it reclaims (X009).
 //!
 //! All iteration is over `Vec`s and `BTreeMap`s in deterministic order
 //! and the report is sorted before rendering, so audit output is
@@ -89,8 +90,10 @@ pub fn run_audit(session: &Session, tolerance: f64, report: &mut Report) {
     }
     if has_trace {
         check_x007(&model, report);
+        check_x009(&model, report);
     } else {
         skipped(report, "X007", trace);
+        skipped(report, "X009", trace);
     }
 }
 
@@ -596,6 +599,71 @@ fn check_x006(session: &Session, report: &mut Report) {
                         ),
                     );
                 }
+            }
+        }
+    }
+}
+
+/// X009: the adaptive controller's `control.step` ledger conserves
+/// budget. At every re-plan step the controller reclaims the unspent
+/// remainder and immediately redistributes all of it across the
+/// remaining phases, so per step and over the whole session
+/// Σ reclaimed = Σ redistributed holds exactly by construction — a
+/// mismatch means budget leaked out of (or was conjured into) the
+/// feedback loop and the re-planned schedule's QoS constraint is
+/// untrustworthy. The closing `control.plan` totals must agree with the
+/// step sums for the same reason. Traces without controller events
+/// silently pass.
+fn check_x009(model: &SessionModel, report: &mut Report) {
+    for control in &model.controls {
+        if control.steps.is_empty() {
+            continue;
+        }
+        let reclaimed: f64 = control.steps.iter().map(|s| s.reclaimed).sum();
+        let redistributed: f64 = control.steps.iter().map(|s| s.redistributed).sum();
+        let location = format!("trace.event[control.start session={}]", control.id);
+        if !approx_eq(reclaimed, redistributed) {
+            diag(
+                report,
+                "X009",
+                location.clone(),
+                format!(
+                    "controller ledger leaks budget: the control.step events \
+                     reclaim {reclaimed} but redistribute {redistributed}; the \
+                     loop redistributes exactly what it reclaims, so the trace \
+                     is corrupt or the feedback loop dropped budget"
+                ),
+            );
+        }
+        if let Some((plan_reclaimed, plan_redistributed)) = control.totals {
+            if !approx_eq(plan_reclaimed, reclaimed)
+                || !approx_eq(plan_redistributed, redistributed)
+            {
+                diag(
+                    report,
+                    "X009",
+                    format!("trace.event[control.plan session={}]", control.id),
+                    format!(
+                        "control.plan totals (reclaimed {plan_reclaimed}, \
+                         redistributed {plan_redistributed}) disagree with the \
+                         step ledger sums ({reclaimed}, {redistributed})"
+                    ),
+                );
+            }
+        }
+        if let Some(declared) = control.declared_phases {
+            if control.steps.len() > declared {
+                diag(
+                    report,
+                    "X009",
+                    location,
+                    format!(
+                        "session declared {declared} phases but the ledger has \
+                         {} control.step events; the walk emits at most one \
+                         step per phase",
+                        control.steps.len()
+                    ),
+                );
             }
         }
     }

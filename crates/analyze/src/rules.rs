@@ -169,6 +169,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "phase-search pruning statistics are self-inconsistent or degenerate",
     },
     RuleInfo {
+        code: "A020",
+        severity: Severity::Warn,
+        kind: RuleKind::Lint,
+        summary: "adaptive controller re-planned more often than it has phases (thrashing)",
+    },
+    RuleInfo {
         code: "C001",
         severity: Severity::Error,
         kind: RuleKind::ModelCheck,
@@ -252,6 +258,12 @@ pub const RULES: &[RuleInfo] = &[
         kind: RuleKind::Audit,
         summary: "audit coverage: reports rules skipped for missing artifacts",
     },
+    RuleInfo {
+        code: "X009",
+        severity: Severity::Error,
+        kind: RuleKind::Audit,
+        summary: "control.step ledger conserves budget (Σ reclaimed = Σ redistributed)",
+    },
 ];
 
 /// Registry lookup by code.
@@ -288,6 +300,7 @@ pub fn run_all(set: &ArtifactSet, report: &mut Report) {
     lint_cache_hit_rate(set, report);
     lint_admission_control_ledger(set, report);
     lint_search_pruning_ledger(set, report);
+    lint_controller_thrashing(set, report);
     report.sort();
 }
 
@@ -904,6 +917,59 @@ fn lint_search_pruning_ledger(set: &ArtifactSet, report: &mut Report) {
                      {limit:.0} exhaustive threshold) without pruning a single \
                      subtree; the admissible bounds have degenerated and the \
                      search is an exhaustive scan in disguise"
+                ),
+            );
+        }
+    }
+}
+
+/// A020 — the adaptive controller walks each phase once and can re-plan
+/// at most once per phase visited, so a session whose re-plan count
+/// exceeds its declared phase count is thrashing: every drift check
+/// fires, each re-plan immediately drifts again, and the controller is
+/// churning the optimizer instead of converging on a schedule. The
+/// count is taken from both halves of the ledger — `replanned` flags on
+/// `control.step` events and the closing `control.plan` summary — so a
+/// corrupted summary is caught even when the steps look sane. Needs a
+/// telemetry report; traces without controller events silently pass.
+fn lint_controller_thrashing(set: &ArtifactSet, report: &mut Report) {
+    let Some(tele) = &set.telemetry else {
+        return;
+    };
+    for start in tele.events_named("control.start") {
+        let (Some(session), Some(phases)) = (start.field("session"), start.field("phases")) else {
+            continue;
+        };
+        let step_replans: f64 = tele
+            .events_named("control.step")
+            .iter()
+            .filter(|e| e.field("session") == Some(session))
+            .map(|e| {
+                if e.field("replanned").unwrap_or(0.0) != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        let plan_replans = tele
+            .events_named("control.plan")
+            .iter()
+            .filter(|e| e.field("session") == Some(session))
+            .filter_map(|e| e.field("replans"))
+            .fold(0.0f64, f64::max);
+        let replans = step_replans.max(plan_replans);
+        if replans > phases {
+            diag(
+                report,
+                "A020",
+                format!("telemetry.event[control.start session={session:.0}]"),
+                format!(
+                    "controller re-planned {replans:.0} times across {phases:.0} \
+                     declared phases; the walk re-plans at most once per phase, \
+                     so more re-plans than phases means the drift check fires on \
+                     every step and the controller is thrashing instead of \
+                     converging"
                 ),
             );
         }

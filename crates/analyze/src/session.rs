@@ -112,6 +112,36 @@ impl Session {
                         .field("predicted_speedup")
                         .zip(event.field("predicted_qos"));
                 }
+                "control.start" => {
+                    let Some(session) = event.field("session") else {
+                        continue;
+                    };
+                    let c = model.control_mut(session as usize);
+                    c.budget = event.field("budget");
+                    c.declared_phases = event.field("phases").map(|p| p as usize);
+                }
+                "control.step" => {
+                    let Some(session) = event.field("session") else {
+                        continue;
+                    };
+                    let step = ControlStep {
+                        seq: event.seq,
+                        step: event.field("step").unwrap_or(f64::NAN) as usize,
+                        phase: event.field("phase").unwrap_or(f64::NAN) as usize,
+                        replanned: event.field("replanned").unwrap_or(0.0) != 0.0,
+                        reclaimed: event.field("reclaimed").unwrap_or(f64::NAN),
+                        redistributed: event.field("redistributed").unwrap_or(f64::NAN),
+                    };
+                    model.control_mut(session as usize).steps.push(step);
+                }
+                "control.plan" => {
+                    let Some(session) = event.field("session") else {
+                        continue;
+                    };
+                    let c = model.control_mut(session as usize);
+                    c.replans = event.field("replans");
+                    c.totals = event.field("reclaimed").zip(event.field("redistributed"));
+                }
                 _ => {}
             }
         }
@@ -149,6 +179,8 @@ impl Session {
 pub struct SessionModel {
     /// Algorithm-2 solves, indexed by solve id.
     pub solves: Vec<Solve>,
+    /// Adaptive-controller sessions, indexed by session id.
+    pub controls: Vec<ControlSession>,
     /// `optimize/phase[p]` span count per phase id.
     pub phase_spans: BTreeMap<usize, u64>,
     /// Per-key `eval.exec[digest]` counters.
@@ -171,6 +203,14 @@ impl SessionModel {
         }
         self.solves[id].id = id;
         &mut self.solves[id]
+    }
+
+    fn control_mut(&mut self, id: usize) -> &mut ControlSession {
+        if self.controls.len() <= id {
+            self.controls.resize_with(id + 1, ControlSession::default);
+        }
+        self.controls[id].id = id;
+        &mut self.controls[id]
     }
 }
 
@@ -217,6 +257,43 @@ pub struct PhaseStep {
     pub space: Option<f64>,
     /// Leaf configurations batch-evaluated by the search, when stamped.
     pub evaluated: Option<f64>,
+}
+
+/// One adaptive-controller session reassembled from its
+/// `control.start`/`control.step`/`control.plan` event ledger.
+#[derive(Debug, Clone, Default)]
+pub struct ControlSession {
+    /// The session id (position of the `control.sessions` counter when
+    /// the session began).
+    pub id: usize,
+    /// Total QoS budget from the `control.start` root event.
+    pub budget: Option<f64>,
+    /// Phase count declared by the root event.
+    pub declared_phases: Option<usize>,
+    /// Per-phase control steps, in execution order.
+    pub steps: Vec<ControlStep>,
+    /// Re-plan count from the closing `control.plan` event.
+    pub replans: Option<f64>,
+    /// `(reclaimed, redistributed)` totals from the closing
+    /// `control.plan` event.
+    pub totals: Option<(f64, f64)>,
+}
+
+/// One `control.step` event, decoded from its numeric fields.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlStep {
+    /// The event's trace sequence number (for locations).
+    pub seq: u64,
+    /// Position in the phase walk.
+    pub step: usize,
+    /// The phase executed at this step.
+    pub phase: usize,
+    /// Whether a suffix re-plan fired at this step.
+    pub replanned: bool,
+    /// Budget reclaimed at this step.
+    pub reclaimed: f64,
+    /// Budget redistributed to the remaining phases at this step.
+    pub redistributed: f64,
 }
 
 /// Parses the index of `prefix[i]`-shaped names, e.g.

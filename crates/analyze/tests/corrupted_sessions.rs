@@ -1,7 +1,8 @@
 //! The corrupted-session suite: every cross-artifact audit rule
-//! (X001–X008) has at least one positive test (a seeded inconsistency
+//! (X001–X009) has at least one positive test (a seeded inconsistency
 //! it must detect) and one negative test (a healthy session it must
-//! stay silent on).
+//! stay silent on). The adaptive-controller thrashing lint (A020)
+//! rides along because it reads the same `control.*` ledger.
 //!
 //! The healthy fixture is a *real* session: one engine profiles PSO,
 //! the models are fit from that data, and the optimizer solves against
@@ -18,7 +19,9 @@
 
 use std::sync::OnceLock;
 
-use opprox_analyze::{audit_session, Artifact, Session, Severity, DEFAULT_DRIFT_TOLERANCE};
+use opprox_analyze::{
+    audit_session, Artifact, ArtifactSet, Session, Severity, DEFAULT_DRIFT_TOLERANCE,
+};
 use opprox_approx_rt::{ApproxApp, LevelConfig, PhaseSchedule};
 use opprox_apps::pso::Pso;
 use opprox_core::modeling::ModelingOptions;
@@ -437,8 +440,8 @@ fn x008_reports_every_rule_skipped_for_missing_artifacts() {
         ..Session::default()
     };
     let report = audit_session(&session, DEFAULT_DRIFT_TOLERANCE);
-    // No trace, no robustness, no schedule: X001–X005 and X007 all skip;
-    // X006 skips for want of a schedule.
+    // No trace, no robustness, no schedule: X001–X005, X007, and X009
+    // all skip; X006 skips for want of a schedule.
     assert_eq!((report.errors(), report.warnings()), (0, 0));
     let notes: Vec<&str> = report
         .diagnostics()
@@ -451,13 +454,172 @@ fn x008_reports_every_rule_skipped_for_missing_artifacts() {
         .collect();
     assert_eq!(
         notes,
-        ["X001", "X002", "X003", "X004", "X005", "X006", "X007"]
+        ["X001", "X002", "X003", "X004", "X005", "X006", "X007", "X009"]
     );
 }
 
 #[test]
 fn x008_stays_silent_when_every_rule_could_run() {
     assert!(!codes(&full_session()).contains(&"X008"));
+}
+
+// ---- X009: controller budget conservation --------------------------------
+
+/// A synthetic adaptive-controller ledger: `phases` declared, one
+/// `control.step` per `(reclaimed, redistributed)` entry, and a closing
+/// `control.plan` whose `(replans, reclaimed, redistributed)` either
+/// follow from the steps (`None`) or are overridden to seed a
+/// disagreement.
+fn control_session(phases: f64, steps: &[(f64, f64)], plan: Option<(f64, f64, f64)>) -> Session {
+    let t = Telemetry::new();
+    t.event(
+        "control.start",
+        &[
+            ("session", 0.0),
+            ("budget", 10.0),
+            ("phases", phases),
+            ("tolerance", 0.25),
+        ],
+    );
+    for (i, &(reclaimed, redistributed)) in steps.iter().enumerate() {
+        let replanned = if reclaimed != 0.0 || redistributed != 0.0 {
+            1.0
+        } else {
+            0.0
+        };
+        t.event(
+            "control.step",
+            &[
+                ("session", 0.0),
+                ("step", i as f64),
+                ("phase", i as f64),
+                ("observed_speedup", 1.2),
+                ("predicted_speedup", 1.2),
+                ("band_lo", 1.0),
+                ("band_hi", 1.44),
+                ("drift", 0.0),
+                ("drifted", replanned),
+                ("resegmented", 0.0),
+                ("replanned", replanned),
+                ("reclaimed", reclaimed),
+                ("redistributed", redistributed),
+                ("remaining", 10.0 - (i as f64 + 1.0)),
+            ],
+        );
+    }
+    let (replans, reclaimed, redistributed) = plan.unwrap_or_else(|| {
+        (
+            steps.iter().filter(|s| s.0 != 0.0 || s.1 != 0.0).count() as f64,
+            steps.iter().map(|s| s.0).sum(),
+            steps.iter().map(|s| s.1).sum(),
+        )
+    });
+    t.event(
+        "control.plan",
+        &[
+            ("session", 0.0),
+            ("replans", replans),
+            ("reclaimed", reclaimed),
+            ("redistributed", redistributed),
+            ("predicted_speedup", 1.2),
+            ("predicted_qos", 5.0),
+            ("degraded", 0.0),
+        ],
+    );
+    Session {
+        telemetry: Some(t.report()),
+        ..Session::default()
+    }
+}
+
+#[test]
+fn x009_detects_a_step_ledger_that_leaks_budget() {
+    let session = control_session(3.0, &[(0.0, 0.0), (2.0, 1.0), (0.0, 0.0)], None);
+    let report = audit_session(&session, DEFAULT_DRIFT_TOLERANCE);
+    let d = find(&report, "X009");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.location, "trace.event[control.start session=0]");
+    assert!(d.message.contains("leaks budget"), "{}", d.message);
+}
+
+#[test]
+fn x009_detects_plan_totals_that_disagree_with_the_steps() {
+    let session = control_session(
+        3.0,
+        &[(0.0, 0.0), (1.5, 1.5), (0.0, 0.0)],
+        Some((1.0, 9.0, 9.0)),
+    );
+    let report = audit_session(&session, DEFAULT_DRIFT_TOLERANCE);
+    let d = find(&report, "X009");
+    assert_eq!(d.location, "trace.event[control.plan session=0]");
+    assert!(d.message.contains("disagree"), "{}", d.message);
+}
+
+#[test]
+fn x009_detects_more_steps_than_declared_phases() {
+    let session = control_session(1.0, &[(0.0, 0.0), (0.0, 0.0)], None);
+    let report = audit_session(&session, DEFAULT_DRIFT_TOLERANCE);
+    let d = find(&report, "X009");
+    assert!(d.message.contains("at most one"), "{}", d.message);
+}
+
+#[test]
+fn x009_stays_silent_on_a_balanced_ledger() {
+    let session = control_session(3.0, &[(0.0, 0.0), (1.5, 1.5), (0.0, 0.0)], None);
+    let report = audit_session(&session, DEFAULT_DRIFT_TOLERANCE);
+    assert!(
+        !report.diagnostics().iter().any(|d| d.code == "X009"),
+        "{}",
+        report.render_text()
+    );
+    // Only X008 coverage notes for the absent artifacts, nothing louder.
+    assert_eq!((report.errors(), report.warnings()), (0, 0));
+}
+
+// ---- A020: controller thrashing lint -------------------------------------
+
+/// A020 runs on the single-artifact path (`opprox analyze`), so it is
+/// exercised through [`opprox_analyze::analyze`] over an `ArtifactSet`
+/// holding the same synthetic trace the X009 tests use.
+fn lint_codes(session: &Session) -> Vec<&'static str> {
+    let set = ArtifactSet {
+        telemetry: session.telemetry.clone(),
+        ..ArtifactSet::default()
+    };
+    opprox_analyze::analyze(&set)
+        .diagnostics()
+        .iter()
+        .map(|d| d.code)
+        .collect()
+}
+
+#[test]
+fn a020_detects_a_summary_claiming_more_replans_than_phases() {
+    // The steps look sane but the closing summary claims 3 re-plans
+    // across 2 phases — thrashing, caught from the summary half alone.
+    let session = control_session(2.0, &[(0.0, 0.0), (0.0, 0.0)], Some((3.0, 0.0, 0.0)));
+    let set = ArtifactSet {
+        telemetry: session.telemetry.clone(),
+        ..ArtifactSet::default()
+    };
+    let report = opprox_analyze::analyze(&set);
+    let d = find(&report, "A020");
+    assert_eq!(d.severity, Severity::Warn);
+    assert_eq!(d.location, "telemetry.event[control.start session=0]");
+    assert!(d.message.contains("thrashing"), "{}", d.message);
+}
+
+#[test]
+fn a020_counts_replan_flags_on_the_steps_themselves() {
+    // Declared one phase, but two steps each claim a re-plan.
+    let session = control_session(1.0, &[(1.0, 1.0), (1.0, 1.0)], None);
+    assert!(lint_codes(&session).contains(&"A020"));
+}
+
+#[test]
+fn a020_stays_silent_when_replans_fit_the_phase_count() {
+    let session = control_session(3.0, &[(0.0, 0.0), (1.5, 1.5), (0.0, 0.0)], None);
+    assert_eq!(lint_codes(&session), Vec::<&str>::new());
 }
 
 // ---- Artifact-set round trip --------------------------------------------

@@ -10,7 +10,7 @@
 //! file) take positional arguments; everywhere else a positional is an
 //! error.
 
-use opprox_core::{FaultPlan, RecoveryPolicy};
+use opprox_core::{DriftInjection, FaultPlan, RecoveryPolicy};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -84,6 +84,16 @@ pub enum Command {
         fault_plan: Option<FaultPlan>,
         /// Retry and timeout policy (`--max-retries`, `--eval-timeout-ms`).
         recovery: RecoveryPolicy,
+        /// Run the closed-loop controller instead of the one-shot
+        /// validated pipeline (`--adaptive true`).
+        adaptive: bool,
+        /// Controller drift tolerance override (`--drift-tolerance`).
+        drift_tolerance: Option<f64>,
+        /// Online BBV re-segmentation toggle (`--resegment false`).
+        resegment: bool,
+        /// Seeded drift injection for the controller
+        /// (`--inject-drift phase=P,factor=F[,block=B]`).
+        inject_drift: Option<DriftInjection>,
         /// Telemetry export (`--trace-out`, `--trace-format`).
         trace: TraceSpec,
     },
@@ -198,6 +208,15 @@ pub enum Command {
         backoff_ms: Option<u64>,
         /// Per-request evaluation timeout (`--eval-timeout-ms`).
         eval_timeout_ms: Option<u64>,
+        /// Controller drift tolerance override (adaptive,
+        /// `--drift-tolerance`).
+        drift_tolerance: Option<f64>,
+        /// Online BBV re-segmentation toggle (adaptive,
+        /// `--resegment false`).
+        resegment: bool,
+        /// Seeded drift injection (adaptive,
+        /// `--inject-drift phase=P,factor=F[,block=B]`).
+        inject_drift: Option<DriftInjection>,
     },
     /// Summarize a previously captured telemetry trace
     /// (`opprox trace summarize FILE`).
@@ -241,6 +260,8 @@ pub enum ClientOp {
     Metrics,
     /// `optimize` frame.
     Optimize,
+    /// `adaptive` frame: a closed-loop controller session.
+    Adaptive,
     /// `predict` frame.
     Predict,
     /// `shutdown` frame: clean server stop.
@@ -306,6 +327,10 @@ const COMMANDS: &[(&str, &[&str])] = &[
             "fault-plan",
             "max-retries",
             "eval-timeout-ms",
+            "adaptive",
+            "drift-tolerance",
+            "resegment",
+            "inject-drift",
             "trace-out",
             "trace-format",
         ],
@@ -371,6 +396,9 @@ const COMMANDS: &[(&str, &[&str])] = &[
             "max-retries",
             "backoff-ms",
             "eval-timeout-ms",
+            "drift-tolerance",
+            "resegment",
+            "inject-drift",
         ],
     ),
     ("trace", &[]),
@@ -586,6 +614,10 @@ impl RawArgs {
                 threads: self.threads()?,
                 fault_plan: self.fault_plan()?,
                 recovery: self.recovery()?,
+                adaptive: self.bool_or("adaptive", false)?,
+                drift_tolerance: self.drift_tolerance()?,
+                resegment: self.bool_or("resegment", true)?,
+                inject_drift: self.inject_drift()?,
                 trace: self.trace_spec()?,
             },
             "oracle" => Command::Oracle {
@@ -666,6 +698,9 @@ impl RawArgs {
                 max_retries: self.opt_u64("max-retries")?,
                 backoff_ms: self.opt_u64("backoff-ms")?,
                 eval_timeout_ms: self.opt_u64("eval-timeout-ms")?,
+                drift_tolerance: self.drift_tolerance()?,
+                resegment: self.bool_or("resegment", true)?,
+                inject_drift: self.inject_drift()?,
             },
             "trace" => match self.positionals.as_slice() {
                 [verb, file] if verb == "summarize" => Command::Trace { file: file.clone() },
@@ -739,19 +774,52 @@ impl RawArgs {
         }
     }
 
-    /// `--op health|metrics|optimize|predict|shutdown` (required).
+    /// `--op health|metrics|optimize|adaptive|predict|shutdown`
+    /// (required).
     fn client_op(&self) -> Result<ClientOp, ArgError> {
         match self.require("op")? {
             "health" => Ok(ClientOp::Health),
             "metrics" => Ok(ClientOp::Metrics),
             "optimize" => Ok(ClientOp::Optimize),
+            "adaptive" => Ok(ClientOp::Adaptive),
             "predict" => Ok(ClientOp::Predict),
             "shutdown" => Ok(ClientOp::Shutdown),
             raw => Err(ArgError::BadValue {
                 flag: "op".to_string(),
                 value: raw.to_string(),
-                expected: "health, metrics, optimize, predict, or shutdown",
+                expected: "health, metrics, optimize, adaptive, predict, or shutdown",
             }),
+        }
+    }
+
+    /// `--drift-tolerance T` for the adaptive controller (finite,
+    /// non-negative; `None` keeps the controller default).
+    fn drift_tolerance(&self) -> Result<Option<f64>, ArgError> {
+        match self.get("drift-tolerance") {
+            None => Ok(None),
+            Some(raw) => match raw.parse::<f64>() {
+                Ok(t) if t.is_finite() && t >= 0.0 => Ok(Some(t)),
+                _ => Err(ArgError::BadValue {
+                    flag: "drift-tolerance".to_string(),
+                    value: raw.to_string(),
+                    expected: "a finite non-negative number",
+                }),
+            },
+        }
+    }
+
+    /// `--inject-drift phase=P,factor=F[,block=B]` for seeded-drift
+    /// controller sessions.
+    fn inject_drift(&self) -> Result<Option<DriftInjection>, ArgError> {
+        match self.get("inject-drift") {
+            None => Ok(None),
+            Some(raw) => DriftInjection::parse(raw)
+                .map(Some)
+                .map_err(|_| ArgError::BadValue {
+                    flag: "inject-drift".to_string(),
+                    value: raw.to_string(),
+                    expected: "`phase=P,factor=F[,block=B]`",
+                }),
         }
     }
 
@@ -1078,9 +1146,87 @@ mod tests {
                 threads: Some(3),
                 fault_plan: None,
                 recovery: RecoveryPolicy::default(),
+                adaptive: false,
+                drift_tolerance: None,
+                resegment: true,
+                inject_drift: None,
                 trace: TraceSpec::default(),
             }
         );
+    }
+
+    #[test]
+    fn adaptive_run_flags_parse() {
+        let c = parse(&[
+            "run",
+            "--model",
+            "m",
+            "--input",
+            "16,3",
+            "--budget",
+            "10",
+            "--adaptive",
+            "true",
+            "--drift-tolerance",
+            "0.4",
+            "--resegment",
+            "false",
+            "--inject-drift",
+            "phase=0,factor=6.0,block=1",
+        ])
+        .unwrap();
+        let Command::Run {
+            adaptive,
+            drift_tolerance,
+            resegment,
+            inject_drift,
+            ..
+        } = c
+        else {
+            panic!("expected a run command: {c:?}");
+        };
+        assert!(adaptive);
+        assert_eq!(drift_tolerance, Some(0.4));
+        assert!(!resegment);
+        assert_eq!(
+            inject_drift,
+            Some(DriftInjection {
+                phase: 0,
+                factor: 6.0,
+                block: Some(1),
+            })
+        );
+        // A malformed drift spec is a parse error naming the flag.
+        assert!(matches!(
+            parse(&[
+                "run",
+                "--model",
+                "m",
+                "--input",
+                "16,3",
+                "--budget",
+                "10",
+                "--inject-drift",
+                "factor=6.0",
+            ])
+            .unwrap_err(),
+            ArgError::BadValue { flag, .. } if flag == "inject-drift"
+        ));
+        assert!(matches!(
+            parse(&[
+                "run",
+                "--model",
+                "m",
+                "--input",
+                "16,3",
+                "--budget",
+                "10",
+                "--drift-tolerance",
+                "-1",
+            ])
+            .unwrap_err(),
+            ArgError::BadValue { flag, .. } if flag == "drift-tolerance"
+        ));
     }
 
     #[test]

@@ -13,7 +13,8 @@
 use crate::args::{ClientOp, Command, OutputFormat, TraceFormat, TraceSpec};
 use opprox_analyze::{Artifact, ArtifactSet};
 use opprox_approx_rt::{ApproxApp, InputParams};
-use opprox_core::api::{ApiRequest, ApiResponse, OptimizeParams, PredictParams};
+use opprox_core::api::{AdaptiveParams, ApiRequest, ApiResponse, OptimizeParams, PredictParams};
+use opprox_core::control::ControlOptions;
 use opprox_core::evaluator::{EvalEngine, EvalMetrics};
 use opprox_core::oracle::phase_agnostic_oracle_with;
 use opprox_core::phases::{find_phase_granularity_with, PhaseSearchOptions};
@@ -23,7 +24,7 @@ use opprox_core::request::OptimizeRequest;
 use opprox_core::sampling::SamplingPlan;
 use opprox_core::serve::{ServeOptions, ServeState, Server};
 use opprox_core::OpproxError;
-use opprox_core::{AccuracySpec, FaultPlan, RecoveryPolicy, TelemetryReport};
+use opprox_core::{AccuracySpec, DriftInjection, FaultPlan, RecoveryPolicy, TelemetryReport};
 use std::error::Error;
 
 /// The result alias used by every subcommand.
@@ -83,6 +84,10 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             threads,
             fault_plan,
             recovery,
+            adaptive,
+            drift_tolerance,
+            resegment,
+            inject_drift,
             trace,
         } => cmd_run(
             model,
@@ -93,6 +98,17 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             *threads,
             *fault_plan,
             *recovery,
+            adaptive.then(|| {
+                let mut options = ControlOptions {
+                    resegment: *resegment,
+                    inject: *inject_drift,
+                    ..ControlOptions::default()
+                };
+                if let Some(t) = drift_tolerance {
+                    options.drift_tolerance = *t;
+                }
+                options
+            }),
             trace,
             out,
         ),
@@ -173,6 +189,9 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
             max_retries,
             backoff_ms,
             eval_timeout_ms,
+            drift_tolerance,
+            resegment,
+            inject_drift,
         } => cmd_client(
             addr,
             *op,
@@ -188,6 +207,9 @@ pub fn dispatch(command: &Command, out: &mut dyn std::io::Write) -> CmdResult {
                 max_retries: *max_retries,
                 backoff_ms: *backoff_ms,
                 eval_timeout_ms: *eval_timeout_ms,
+                drift_tolerance: *drift_tolerance,
+                resegment: *resegment,
+                inject_drift: *inject_drift,
             },
             out,
         ),
@@ -220,7 +242,11 @@ pub fn cmd_help(out: &mut dyn std::io::Write) -> CmdResult {
          \x20 run      --model FILE --input I --budget B\n\
          \x20          [--canary C] [--validations V] [--threads T]\n\
          \x20          [--fault-plan P] [--max-retries R] [--eval-timeout-ms MS]\n\
-         \x20                                        validated optimization + real execution\n\
+         \x20          [--adaptive true] [--drift-tolerance D] [--resegment false]\n\
+         \x20          [--inject-drift phase=P,factor=F[,block=B]]\n\
+         \x20                                        validated optimization + real execution;\n\
+         \x20                                        --adaptive runs the closed-loop controller\n\
+         \x20                                        (mid-run re-optimization on drift)\n\
          \x20 oracle   --app A --input I --budget B  phase-agnostic exhaustive baseline\n\
          \x20          [--threads T]\n\
          \x20 inspect  --model FILE                   summarize a trained model\n\
@@ -241,11 +267,13 @@ pub fn cmd_help(out: &mut dyn std::io::Write) -> CmdResult {
          \x20          [--threads T] [--queue-limit Q] hot-reloads artifacts on file change,\n\
          \x20          [--batch-max B]                 sheds load past --queue-limit\n\
          \x20          [--reload-poll-ms MS]\n\
-         \x20 client   --op health|metrics|optimize|predict|shutdown\n\
+         \x20 client   --op health|metrics|optimize|adaptive|predict|shutdown\n\
          \x20          [--addr H:P] [--app A] [--input I] [--budget B]\n\
          \x20          [--phase P] [--configs 0,0,0;1,2,1] [--point true]\n\
          \x20          [--validate true] [--validations V] [--max-retries R]\n\
          \x20          [--backoff-ms MS] [--eval-timeout-ms MS]\n\
+         \x20          [--drift-tolerance D] [--resegment false]\n\
+         \x20          [--inject-drift phase=P,factor=F[,block=B]]\n\
          \x20                                          send one wire request, print the reply\n\
          \n\
          Inputs are comma-separated parameter values, e.g. --input 64,2 for\n\
@@ -416,6 +444,9 @@ struct ClientRequest {
     max_retries: Option<u64>,
     backoff_ms: Option<u64>,
     eval_timeout_ms: Option<u64>,
+    drift_tolerance: Option<f64>,
+    resegment: bool,
+    inject_drift: Option<DriftInjection>,
 }
 
 impl ClientRequest {
@@ -449,6 +480,27 @@ impl ClientRequest {
                 params.backoff_ms = self.backoff_ms;
                 params.eval_timeout_ms = self.eval_timeout_ms;
                 Ok(ApiRequest::Optimize(params))
+            }
+            ClientOp::Adaptive => {
+                let app = need(self.app.as_deref(), "app", "adaptive")?;
+                let input = self.input.clone().ok_or_else(|| {
+                    OpproxError::BadRequest("`opprox client --op adaptive` needs --input".into())
+                })?;
+                let budget = self.budget.ok_or_else(|| {
+                    OpproxError::BadRequest("`opprox client --op adaptive` needs --budget".into())
+                })?;
+                let mut params = AdaptiveParams::new(app, input, budget);
+                params.tolerance = self.drift_tolerance;
+                params.resegment = self.resegment;
+                if let Some(inject) = &self.inject_drift {
+                    params.drift_phase = Some(inject.phase as u64);
+                    params.drift_factor = Some(inject.factor);
+                    params.drift_block = inject.block.map(|b| b as u64);
+                }
+                params.max_retries = self.max_retries;
+                params.backoff_ms = self.backoff_ms;
+                params.eval_timeout_ms = self.eval_timeout_ms;
+                Ok(ApiRequest::Adaptive(params))
             }
             ClientOp::Predict => {
                 let app = need(self.app.as_deref(), "app", "predict")?;
@@ -674,6 +726,7 @@ fn cmd_run(
     threads: Option<usize>,
     fault_plan: Option<FaultPlan>,
     recovery: RecoveryPolicy,
+    adaptive: Option<ControlOptions>,
     trace: &TraceSpec,
     out: &mut dyn std::io::Write,
 ) -> CmdResult {
@@ -689,7 +742,48 @@ fn cmd_run(
     if let Some(canary) = canary {
         request = request.canary(InputParams::new(canary.to_vec()));
     }
+    if let Some(options) = adaptive {
+        request = request.adaptive(options);
+    }
     let outcome = request.run(&trained)?;
+    if let Some(control) = &outcome.control {
+        writeln!(
+            out,
+            "adaptive session for {} ({} steps, {} re-plans):",
+            trained.app_name(),
+            control.steps.len(),
+            control.replans
+        )?;
+        for step in &control.steps {
+            writeln!(
+                out,
+                "  step {}: phase {} observed {:.3}x vs band [{:.3}, {:.3}], drift {:.3}{}{}{}",
+                step.step,
+                step.phase,
+                step.observed_speedup,
+                step.band_lo,
+                step.band_hi,
+                step.drift,
+                if step.resegmented {
+                    " [re-segmented]"
+                } else {
+                    ""
+                },
+                if step.replanned { " [re-planned]" } else { "" },
+                if step.budget_reclaimed > 0.0 {
+                    format!(
+                        " (reclaimed {:.3}, redistributed {:.3})",
+                        step.budget_reclaimed, step.budget_redistributed
+                    )
+                } else {
+                    String::new()
+                },
+            )?;
+        }
+        if control.degraded {
+            writeln!(out, "  degraded: faults forced the accurate fallback")?;
+        }
+    }
     writeln!(
         out,
         "validated plan for {} ({:?} path, {} candidates tried):",

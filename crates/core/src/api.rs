@@ -180,6 +180,57 @@ impl OptimizeParams {
     }
 }
 
+/// Parameters of an `adaptive` request frame: a closed-loop controller
+/// session ([`crate::control`]) that executes the plan phase-by-phase
+/// and re-optimizes the remaining phases when observed work drifts out
+/// of the model's confidence band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveParams {
+    /// Application name the server must hold a trained artifact for.
+    pub app: String,
+    /// Input parameter values.
+    pub input: Vec<f64>,
+    /// QoS-degradation budget.
+    pub budget: f64,
+    /// Drift tolerance override (server default when absent).
+    pub tolerance: Option<f64>,
+    /// `false` disables online BBV re-segmentation.
+    pub resegment: bool,
+    /// Drift-injection knob: the phase whose work is scaled.
+    pub drift_phase: Option<u64>,
+    /// Drift-injection knob: the work scale factor (goes with
+    /// `drift_phase`).
+    pub drift_factor: Option<f64>,
+    /// Drift-injection knob: restrict the injection to one block.
+    pub drift_block: Option<u64>,
+    /// Per-request recovery knob: retry cap for failed evaluations.
+    pub max_retries: Option<u64>,
+    /// Per-request recovery knob: base backoff between retries, ms.
+    pub backoff_ms: Option<u64>,
+    /// Per-request recovery knob: wall-clock budget per evaluation, ms.
+    pub eval_timeout_ms: Option<u64>,
+}
+
+impl AdaptiveParams {
+    /// A minimal adaptive request for `app` with the given input and
+    /// budget; every knob at its default.
+    pub fn new(app: impl Into<String>, input: Vec<f64>, budget: f64) -> Self {
+        AdaptiveParams {
+            app: app.into(),
+            input,
+            budget,
+            tolerance: None,
+            resegment: true,
+            drift_phase: None,
+            drift_factor: None,
+            drift_block: None,
+            max_retries: None,
+            backoff_ms: None,
+            eval_timeout_ms: None,
+        }
+    }
+}
+
 /// Parameters of a `predict` request frame: batched model predictions
 /// for one phase, one configuration per entry of `configs` (served by
 /// the batched predictor, so the whole frame is one flat model pass).
@@ -201,6 +252,8 @@ pub struct PredictParams {
 pub enum ApiRequest {
     /// Solve Algorithm 2 (optionally validated) for an input.
     Optimize(OptimizeParams),
+    /// Run a closed-loop adaptive-control session for an input.
+    Adaptive(AdaptiveParams),
     /// Batched speedup/QoS/iteration predictions for explicit configs.
     Predict(PredictParams),
     /// Liveness and model-inventory probe.
@@ -244,6 +297,37 @@ pub struct OptimizeReply {
     /// `true` when the reply came from the server's plan cache.
     pub cached: bool,
     /// The measured outcome, on the validated path.
+    pub measured: Option<MeasuredReply>,
+}
+
+/// Reply to an `adaptive` request: the final (possibly re-planned)
+/// schedule plus the controller's budget ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveReply {
+    /// Application the session ran for.
+    pub app: String,
+    /// Generation of the artifact that produced the plan.
+    pub generation: u64,
+    /// Per-phase approximation levels of the final schedule.
+    pub levels: Vec<Vec<u64>>,
+    /// Predicted speedup of the final schedule.
+    pub predicted_speedup: f64,
+    /// Predicted QoS degradation of the final schedule.
+    pub predicted_qos: f64,
+    /// Control steps executed (one per phase walked).
+    pub steps: u64,
+    /// Mid-run re-optimizations triggered by drift.
+    pub replans: u64,
+    /// `true` when a BBV signature shift re-segmented a boundary.
+    pub resegmented: bool,
+    /// `true` when faults forced the accurate fallback ladder to the
+    /// bottom rung.
+    pub degraded: bool,
+    /// Budget reclaimed from drifted/quarantined phases.
+    pub budget_reclaimed: f64,
+    /// Budget redistributed to remaining phases (balances `reclaimed`).
+    pub budget_redistributed: f64,
+    /// The measured outcome of the final run.
     pub measured: Option<MeasuredReply>,
 }
 
@@ -302,6 +386,8 @@ pub struct MetricsReply {
 pub enum ApiResponse {
     /// Reply to [`ApiRequest::Optimize`].
     Optimize(OptimizeReply),
+    /// Reply to [`ApiRequest::Adaptive`].
+    Adaptive(AdaptiveReply),
     /// Reply to [`ApiRequest::Predict`].
     Predict(PredictReply),
     /// Reply to [`ApiRequest::Health`].
@@ -400,6 +486,35 @@ impl ApiRequest {
                 }
                 e
             }
+            ApiRequest::Adaptive(p) => {
+                let mut e = frame_head("adaptive");
+                e.push(key("app", str_v(&p.app)));
+                e.push(key("input", f64_array(&p.input)));
+                e.push(key("budget", f64_v(p.budget)));
+                e.push(key("resegment", Value::Bool(p.resegment)));
+                if let Some(t) = p.tolerance {
+                    e.push(key("tolerance", f64_v(t)));
+                }
+                if let Some(n) = p.drift_phase {
+                    e.push(key("drift_phase", u64_v(n)));
+                }
+                if let Some(f) = p.drift_factor {
+                    e.push(key("drift_factor", f64_v(f)));
+                }
+                if let Some(n) = p.drift_block {
+                    e.push(key("drift_block", u64_v(n)));
+                }
+                if let Some(n) = p.max_retries {
+                    e.push(key("max_retries", u64_v(n)));
+                }
+                if let Some(n) = p.backoff_ms {
+                    e.push(key("backoff_ms", u64_v(n)));
+                }
+                if let Some(n) = p.eval_timeout_ms {
+                    e.push(key("eval_timeout_ms", u64_v(n)));
+                }
+                e
+            }
             ApiRequest::Predict(p) => {
                 let mut e = frame_head("predict");
                 e.push(key("app", str_v(&p.app)));
@@ -445,6 +560,32 @@ impl ApiRequest {
                 backoff_ms: opt_u64(&obj, "backoff_ms")?,
                 eval_timeout_ms: opt_u64(&obj, "eval_timeout_ms")?,
             })),
+            "adaptive" => {
+                let params = AdaptiveParams {
+                    app: need_str(&obj, "app")?.to_string(),
+                    input: need_f64_array(&obj, "input")?,
+                    budget: need_f64(&obj, "budget")?,
+                    tolerance: opt_f64(&obj, "tolerance")?,
+                    resegment: need_bool(&obj, "resegment")?,
+                    drift_phase: opt_u64(&obj, "drift_phase")?,
+                    drift_factor: opt_f64(&obj, "drift_factor")?,
+                    drift_block: opt_u64(&obj, "drift_block")?,
+                    max_retries: opt_u64(&obj, "max_retries")?,
+                    backoff_ms: opt_u64(&obj, "backoff_ms")?,
+                    eval_timeout_ms: opt_u64(&obj, "eval_timeout_ms")?,
+                };
+                if params.drift_phase.is_some() != params.drift_factor.is_some() {
+                    return Err(OpproxError::BadRequest(
+                        "drift_phase and drift_factor go together".to_string(),
+                    ));
+                }
+                if params.drift_block.is_some() && params.drift_phase.is_none() {
+                    return Err(OpproxError::BadRequest(
+                        "drift_block needs drift_phase and drift_factor".to_string(),
+                    ));
+                }
+                Ok(ApiRequest::Adaptive(params))
+            }
             "predict" => Ok(ApiRequest::Predict(PredictParams {
                 app: need_str(&obj, "app")?.to_string(),
                 input: need_f64_array(&obj, "input")?,
@@ -477,6 +618,32 @@ impl ApiResponse {
                 e.push(key("predicted_qos", f64_v(r.predicted_qos)));
                 e.push(key("candidates_tried", u64_v(r.candidates_tried)));
                 e.push(key("cached", Value::Bool(r.cached)));
+                if let Some(m) = &r.measured {
+                    e.push(key(
+                        "measured",
+                        Value::Object(vec![
+                            key("speedup", f64_v(m.speedup)),
+                            key("qos", f64_v(m.qos)),
+                            key("outer_iters", u64_v(m.outer_iters)),
+                        ]),
+                    ));
+                }
+                e
+            }
+            ApiResponse::Adaptive(r) => {
+                let mut e = frame_head("adaptive");
+                e.push(key("status", str_v("ok")));
+                e.push(key("app", str_v(&r.app)));
+                e.push(key("generation", u64_v(r.generation)));
+                e.push(key("levels", levels_array(&r.levels)));
+                e.push(key("predicted_speedup", f64_v(r.predicted_speedup)));
+                e.push(key("predicted_qos", f64_v(r.predicted_qos)));
+                e.push(key("steps", u64_v(r.steps)));
+                e.push(key("replans", u64_v(r.replans)));
+                e.push(key("resegmented", Value::Bool(r.resegmented)));
+                e.push(key("degraded", Value::Bool(r.degraded)));
+                e.push(key("budget_reclaimed", f64_v(r.budget_reclaimed)));
+                e.push(key("budget_redistributed", f64_v(r.budget_redistributed)));
                 if let Some(m) = &r.measured {
                     e.push(key(
                         "measured",
@@ -567,6 +734,35 @@ impl ApiResponse {
                 predicted_qos: need_f64(&obj, "predicted_qos")?,
                 candidates_tried: need_u64(&obj, "candidates_tried")?,
                 cached: need_bool(&obj, "cached")?,
+                measured: match get(&obj, "measured") {
+                    None => None,
+                    Some(v) => {
+                        let m = v.as_object().ok_or_else(|| {
+                            OpproxError::BadRequest(format!(
+                                "field `measured` must be an object, got {}",
+                                v.kind()
+                            ))
+                        })?;
+                        Some(MeasuredReply {
+                            speedup: need_f64(m, "speedup")?,
+                            qos: need_f64(m, "qos")?,
+                            outer_iters: need_u64(m, "outer_iters")?,
+                        })
+                    }
+                },
+            })),
+            "adaptive" => Ok(ApiResponse::Adaptive(AdaptiveReply {
+                app: need_str(&obj, "app")?.to_string(),
+                generation: need_u64(&obj, "generation")?,
+                levels: need_levels(&obj, "levels")?,
+                predicted_speedup: need_f64(&obj, "predicted_speedup")?,
+                predicted_qos: need_f64(&obj, "predicted_qos")?,
+                steps: need_u64(&obj, "steps")?,
+                replans: need_u64(&obj, "replans")?,
+                resegmented: need_bool(&obj, "resegmented")?,
+                degraded: need_bool(&obj, "degraded")?,
+                budget_reclaimed: need_f64(&obj, "budget_reclaimed")?,
+                budget_redistributed: need_f64(&obj, "budget_redistributed")?,
                 measured: match get(&obj, "measured") {
                     None => None,
                     Some(v) => {
@@ -706,6 +902,13 @@ fn opt_u64(obj: &[(String, Value)], name: &str) -> Result<Option<u64>, OpproxErr
     }
 }
 
+fn opt_f64(obj: &[(String, Value)], name: &str) -> Result<Option<f64>, OpproxError> {
+    match get(obj, name) {
+        None => Ok(None),
+        Some(_) => need_f64(obj, name).map(Some),
+    }
+}
+
 fn need_f64(obj: &[(String, Value)], name: &str) -> Result<f64, OpproxError> {
     let v = need(obj, name)?;
     v.as_f64().ok_or_else(|| {
@@ -799,6 +1002,18 @@ mod tests {
                 phase: 1,
                 configs: vec![vec![0, 2], vec![1, 1]],
             }),
+            ApiRequest::Adaptive(AdaptiveParams::new("pso", vec![16.0, 3.0], 10.0)),
+            ApiRequest::Adaptive(AdaptiveParams {
+                tolerance: Some(0.4),
+                resegment: false,
+                drift_phase: Some(0),
+                drift_factor: Some(6.0),
+                drift_block: Some(1),
+                max_retries: Some(2),
+                backoff_ms: Some(0),
+                eval_timeout_ms: Some(250),
+                ..AdaptiveParams::new("pso", vec![16.0, 3.0], 10.0)
+            }),
         ];
         for req in reqs {
             let wire = req.to_wire();
@@ -837,6 +1052,45 @@ mod tests {
                 "frame {frame:?} gave {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn adaptive_reply_round_trips() {
+        let reply = ApiResponse::Adaptive(AdaptiveReply {
+            app: "pso".to_string(),
+            generation: 3,
+            levels: vec![vec![0, 0], vec![2, 1]],
+            predicted_speedup: 1.4,
+            predicted_qos: 8.5,
+            steps: 2,
+            replans: 1,
+            resegmented: true,
+            degraded: false,
+            budget_reclaimed: 7.25,
+            budget_redistributed: 7.25,
+            measured: Some(MeasuredReply {
+                speedup: 1.31,
+                qos: 6.9,
+                outer_iters: 40,
+            }),
+        });
+        let wire = reply.to_wire();
+        let parsed = ApiResponse::parse(&wire).unwrap();
+        assert_eq!(parsed, reply);
+        assert_eq!(parsed.to_wire(), wire, "canonical bytes");
+    }
+
+    #[test]
+    fn half_specified_drift_injection_is_rejected() {
+        let mut p = AdaptiveParams::new("pso", vec![1.0], 5.0);
+        p.drift_phase = Some(0);
+        let err = ApiRequest::parse(&ApiRequest::Adaptive(p).to_wire()).unwrap_err();
+        assert_eq!(WireCode::of(&err), WireCode::BadRequest);
+
+        let mut p = AdaptiveParams::new("pso", vec![1.0], 5.0);
+        p.drift_block = Some(1);
+        let err = ApiRequest::parse(&ApiRequest::Adaptive(p).to_wire()).unwrap_err();
+        assert_eq!(WireCode::of(&err), WireCode::BadRequest);
     }
 
     #[test]

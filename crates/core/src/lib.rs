@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod control;
 pub mod control_flow;
 pub mod error;
 pub mod evaluator;
@@ -64,6 +65,7 @@ pub(crate) mod sync;
 pub mod telemetry;
 
 pub use api::{ApiRequest, ApiResponse, WireCode, API_VERSION};
+pub use control::{ControlOptions, ControlOutcome, ControlStepRecord, DriftInjection};
 pub use error::OpproxError;
 pub use evaluator::{EvalEngine, EvalMetrics};
 pub use fault::{FailureKind, FaultPlan, RecoveryPolicy, RobustnessReport};

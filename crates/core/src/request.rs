@@ -43,6 +43,7 @@
 //! assert!(outcome.measured.is_some());
 //! ```
 
+use crate::control::{self, ControlOptions, ControlSummary};
 use crate::error::OpproxError;
 use crate::evaluator::EvalEngine;
 use crate::fault::{degradable_kind, RobustnessReport};
@@ -67,6 +68,10 @@ pub enum OptimizePath {
     /// No candidate passed validation; the fully accurate schedule was
     /// returned instead.
     AccurateFallback,
+    /// The closed-loop adaptive controller produced the plan: the
+    /// offline solve was executed phase-by-phase and re-planned on
+    /// drift (see [`crate::control`]).
+    Adaptive,
 }
 
 /// The result of an [`OptimizeRequest`].
@@ -92,6 +97,9 @@ pub struct OptimizeOutcome {
     /// seed and an injected manual clock the JSON export is
     /// byte-identical across thread counts.
     pub telemetry: TelemetryReport,
+    /// The adaptive controller's session ledger (`None` unless the
+    /// request ran with [`OptimizeRequest::adaptive`]).
+    pub control: Option<ControlSummary>,
 }
 
 /// Builder describing one optimization request against a trained system.
@@ -112,6 +120,7 @@ pub struct OptimizeRequest<'a> {
     validation_budget: usize,
     canary: Option<InputParams>,
     engine: Option<&'a EvalEngine>,
+    adaptive: Option<ControlOptions>,
 }
 
 impl<'a> OptimizeRequest<'a> {
@@ -125,6 +134,7 @@ impl<'a> OptimizeRequest<'a> {
             validation_budget: DEFAULT_VALIDATION_BUDGET,
             canary: None,
             engine: None,
+            adaptive: None,
         }
     }
 
@@ -169,6 +179,19 @@ impl<'a> OptimizeRequest<'a> {
         self
     }
 
+    /// Runs the request through the closed-loop adaptive controller
+    /// ([`crate::control::run_adaptive`]): the offline solve is executed
+    /// phase-by-phase, realized per-phase work is checked against the
+    /// model's confidence bands, and the remaining phases are re-planned
+    /// with the remaining budget when reality drifts. Requires
+    /// [`OptimizeRequest::validate_on`] (the controller executes the
+    /// application for real).
+    #[must_use]
+    pub fn adaptive(mut self, options: ControlOptions) -> Self {
+        self.adaptive = Some(options);
+        self
+    }
+
     /// Routes all validation executions through a shared [`EvalEngine`]
     /// so repeated configurations (across budgets, or against a prior
     /// training/oracle pass) come out of the execution cache. Without
@@ -190,6 +213,9 @@ impl<'a> OptimizeRequest<'a> {
         // a NaN coefficient or inverted band would silently poison every
         // Algorithm-2 solve below (`opprox analyze` rules A004/A007/A012).
         trained.validate_integrity()?;
+        if let Some(options) = &self.adaptive {
+            return self.run_adaptive(trained, options);
+        }
         let expected = trained.estimate_golden_iters(&self.input)?;
         let Some(app) = self.validation_app else {
             // A model-only solve still traces its budget division: use the
@@ -216,6 +242,7 @@ impl<'a> OptimizeRequest<'a> {
                 candidates_tried: 0,
                 robustness: None,
                 telemetry: telemetry.report(),
+                control: None,
             });
         };
         let private_engine;
@@ -235,6 +262,45 @@ impl<'a> OptimizeRequest<'a> {
         }
         outcome.telemetry = engine.telemetry_report();
         Ok(outcome)
+    }
+
+    /// The adaptive path: hand the whole session to the controller.
+    fn run_adaptive(
+        &self,
+        trained: &TrainedOpprox,
+        options: &ControlOptions,
+    ) -> Result<OptimizeOutcome, OpproxError> {
+        let Some(app) = self.validation_app else {
+            return Err(OpproxError::InvalidSpec(
+                "adaptive mode executes the application: call validate_on(app) as well".into(),
+            ));
+        };
+        let private_engine;
+        let engine = match self.engine {
+            Some(e) => e,
+            None => {
+                private_engine = EvalEngine::default();
+                &private_engine
+            }
+        };
+        let outcome = engine.stage("control", || {
+            control::run_adaptive(trained, app, engine, &self.input, &self.spec, options)
+        })?;
+        let report = engine.robustness_report();
+        let robustness = if engine.fault_injection_enabled() || report.has_activity() {
+            Some(report)
+        } else {
+            None
+        };
+        Ok(OptimizeOutcome {
+            plan: outcome.plan.clone(),
+            path: OptimizePath::Adaptive,
+            measured: outcome.measured,
+            candidates_tried: 0,
+            robustness,
+            telemetry: engine.telemetry_report(),
+            control: Some(outcome.summary()),
+        })
     }
 
     /// The validated path: generate a bounded candidate set, vet every
@@ -311,6 +377,7 @@ impl<'a> OptimizeRequest<'a> {
                     candidates_tried: 0,
                     robustness: None,
                     telemetry: TelemetryReport::default(),
+                    control: None,
                 });
             }
             Err(e) => return Err(e),
@@ -389,6 +456,7 @@ impl<'a> OptimizeRequest<'a> {
                 candidates_tried,
                 robustness: None,
                 telemetry: TelemetryReport::default(),
+                control: None,
             }),
             None => {
                 // Fall back to the fully accurate schedule.
@@ -410,6 +478,7 @@ impl<'a> OptimizeRequest<'a> {
                     candidates_tried,
                     robustness: None,
                     telemetry: TelemetryReport::default(),
+                    control: None,
                 })
             }
         }
@@ -542,7 +611,9 @@ mod tests {
                 assert_eq!(measured.speedup, 1.0);
                 assert!(outcome.plan.schedule.is_accurate());
             }
-            OptimizePath::ModelOnly => panic!("validation was requested"),
+            OptimizePath::ModelOnly | OptimizePath::Adaptive => {
+                panic!("validation was requested")
+            }
         }
     }
 

@@ -32,9 +32,10 @@
 //! once.
 
 use crate::api::{
-    ApiRequest, ApiResponse, HealthReply, MetricsReply, OptimizeParams, OptimizeReply,
-    PredictParams, PredictReply, PredictionReply,
+    AdaptiveParams, AdaptiveReply, ApiRequest, ApiResponse, HealthReply, MetricsReply,
+    OptimizeParams, OptimizeReply, PredictParams, PredictReply, PredictionReply,
 };
+use crate::control::{ControlOptions, DriftInjection};
 use crate::error::OpproxError;
 use crate::evaluator::EvalEngine;
 use crate::fault::RecoveryPolicy;
@@ -406,6 +407,11 @@ impl ServeState {
                 self.tele
                     .span("serve.optimize", || self.handle_optimize(models, p))
             }
+            ApiRequest::Adaptive(p) => {
+                self.tele.incr("serve.adaptive");
+                self.tele
+                    .span("serve.adaptive", || self.handle_adaptive(models, p))
+            }
             ApiRequest::Predict(p) => {
                 self.tele.incr("serve.predict");
                 self.tele
@@ -519,6 +525,7 @@ impl ServeState {
                 OptimizePath::ModelOnly => "model_only",
                 OptimizePath::Validated => "validated",
                 OptimizePath::AccurateFallback => "accurate_fallback",
+                OptimizePath::Adaptive => "adaptive",
             }
             .to_string(),
             levels: outcome
@@ -542,6 +549,88 @@ impl ServeState {
             self.cache_put(key, reply.clone());
         }
         Ok(ApiResponse::Optimize(reply))
+    }
+
+    fn handle_adaptive(
+        &self,
+        models: &ModelMap,
+        p: &AdaptiveParams,
+    ) -> Result<ApiResponse, OpproxError> {
+        let entry = self.entry(models, &p.app)?;
+        let trained = &entry.trained;
+        let input = InputParams::new(p.input.clone());
+        let spec = AccuracySpec::try_new(p.budget)?;
+
+        // The controller executes the application for real, so — like
+        // the validated optimize path — each request gets a private
+        // single-threaded engine carrying its own recovery knobs.
+        let app = opprox_apps::registry::by_name(&p.app).ok_or_else(|| {
+            OpproxError::Unavailable(format!(
+                "app `{}` has a trained artifact but no executable implementation",
+                p.app
+            ))
+        })?;
+        let mut policy = RecoveryPolicy::default();
+        if let Some(r) = p.max_retries {
+            policy.max_retries = u32::try_from(r).unwrap_or(u32::MAX);
+        }
+        if let Some(b) = p.backoff_ms {
+            policy.backoff_base_ms = b;
+        }
+        if let Some(t) = p.eval_timeout_ms {
+            policy.eval_timeout_ms = Some(t);
+        }
+        let engine = EvalEngine::with_recovery(1, policy);
+
+        let mut options = ControlOptions {
+            resegment: p.resegment,
+            ..ControlOptions::default()
+        };
+        if let Some(t) = p.tolerance {
+            options.drift_tolerance = t;
+        }
+        if let (Some(phase), Some(factor)) = (p.drift_phase, p.drift_factor) {
+            options.inject = Some(DriftInjection {
+                phase: usize::try_from(phase).unwrap_or(usize::MAX),
+                factor,
+                block: p
+                    .drift_block
+                    .map(|b| usize::try_from(b).unwrap_or(usize::MAX)),
+            });
+        }
+
+        let outcome = OptimizeRequest::new(input, spec)
+            .validate_on(app.as_ref())
+            .engine(&engine)
+            .adaptive(options)
+            .run(trained)?;
+        let control = outcome
+            .control
+            .expect("adaptive path always carries its control summary");
+        Ok(ApiResponse::Adaptive(AdaptiveReply {
+            app: p.app.clone(),
+            generation: entry.generation,
+            levels: outcome
+                .plan
+                .schedule
+                .configs()
+                .iter()
+                .map(|c| c.levels().iter().map(|&l| u64::from(l)).collect())
+                .collect(),
+            predicted_speedup: outcome.plan.predicted_speedup,
+            predicted_qos: outcome.plan.predicted_qos,
+            steps: control.steps.len() as u64,
+            replans: control.replans as u64,
+            resegmented: control.resegmented,
+            degraded: control.degraded,
+            budget_reclaimed: control.budget_reclaimed,
+            budget_redistributed: control.budget_redistributed,
+            measured: outcome.measured.map(|m| crate::api::MeasuredReply {
+                speedup: m.speedup,
+                qos: m.qos,
+                outer_iters: m.outer_iters,
+            }),
+        }))
     }
 
     fn handle_predict(

@@ -547,6 +547,69 @@ impl TelemetryReport {
                 .join(", ");
             let _ = writeln!(out, "  {}: [{}]", h.name, counts);
         }
+        out.push_str("adaptive control:\n");
+        let starts = self.events_named("control.start");
+        if starts.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for start in &starts {
+            let session = start.field("session").unwrap_or(f64::NAN);
+            let _ = writeln!(
+                out,
+                "  session {}: budget {} over {} phases (tolerance {})",
+                session,
+                start.field("budget").unwrap_or(f64::NAN),
+                start.field("phases").unwrap_or(f64::NAN),
+                start.field("tolerance").unwrap_or(f64::NAN),
+            );
+            for step in self
+                .events_named("control.step")
+                .iter()
+                .filter(|e| e.field("session") == Some(session))
+            {
+                let mut line = format!(
+                    "    step {}: phase {} observed {}x in [{}, {}], drift {}",
+                    step.field("step").unwrap_or(f64::NAN),
+                    step.field("phase").unwrap_or(f64::NAN),
+                    step.field("observed_speedup").unwrap_or(f64::NAN),
+                    step.field("band_lo").unwrap_or(f64::NAN),
+                    step.field("band_hi").unwrap_or(f64::NAN),
+                    step.field("drift").unwrap_or(f64::NAN),
+                );
+                if step.field("resegmented").unwrap_or(0.0) != 0.0 {
+                    line.push_str(" [re-segmented]");
+                }
+                if step.field("replanned").unwrap_or(0.0) != 0.0 {
+                    let _ = write!(
+                        line,
+                        " [re-planned: reclaimed {}, redistributed {}]",
+                        step.field("reclaimed").unwrap_or(f64::NAN),
+                        step.field("redistributed").unwrap_or(f64::NAN),
+                    );
+                }
+                let _ = writeln!(out, "{line}");
+            }
+            for plan in self
+                .events_named("control.plan")
+                .iter()
+                .filter(|e| e.field("session") == Some(session))
+            {
+                let _ = writeln!(
+                    out,
+                    "    plan: {} re-plans, reclaimed {}, redistributed {}, predicted {}x @ qos {}{}",
+                    plan.field("replans").unwrap_or(f64::NAN),
+                    plan.field("reclaimed").unwrap_or(f64::NAN),
+                    plan.field("redistributed").unwrap_or(f64::NAN),
+                    plan.field("predicted_speedup").unwrap_or(f64::NAN),
+                    plan.field("predicted_qos").unwrap_or(f64::NAN),
+                    if plan.field("degraded").unwrap_or(0.0) != 0.0 {
+                        " (degraded)"
+                    } else {
+                        ""
+                    },
+                );
+            }
+        }
         let _ = writeln!(out, "events: {} recorded", self.events.len());
         for e in &self.events {
             let fields = e

@@ -47,6 +47,62 @@ fn fixed_report() -> TelemetryReport {
         ],
     );
     tele.event("optimize.plan", &[("predicted_speedup", 1.4)]);
+    // One adaptive-controller session: a clean step, a drifted step that
+    // re-planned and moved budget, and the closing summary — exercising
+    // the `adaptive control:` section's flags and ledger columns.
+    tele.event(
+        "control.start",
+        &[
+            ("session", 0.0),
+            ("budget", 10.0),
+            ("phases", 2.0),
+            ("tolerance", 0.25),
+        ],
+    );
+    tele.event(
+        "control.step",
+        &[
+            ("session", 0.0),
+            ("step", 0.0),
+            ("phase", 0.0),
+            ("observed_speedup", 1.5),
+            ("band_lo", 1.2),
+            ("band_hi", 1.875),
+            ("drift", 0.0),
+            ("replanned", 0.0),
+            ("resegmented", 0.0),
+            ("reclaimed", 0.0),
+            ("redistributed", 0.0),
+        ],
+    );
+    tele.event(
+        "control.step",
+        &[
+            ("session", 0.0),
+            ("step", 1.0),
+            ("phase", 1.0),
+            ("observed_speedup", 3.5),
+            ("band_lo", 1.2),
+            ("band_hi", 1.875),
+            ("drift", 0.8),
+            ("replanned", 1.0),
+            ("resegmented", 1.0),
+            ("reclaimed", 1.5),
+            ("redistributed", 1.5),
+        ],
+    );
+    tele.event(
+        "control.plan",
+        &[
+            ("session", 0.0),
+            ("replans", 1.0),
+            ("reclaimed", 1.5),
+            ("redistributed", 1.5),
+            ("predicted_speedup", 1.6),
+            ("predicted_qos", 9.5),
+            ("degraded", 0.0),
+        ],
+    );
     tele.report()
 }
 
@@ -82,7 +138,11 @@ fn golden_file_covers_every_summary_section() {
         "counters:",
         "gauges (last / max):",
         "histograms:",
-        "events: 2 recorded",
+        "adaptive control:",
+        "  session 0: budget 10 over 2 phases (tolerance 0.25)",
+        "[re-segmented] [re-planned: reclaimed 1.5, redistributed 1.5]",
+        "    plan: 1 re-plans, reclaimed 1.5, redistributed 1.5",
+        "events: 6 recorded",
     ] {
         assert!(golden.contains(section), "golden file lost `{section}`");
     }

@@ -3,8 +3,8 @@
 //! rejected with the right wire error code.
 
 use opprox::core::api::{
-    ApiRequest, ApiResponse, HealthReply, OptimizeParams, OptimizeReply, PredictParams,
-    PredictReply, PredictionReply, WireCode, ALL_CODES, API_VERSION,
+    AdaptiveParams, AdaptiveReply, ApiRequest, ApiResponse, HealthReply, OptimizeParams,
+    OptimizeReply, PredictParams, PredictReply, PredictionReply, WireCode, ALL_CODES, API_VERSION,
 };
 use opprox::core::OpproxError;
 use proptest::prelude::*;
@@ -30,6 +30,10 @@ fn a_bool() -> impl Strategy<Value = bool> {
 
 fn opt_u64(range: std::ops::Range<u64>) -> impl Strategy<Value = Option<u64>> {
     (0u64..2, range).prop_map(|(some, v)| (some == 1).then_some(v))
+}
+
+fn opt_finite_f64() -> impl Strategy<Value = Option<f64>> {
+    (0u64..2, 0.0..100.0f64).prop_map(|(some, v)| (some == 1).then_some(v))
 }
 
 /// Finite inputs only: the wire renders non-finite floats as `null`, so
@@ -102,9 +106,50 @@ fn predict_params() -> impl Strategy<Value = PredictParams> {
         })
 }
 
+/// Adaptive frames generate only valid drift combinations — no
+/// injection, phase+factor, or phase+factor+block — because `to_wire`
+/// can never produce a half-specified one (the parser rejects those; see
+/// `half_specified_drift_injection_is_rejected` in the unit suite).
+fn adaptive_params() -> impl Strategy<Value = AdaptiveParams> {
+    (
+        (
+            app_name(),
+            proptest::collection::vec(finite_f64(), 0..4),
+            finite_f64(),
+        ),
+        (opt_finite_f64(), a_bool()),
+        ((0u64..3, 0u64..16), (finite_f64(), 0u64..8)),
+        (opt_u64(0..10), opt_u64(0..5000), opt_u64(0..5000)),
+    )
+        .prop_map(
+            |(
+                (app, input, budget),
+                (tolerance, resegment),
+                ((mode, phase), (factor, block)),
+                (retries, backoff, timeout),
+            )| {
+                let mut p = AdaptiveParams::new(app, input, budget);
+                p.tolerance = tolerance;
+                p.resegment = resegment;
+                if mode > 0 {
+                    p.drift_phase = Some(phase);
+                    p.drift_factor = Some(factor);
+                    if mode == 2 {
+                        p.drift_block = Some(block);
+                    }
+                }
+                p.max_retries = retries;
+                p.backoff_ms = backoff;
+                p.eval_timeout_ms = timeout;
+                p
+            },
+        )
+}
+
 fn api_request() -> impl Strategy<Value = ApiRequest> {
     OneOf(vec![
         optimize_params().prop_map(ApiRequest::Optimize).boxed(),
+        adaptive_params().prop_map(ApiRequest::Adaptive).boxed(),
         predict_params().prop_map(ApiRequest::Predict).boxed(),
         Just(ApiRequest::Health).boxed(),
         Just(ApiRequest::Metrics).boxed(),
@@ -171,12 +216,44 @@ fn api_response() -> impl Strategy<Value = ApiResponse> {
                 uptime_micros: uptime,
             })
         });
+    let adaptive = (
+        (app_name(), 0u64..100, levels()),
+        (finite_f64(), finite_f64()),
+        (0u64..16, 0u64..16),
+        (a_bool(), a_bool()),
+        (finite_f64(), finite_f64()),
+    )
+        .prop_map(
+            |(
+                (app, generation, levels),
+                (sp, qos),
+                (steps, replans),
+                (resegmented, degraded),
+                (reclaimed, redistributed),
+            )| {
+                ApiResponse::Adaptive(AdaptiveReply {
+                    app,
+                    generation,
+                    levels,
+                    predicted_speedup: sp,
+                    predicted_qos: qos,
+                    steps,
+                    replans,
+                    resegmented,
+                    degraded,
+                    budget_reclaimed: reclaimed,
+                    budget_redistributed: redistributed,
+                    measured: None,
+                })
+            },
+        );
     let error = (app_name(), 0usize..ALL_CODES.len()).prop_map(|(message, i)| ApiResponse::Error {
         code: ALL_CODES[i],
         message,
     });
     OneOf(vec![
         optimize.boxed(),
+        adaptive.boxed(),
         predict.boxed(),
         health.boxed(),
         error.boxed(),

@@ -8,13 +8,14 @@
 //! uncaught panic, and never serves a failed evaluation from the cache.
 
 use opprox::approx_rt::{ApproxApp, InputParams, PhaseSchedule};
+use opprox::core::control::{run_adaptive, ControlOptions};
 use opprox::core::evaluator::EvalEngine;
 use opprox::core::pipeline::Opprox;
 use opprox::core::request::OptimizeRequest;
 use opprox::core::AccuracySpec;
 use opprox_apps::Pso;
 use opprox_testutil::chaos::{ChaosScenario, FaultClass};
-use opprox_testutil::fixtures::{fast_training_options, prod_input};
+use opprox_testutil::fixtures::{fast_training_options, prod_input, trained_pso};
 use proptest::prelude::*;
 
 /// Every fault class, injected at a rate high enough to fire dozens of
@@ -71,6 +72,98 @@ fn chaos_matrix_every_fault_class_degrades_instead_of_aborting() {
             }
             Err(e) => assert!(!e.to_string().is_empty()),
         }
+    }
+}
+
+/// The closed-loop controller under the same chaos matrix: every fault
+/// class hits a mid-run adaptive session and the controller *degrades
+/// instead of aborting* — the session completes (or returns a typed
+/// error), the delivered plan still honors the QoS budget, the
+/// `control.step` ledger stays balanced (budget quarantine strands is
+/// redistributed, never leaked), and both the final plan and the fault
+/// ledger are byte-identical across worker thread counts.
+#[test]
+fn chaos_matrix_adaptive_controller_degrades_instead_of_aborting() {
+    let (trained, _) = trained_pso();
+    // A higher rate than the training matrix: the adaptive session runs
+    // far fewer evaluations, so the plan needs more chances to fire.
+    for (class, scenario) in ChaosScenario::matrix(0xADA97, 0.6) {
+        let run = |threads: usize| {
+            let engine = scenario.threads(threads).max_retries(1).engine();
+            let outcome = run_adaptive(
+                trained,
+                &Pso::new(),
+                &engine,
+                &prod_input("PSO"),
+                &AccuracySpec::new(10.0),
+                &ControlOptions::default(),
+            );
+            let report = serde_json::to_string(&engine.robustness_report()).unwrap();
+            (outcome, engine.robustness_report(), report)
+        };
+        let (outcome, report, report_bytes) = run(2);
+        assert!(
+            report.injected_faults > 0,
+            "{}: the plan never fired on the adaptive session",
+            class.label()
+        );
+
+        // Determinism survives the fault plan: thread count changes
+        // neither the fault ledger nor the controller's decisions.
+        let (outcome_single, _, report_single) = run(1);
+        assert_eq!(
+            report_bytes,
+            report_single,
+            "{}: thread count leaked into the fault ledger",
+            class.label()
+        );
+        assert_eq!(
+            outcome.is_ok(),
+            outcome_single.is_ok(),
+            "{}: adaptive verdict diverged across thread counts",
+            class.label()
+        );
+
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            // A typed error is acceptable degradation; reaching here
+            // without a panic is the point.
+            Err(e) => {
+                assert!(!e.to_string().is_empty());
+                continue;
+            }
+        };
+        let single = outcome_single.unwrap();
+        assert_eq!(
+            serde_json::to_string(&outcome.plan.phases).unwrap(),
+            serde_json::to_string(&single.plan.phases).unwrap(),
+            "{}: delivered plan diverged across thread counts",
+            class.label()
+        );
+
+        // QoS holds even when phases fell back to accurate under faults.
+        assert!(
+            outcome.plan.predicted_qos <= 10.0 + 1e-9,
+            "{}: re-planned QoS {} exceeds budget",
+            class.label(),
+            outcome.plan.predicted_qos
+        );
+        // The X009 conservation fact holds under every fault class: the
+        // budget reclaimed from quarantined or degraded phases is
+        // redistributed, bit for bit.
+        let reclaimed: f64 = outcome.steps.iter().map(|s| s.budget_reclaimed).sum();
+        let redistributed: f64 = outcome.steps.iter().map(|s| s.budget_redistributed).sum();
+        assert!(
+            (reclaimed - redistributed).abs() <= 1e-9 * reclaimed.abs().max(1.0),
+            "{}: ledger leaks budget: reclaimed {reclaimed} vs redistributed {redistributed}",
+            class.label()
+        );
+        assert_eq!(
+            outcome.steps.len(),
+            trained.num_phases(),
+            "{}: the walk visits every phase exactly once",
+            class.label()
+        );
     }
 }
 

@@ -2,7 +2,9 @@
 //! dispatch driven in-process with a [`ManualClock`], plus a real TCP
 //! server answering concurrent clients.
 
-use opprox::core::api::{ApiRequest, ApiResponse, OptimizeParams, PredictParams};
+use opprox::core::api::{
+    AdaptiveParams, ApiRequest, ApiResponse, OptimizeParams, PredictParams, WireCode,
+};
 use opprox::core::pool::WorkPool;
 use opprox::core::telemetry::Clock;
 use opprox::core::{ManualClock, ServeOptions, ServeState, Server, Submission};
@@ -234,4 +236,63 @@ fn tcp_server_answers_concurrent_clients() {
     server.stop();
     assert!(state.is_shutdown());
     assert!(state.telemetry().counter_value("serve.requests") >= 13);
+}
+
+/// The `adaptive` op end-to-end on the wire: a drift-injected
+/// closed-loop session round-trips over TCP with a balanced budget
+/// ledger, and an unknown op under protocol v1 is refused with a
+/// `bad_request` frame instead of tearing down the connection.
+#[test]
+fn tcp_adaptive_op_round_trips_and_unknown_op_is_refused() {
+    let state = Arc::new(ServeState::new(ServeOptions {
+        threads: 2,
+        ..ServeOptions::default()
+    }));
+    let path = temp_artifact("adaptive.json");
+    state.load_artifact(&path).expect("load artifact");
+    let mut server = Server::start(Arc::clone(&state)).expect("start server");
+    let addr = server.addr().to_string();
+
+    let mut params = AdaptiveParams::new("pso", vec![16.0, 3.0], 10.0);
+    params.drift_phase = Some(0);
+    params.drift_factor = Some(6.0);
+    let adaptive = ApiRequest::Adaptive(params).to_wire();
+    // A frame with a valid envelope but an op v1 does not know.
+    let unknown = r#"{"v":1,"kind":"resegment"}"#;
+    let replies = send_lines(&addr, &[&adaptive, unknown]);
+    assert_eq!(replies.len(), 2);
+
+    let ApiResponse::Adaptive(reply) = ApiResponse::parse(&replies[0]).expect("adaptive frame")
+    else {
+        panic!("expected an adaptive reply, got {}", replies[0]);
+    };
+    assert_eq!(reply.app, "pso");
+    assert!(reply.steps > 0, "the controller walked no phases");
+    assert!(reply.replans >= 1, "a 6x drift injection must re-plan");
+    assert!(
+        (reply.budget_reclaimed - reply.budget_redistributed).abs() <= 1e-9,
+        "ledger leaks budget on the wire: reclaimed {} vs redistributed {}",
+        reply.budget_reclaimed,
+        reply.budget_redistributed
+    );
+    assert!(
+        reply.predicted_qos <= 10.0 + 1e-9,
+        "re-planned QoS {} exceeds the requested budget",
+        reply.predicted_qos
+    );
+    assert!(reply.measured.is_some(), "adaptive sessions always execute");
+
+    let err = ApiResponse::parse(&replies[1]).expect("error frames parse");
+    let ApiResponse::Error { code, message } = err else {
+        panic!("expected an error frame, got {}", replies[1]);
+    };
+    assert_eq!(code, WireCode::BadRequest);
+    assert!(message.contains("unknown request kind"), "{message}");
+
+    let replies = send_lines(&addr, &[&ApiRequest::Shutdown.to_wire()]);
+    assert_eq!(
+        ApiResponse::parse(&replies[0]).expect("shutdown frame"),
+        ApiResponse::Shutdown
+    );
+    server.stop();
 }
