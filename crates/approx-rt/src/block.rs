@@ -15,7 +15,9 @@ impl std::fmt::Display for BlockId {
     }
 }
 
-/// The approximation technique a block implements (paper Sec. 3.2).
+/// The approximation technique a block implements (paper Sec. 3.2, plus
+/// the two survey techniques added for the non-paper workloads: precision
+/// scaling and task skipping).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TechniqueKind {
     /// Skip a fraction of a loop's iterations (stride sampling).
@@ -26,6 +28,10 @@ pub enum TechniqueKind {
     Memoization,
     /// Use an accuracy-controlling input parameter of the application.
     ParameterTuning,
+    /// Compute at reduced numeric precision (coarser quantization step).
+    PrecisionScaling,
+    /// Skip whole tasks whose significance falls below a level threshold.
+    TaskSkipping,
 }
 
 impl std::fmt::Display for TechniqueKind {
@@ -35,6 +41,8 @@ impl std::fmt::Display for TechniqueKind {
             TechniqueKind::LoopTruncation => "loop truncation",
             TechniqueKind::Memoization => "memoization",
             TechniqueKind::ParameterTuning => "parameter tuning",
+            TechniqueKind::PrecisionScaling => "precision scaling",
+            TechniqueKind::TaskSkipping => "task skipping",
         };
         f.write_str(s)
     }
@@ -92,6 +100,11 @@ mod tests {
             "loop perforation"
         );
         assert_eq!(TechniqueKind::Memoization.to_string(), "memoization");
+        assert_eq!(
+            TechniqueKind::PrecisionScaling.to_string(),
+            "precision scaling"
+        );
+        assert_eq!(TechniqueKind::TaskSkipping.to_string(), "task skipping");
     }
 
     #[test]

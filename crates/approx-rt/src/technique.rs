@@ -1,4 +1,6 @@
-//! The four approximation techniques evaluated in the paper (Sec. 3.2).
+//! The four approximation techniques evaluated in the paper (Sec. 3.2),
+//! plus two from the approximate-computing survey used by the non-paper
+//! workload ports.
 //!
 //! Each technique is expressed as a small, reusable helper so the
 //! benchmark applications approximate their kernels the same way the
@@ -12,6 +14,12 @@
 //!   reuse the cached result otherwise.
 //! * **Parameter tuning** — map the level onto an accuracy-controlling
 //!   application parameter.
+//! * **Precision scaling** — quantize intermediate values onto a
+//!   power-of-two grid whose step doubles per level, charging fewer work
+//!   units for lower-precision arithmetic ([`quantized`],
+//!   [`precision_cost`]).
+//! * **Task skipping** — skip whole tasks whose significance score falls
+//!   below a threshold that grows with the level ([`should_skip`]).
 
 /// Iterator over the indices a perforated loop visits.
 ///
@@ -171,6 +179,94 @@ pub fn tuned_parameter(values: &[f64], level: u8) -> f64 {
     values[(level as usize).min(values.len() - 1)]
 }
 
+/// Quantization step for precision scaling at `level`.
+///
+/// Level 0 is exact (step 0 means "no quantization"); level `l > 0` uses
+/// `base_step * 2^(l − 1)`, so every level doubles the grid spacing. The
+/// power-of-two ladder makes the truncation error provably monotone in
+/// the level: each coarser grid is a sub-grid of the finer one.
+pub fn quantization_step(level: u8, base_step: f64) -> f64 {
+    if level == 0 {
+        0.0
+    } else {
+        base_step * f64::powi(2.0, level as i32 - 1)
+    }
+}
+
+/// Quantizes `v` onto the precision-scaling grid for `level` by rounding
+/// toward negative infinity (floor), the paper-style truncating
+/// conversion to a narrower fixed-point type.
+///
+/// Level 0 returns `v` unchanged. For any fixed `v`, the absolute
+/// truncation error `v − quantized(v, l, s)` is non-decreasing in `l`
+/// because each level's grid is a subset of the previous one.
+///
+/// # Example
+///
+/// ```
+/// use opprox_approx_rt::technique::quantized;
+/// assert_eq!(quantized(3.7, 0, 0.5), 3.7);          // exact
+/// assert_eq!(quantized(3.7, 1, 0.5), 3.5);          // step 0.5
+/// assert_eq!(quantized(3.7, 2, 0.5), 3.0);          // step 1.0
+/// assert_eq!(quantized(-0.3, 1, 0.5), -0.5);        // floor, not trunc
+/// ```
+pub fn quantized(v: f64, level: u8, base_step: f64) -> f64 {
+    let step = quantization_step(level, base_step);
+    if step == 0.0 {
+        v
+    } else {
+        (v / step).floor() * step
+    }
+}
+
+/// Number of precision steps the cost model of [`precision_cost`]
+/// divides a full-precision operation into.
+pub const PRECISION_STEPS: u64 = 8;
+
+/// Work units charged for an operation computed at reduced precision.
+///
+/// Full precision (`level` 0) costs `full_cost`; every level sheds one
+/// eighth of the full cost — the abstract analogue of narrowing the
+/// datapath — with a floor of one unit so an executed operation is never
+/// free. Monotone non-increasing in `level` by construction.
+///
+/// # Example
+///
+/// ```
+/// use opprox_approx_rt::technique::precision_cost;
+/// assert_eq!(precision_cost(8, 0), 8);
+/// assert_eq!(precision_cost(8, 3), 5);
+/// assert_eq!(precision_cost(8, 200), 1); // clamped to the floor
+/// ```
+pub fn precision_cost(full_cost: u64, level: u8) -> u64 {
+    let shed = (full_cost * (level as u64).min(PRECISION_STEPS)) / PRECISION_STEPS;
+    (full_cost - shed).max(1)
+}
+
+/// Significance threshold for task skipping at `level`: `level * step`.
+///
+/// Level 0 has threshold 0, so nothing is skipped in the accurate run;
+/// the threshold grows linearly with the level, so the skipped set only
+/// ever grows as the level rises.
+pub fn skip_threshold(level: u8, step: f64) -> f64 {
+    level as f64 * step
+}
+
+/// Whether a task with the given (non-negative) significance score is
+/// skipped at `level`.
+///
+/// # Example
+///
+/// ```
+/// use opprox_approx_rt::technique::should_skip;
+/// assert!(!should_skip(0.0, 0, 0.1));    // accurate run skips nothing
+/// assert!(should_skip(0.05, 1, 0.1));    // below the level-1 threshold
+/// assert!(!should_skip(0.25, 2, 0.1));   // significant enough to run
+/// ```
+pub fn should_skip(significance: f64, level: u8, step: f64) -> bool {
+    level > 0 && significance < skip_threshold(level, step)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,5 +363,63 @@ mod tests {
     #[should_panic]
     fn tuned_parameter_rejects_empty_table() {
         tuned_parameter(&[], 0);
+    }
+
+    #[test]
+    fn quantization_error_is_monotone_in_level() {
+        for &v in &[0.0, 0.123, 3.7, -2.9, 1017.25, -0.0001] {
+            let mut prev_err = 0.0;
+            for level in 0u8..=6 {
+                let q = quantized(v, level, 0.125);
+                assert!(q <= v, "floor quantization overshot: {q} > {v}");
+                let err = v - q;
+                assert!(
+                    err >= prev_err - 1e-15,
+                    "error shrank: v={v} level={level} {prev_err} -> {err}"
+                );
+                prev_err = err;
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_level_zero_is_identity() {
+        for &v in &[0.0, 1.5, -7.25, 1e9] {
+            assert_eq!(quantized(v, 0, 0.5), v);
+        }
+    }
+
+    #[test]
+    fn precision_cost_is_monotone_with_unit_floor() {
+        let mut prev = u64::MAX;
+        for level in 0u8..=10 {
+            let c = precision_cost(16, level);
+            assert!(c <= prev, "cost rose at level {level}");
+            assert!(c >= 1);
+            prev = c;
+        }
+        assert_eq!(precision_cost(16, 0), 16);
+        assert_eq!(precision_cost(1, 7), 1);
+    }
+
+    #[test]
+    fn skip_threshold_grows_and_accurate_level_never_skips() {
+        for sig in [0.0, 0.001, 0.5, 10.0] {
+            assert!(!should_skip(sig, 0, 0.1));
+        }
+        let mut prev = -1.0;
+        for level in 0u8..=8 {
+            let t = skip_threshold(level, 0.25);
+            assert!(t > prev);
+            prev = t;
+        }
+        // The skipped set only grows: skipped at level l => skipped at l+1.
+        for level in 1u8..=7 {
+            for sig in [0.01, 0.3, 0.9, 1.4] {
+                if should_skip(sig, level, 0.25) {
+                    assert!(should_skip(sig, level + 1, 0.25));
+                }
+            }
+        }
     }
 }

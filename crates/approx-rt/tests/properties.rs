@@ -1,12 +1,108 @@
 //! Property-based tests for the approximation runtime.
 
+use opprox_approx_rt::app::AppMeta;
 use opprox_approx_rt::block::{BlockDescriptor, TechniqueKind};
+use opprox_approx_rt::log::CallContextLog;
 use opprox_approx_rt::qos::{psnr, relative_distortion, PSNR_CAP, QOS_SATURATION};
 use opprox_approx_rt::technique::{
-    perforated_indices, perforated_indices_offset, perforated_len, truncated_len, Memoizer,
+    perforated_indices, perforated_indices_offset, perforated_len, precision_cost,
+    quantization_step, quantized, should_skip, truncated_len, Memoizer,
 };
-use opprox_approx_rt::{LevelConfig, PhaseSchedule};
+use opprox_approx_rt::{
+    ApproxApp, InputParams, LevelConfig, PhaseSchedule, RunResult, RuntimeError, WorkCounter,
+};
 use proptest::prelude::*;
+
+/// A synthetic two-block fixture exercising the survey techniques:
+/// block 0 precision-scales a deterministic value stream, block 1
+/// task-skips low-significance values. The blocks write disjoint output
+/// ranges, so per-element error — and therefore the relative-distortion
+/// QoS — is provably monotone in each level: floor quantization onto a
+/// doubling grid nests (each coarser grid is a sub-grid of the finer
+/// one), and the skipped set only grows with the level.
+struct SyntheticSurvey {
+    meta: AppMeta,
+}
+
+impl SyntheticSurvey {
+    fn new() -> Self {
+        SyntheticSurvey {
+            meta: AppMeta {
+                name: "SyntheticSurvey".into(),
+                input_param_names: vec!["tasks".into()],
+                blocks: vec![
+                    BlockDescriptor::new("quantize", TechniqueKind::PrecisionScaling, 5),
+                    BlockDescriptor::new("skip", TechniqueKind::TaskSkipping, 5),
+                ],
+            },
+        }
+    }
+}
+
+impl ApproxApp for SyntheticSurvey {
+    fn meta(&self) -> &AppMeta {
+        &self.meta
+    }
+
+    fn run(
+        &self,
+        input: &InputParams,
+        schedule: &PhaseSchedule,
+    ) -> Result<RunResult, RuntimeError> {
+        self.meta.validate_input(input)?;
+        self.meta.validate_schedule(schedule)?;
+        let tasks = input.get(0) as usize;
+        if !(1..=4096).contains(&tasks) {
+            return Err(RuntimeError::InvalidInput(format!(
+                "tasks must be in 1..=4096, got {tasks}"
+            )));
+        }
+        let mut log = CallContextLog::new();
+        let mut counter = WorkCounter::new();
+        let mut output = Vec::with_capacity(2 * 4 * tasks);
+        for iter in 0..4u64 {
+            let cfg = schedule.config_at(iter);
+            // A deterministic value stream in [-5, 5.1).
+            let value = |k: usize| ((iter as usize * 17 + k * 29) % 101) as f64 / 10.0 - 5.0;
+
+            let lvl_p = cfg.level(0);
+            let cost = precision_cost(4, lvl_p);
+            let mut w = 0u64;
+            for k in 0..tasks {
+                output.push(quantized(value(k), lvl_p, 0.1));
+                w += cost;
+            }
+            counter.charge(w, w * 2);
+            log.record(iter, 0, w);
+
+            let lvl_s = cfg.level(1);
+            let mut w = 0u64;
+            for k in 0..tasks {
+                let v = value(k);
+                let significance = v.abs() / 5.1;
+                if should_skip(significance, lvl_s, 0.15) {
+                    output.push(0.0);
+                    w += 1;
+                } else {
+                    output.push(v);
+                    w += 5;
+                }
+            }
+            counter.charge(w, w);
+            log.record(iter, 1, w);
+        }
+        Ok(RunResult {
+            output,
+            work: counter.total(),
+            outer_iters: 4,
+            log,
+        })
+    }
+
+    fn representative_inputs(&self) -> Vec<InputParams> {
+        vec![InputParams::new(vec![64.0])]
+    }
+}
 
 proptest! {
     /// Perforation visits a subset of the index space, in order, starting
@@ -107,6 +203,109 @@ proptest! {
                 prop_assert!(s.config_at(it).is_accurate());
             }
         }
+    }
+
+    /// Floor quantization is exact at level 0 and its error never
+    /// decreases as the grid coarsens — each doubled step is a sub-grid
+    /// of the previous one.
+    #[test]
+    fn quantization_error_is_monotone_in_level(
+        v in -1e4f64..1e4,
+        base in 1e-3f64..10.0,
+    ) {
+        prop_assert_eq!(quantized(v, 0, base), v);
+        prop_assert_eq!(quantization_step(0, base), 0.0);
+        let mut prev_err = 0.0;
+        for level in 1u8..9 {
+            let q = quantized(v, level, base);
+            let err = (v - q).abs();
+            prop_assert!(q <= v, "floor quantization rounds down");
+            prop_assert!(err < quantization_step(level, base));
+            prop_assert!(err + 1e-12 >= prev_err, "error shrank from {prev_err} to {err} at level {level}");
+            prev_err = err;
+        }
+    }
+
+    /// Precision cost is non-increasing in the level, equals the full
+    /// cost at level 0, and never reaches zero — approximate hardware
+    /// still executes the instruction.
+    #[test]
+    fn precision_cost_is_monotone_and_positive(full in 1u64..100_000) {
+        prop_assert_eq!(precision_cost(full, 0), full);
+        let mut prev = full;
+        for level in 1u8..12 {
+            let c = precision_cost(full, level);
+            prop_assert!(c >= 1);
+            prop_assert!(c <= prev);
+            prev = c;
+        }
+    }
+
+    /// The skipped set grows with the level: a task skipped at level `l`
+    /// is skipped at every higher level, and level 0 skips nothing.
+    #[test]
+    fn skipped_set_grows_with_level(
+        significance in 0.0f64..2.0,
+        step in 1e-3f64..1.0,
+    ) {
+        prop_assert!(!should_skip(significance, 0, step));
+        for level in 0u8..8 {
+            if should_skip(significance, level, step) {
+                prop_assert!(
+                    should_skip(significance, level + 1, step),
+                    "task un-skipped when the level rose from {level}"
+                );
+            }
+        }
+    }
+
+    /// The synthetic survey app accepts every in-range configuration
+    /// without panicking and rejects out-of-range levels with a typed
+    /// error — never an unwind.
+    #[test]
+    fn synthetic_survey_never_panics(
+        levels in proptest::collection::vec(0u8..10, 2),
+        tasks in 1u64..200,
+    ) {
+        let app = SyntheticSurvey::new();
+        let input = InputParams::new(vec![tasks as f64]);
+        let schedule = PhaseSchedule::constant(LevelConfig::new(levels.clone()));
+        match app.run(&input, &schedule) {
+            Ok(run) => {
+                prop_assert!(levels.iter().all(|&l| l <= 5));
+                prop_assert!(run.output.iter().all(|v| v.is_finite()));
+                prop_assert!(run.work > 0);
+            }
+            Err(e) => {
+                prop_assert!(levels.iter().any(|&l| l > 5), "in-range config refused: {e}");
+            }
+        }
+    }
+
+    /// QoS degradation is monotone under the pointwise order on
+    /// configurations: raising any level never improves quality.
+    #[test]
+    fn synthetic_survey_qos_is_monotone_in_levels(
+        lo in proptest::collection::vec(0u8..6, 2),
+        bump in proptest::collection::vec(0u8..6, 2),
+        tasks in 8u64..128,
+    ) {
+        let app = SyntheticSurvey::new();
+        let input = InputParams::new(vec![tasks as f64]);
+        let hi: Vec<u8> = lo.iter().zip(bump.iter()).map(|(&a, &d)| (a + d).min(5)).collect();
+        let golden = app.golden(&input).unwrap();
+        let q_lo = app.qos_degradation(
+            &golden,
+            &app.run(&input, &PhaseSchedule::constant(LevelConfig::new(lo))).unwrap(),
+        );
+        let q_hi = app.qos_degradation(
+            &golden,
+            &app.run(&input, &PhaseSchedule::constant(LevelConfig::new(hi))).unwrap(),
+        );
+        prop_assert!(
+            q_lo <= q_hi + 1e-12,
+            "raising levels improved QoS: {q_lo} -> {q_hi}"
+        );
     }
 
     /// Validation accepts exactly the configurations whose levels are all

@@ -16,6 +16,9 @@ fn cheap_input(name: &str) -> InputParams {
         "Bodytrack" => vec![3.0, 120.0, 12.0],
         "PSO" => vec![16.0, 3.0],
         "CoMD" => vec![3.0, 1.2, 60.0],
+        "PageRank" => vec![32.0, 3.0, 40.0],
+        "StreamAgg" => vec![48.0, 24.0],
+        "Stencil" => vec![12.0, 24.0],
         other => panic!("unknown app {other}"),
     })
 }

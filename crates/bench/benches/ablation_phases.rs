@@ -22,6 +22,9 @@ fn main() {
         ("Bodytrack", vec![3.0, 150.0, 30.0]),
         ("PSO", vec![20.0, 4.0]),
         ("CoMD", vec![3.0, 1.2, 150.0]),
+        ("PageRank", vec![64.0, 4.0, 100.0]),
+        ("StreamAgg", vec![96.0, 50.0]),
+        ("Stencil", vec![20.0, 50.0]),
     ];
 
     let mut table = TextTable::new(vec![

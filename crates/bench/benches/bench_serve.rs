@@ -1,7 +1,10 @@
 //! Serving-layer benchmark: per-request latency (p50/p99) and aggregate
 //! throughput of `opprox serve` over real TCP connections, across worker
-//! thread counts. Committed baselines live in `BENCH_serve.json` at the
-//! workspace root.
+//! thread counts, under heterogeneous traffic — every client interleaves
+//! requests for two applications with different block counts and input
+//! arities (PSO and StreamAgg), so the store lookup and per-app plan
+//! caches are exercised the way a multi-tenant deployment would.
+//! Committed baselines live in `BENCH_serve.json` at the workspace root.
 
 use opprox_bench::TextTable;
 use opprox_core::api::{ApiRequest, OptimizeParams, PredictParams};
@@ -18,8 +21,8 @@ const CLIENTS: usize = 4;
 const REQUESTS_PER_CLIENT: usize = 100;
 const THREAD_COUNTS: [usize; 2] = [1, 4];
 
-fn train_pso() -> TrainedOpprox {
-    let options = TrainingOptions {
+fn fast_options() -> TrainingOptions {
+    TrainingOptions {
         num_phases: Some(2),
         sampling: SamplingPlan {
             num_phases: 2,
@@ -28,14 +31,37 @@ fn train_pso() -> TrainedOpprox {
             seed: 5,
         },
         ..TrainingOptions::default()
-    };
-    Opprox::train(&opprox_apps::Pso::new(), &options).expect("train PSO")
+    }
+}
+
+fn train_pso() -> TrainedOpprox {
+    Opprox::train(&opprox_apps::Pso::new(), &fast_options()).expect("train PSO")
+}
+
+fn train_streamagg() -> TrainedOpprox {
+    Opprox::train(&opprox_apps::StreamAgg::new(), &fast_options()).expect("train StreamAgg")
 }
 
 /// The request mix one client sends: mostly predict frames over a small
 /// rotating input set, with an optimize frame every eighth request (the
 /// repeats exercise the plan cache exactly as a production client would).
+/// Every fourth request targets StreamAgg instead of PSO, so each
+/// connection hops between model-store entries.
 fn request_wire(i: usize) -> String {
+    if i % 4 == 2 {
+        let input = vec![64.0 + 32.0 * ((i / 4) % 2) as f64, 40.0];
+        return if i % 8 == 6 {
+            ApiRequest::Optimize(OptimizeParams::new("streamagg", input, 10.0)).to_wire()
+        } else {
+            ApiRequest::Predict(PredictParams {
+                app: "streamagg".to_string(),
+                input,
+                phase: (i % 2) as u64,
+                configs: vec![vec![0, 0, 0], vec![2, 1, 3]],
+            })
+            .to_wire()
+        };
+    }
     let input = vec![16.0 + (i % 4) as f64, 3.0];
     if i % 8 == 7 {
         ApiRequest::Optimize(OptimizeParams::new("pso", input, 10.0)).to_wire()
@@ -79,8 +105,12 @@ fn quantile(sorted: &[Duration], q: f64) -> Duration {
 }
 
 fn main() {
-    println!("serve latency/throughput — {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests\n");
+    println!(
+        "serve latency/throughput — {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests, \
+         mixed PSO + StreamAgg traffic\n"
+    );
     let trained = train_pso();
+    let trained_agg = train_streamagg();
 
     let mut table = TextTable::new(vec![
         "threads".into(),
@@ -95,6 +125,7 @@ fn main() {
             ..ServeOptions::default()
         }));
         state.install(trained.clone(), None);
+        state.install(trained_agg.clone(), None);
         let server = Server::start(Arc::clone(&state)).expect("start server");
         let addr = server.addr().to_string();
 

@@ -277,8 +277,10 @@ pub fn cmd_help(out: &mut dyn std::io::Write) -> CmdResult {
          \x20                                          send one wire request, print the reply\n\
          \n\
          Inputs are comma-separated parameter values, e.g. --input 64,2 for\n\
-         LULESH (mesh_length, num_regions). --threads bounds the evaluation\n\
-         engine's worker pool (default: all cores).\n\
+         LULESH (mesh_length, num_regions) or --input 64,4,100 for PageRank\n\
+         (nodes, out_degree, max_steps); `opprox apps` lists every port with\n\
+         its parameters and blocks. --threads bounds the evaluation engine's\n\
+         worker pool (default: all cores).\n\
          \n\
          Engine-backed commands (and model-only optimize) also accept\n\
          --trace-out FILE [--trace-format json|chrome|text] to export the\n\
@@ -1184,9 +1186,40 @@ mod tests {
         let help = run(&["help"]).unwrap();
         assert!(help.contains("USAGE"));
         let apps = run(&["apps"]).unwrap();
-        for name in ["LULESH", "FFmpeg", "Bodytrack", "PSO", "CoMD"] {
+        for name in [
+            "LULESH",
+            "FFmpeg",
+            "Bodytrack",
+            "PSO",
+            "CoMD",
+            "PageRank",
+            "StreamAgg",
+            "Stencil",
+        ] {
             assert!(apps.contains(name), "missing {name}");
         }
+        for technique in ["precision scaling", "task skipping"] {
+            assert!(apps.contains(technique), "missing technique {technique}");
+        }
+    }
+
+    #[test]
+    fn new_ports_resolve_and_run_through_the_cli() {
+        // `phases` is the cheapest engine-backed command; running it for a
+        // survey port proves the registry-driven lookup covers new apps.
+        let out = run(&[
+            "phases",
+            "--app",
+            "streamagg",
+            "--input",
+            "48,24",
+            "--probes",
+            "2",
+            "--threads",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("phase"), "{out}");
     }
 
     #[test]

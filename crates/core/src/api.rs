@@ -57,6 +57,8 @@ pub enum WireCode {
     Unavailable,
     /// [`OpproxError::NonFiniteMeasurement`].
     NonFiniteMeasurement,
+    /// [`OpproxError::DuplicateRegistration`].
+    DuplicateRegistration,
 }
 
 impl WireCode {
@@ -78,6 +80,7 @@ impl WireCode {
             WireCode::Overloaded => "overloaded",
             WireCode::Unavailable => "unavailable",
             WireCode::NonFiniteMeasurement => "non_finite_measurement",
+            WireCode::DuplicateRegistration => "duplicate_registration",
         }
     }
 
@@ -113,6 +116,7 @@ impl WireCode {
             OpproxError::Overloaded { .. } => WireCode::Overloaded,
             OpproxError::Unavailable(_) => WireCode::Unavailable,
             OpproxError::NonFiniteMeasurement(_) => WireCode::NonFiniteMeasurement,
+            OpproxError::DuplicateRegistration { .. } => WireCode::DuplicateRegistration,
         }
     }
 }
@@ -135,6 +139,7 @@ pub const ALL_CODES: &[WireCode] = &[
     WireCode::Overloaded,
     WireCode::Unavailable,
     WireCode::NonFiniteMeasurement,
+    WireCode::DuplicateRegistration,
 ];
 
 /// Parameters of an `optimize` request frame.

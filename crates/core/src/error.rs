@@ -78,6 +78,14 @@ pub enum OpproxError {
     /// `non_finite_measurement`). Replaces the old panic paths in the
     /// validated-optimization sort.
     NonFiniteMeasurement(String),
+    /// Registering an application collided with one already present
+    /// (wire code `duplicate_registration`); converted from
+    /// [`opprox_apps::RegistryError`] so registry construction errors
+    /// flow through the same reporting paths as every other failure.
+    DuplicateRegistration {
+        /// The application name that collided.
+        name: String,
+    },
 }
 
 impl fmt::Display for OpproxError {
@@ -124,6 +132,12 @@ impl fmt::Display for OpproxError {
             OpproxError::NonFiniteMeasurement(msg) => {
                 write!(f, "non-finite measurement: {msg}")
             }
+            OpproxError::DuplicateRegistration { name } => {
+                write!(
+                    f,
+                    "duplicate app registration: `{name}` is already registered"
+                )
+            }
         }
     }
 }
@@ -150,6 +164,16 @@ impl From<MlError> for OpproxError {
     }
 }
 
+impl From<opprox_apps::RegistryError> for OpproxError {
+    fn from(e: opprox_apps::RegistryError) -> Self {
+        match e {
+            opprox_apps::RegistryError::DuplicateApp { name } => {
+                OpproxError::DuplicateRegistration { name }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +184,9 @@ mod tests {
         assert!(e.to_string().contains("application runtime error"));
         let e: OpproxError = MlError::InvalidTrainingData("y".into()).into();
         assert!(e.to_string().contains("modeling error"));
+        let e: OpproxError = opprox_apps::RegistryError::DuplicateApp { name: "PSO".into() }.into();
+        assert!(e.to_string().contains("duplicate app registration"));
+        assert!(e.to_string().contains("PSO"));
         assert!(OpproxError::NoFeasibleConfig { budget: 5.0 }
             .to_string()
             .contains('5'));

@@ -8,7 +8,7 @@
 
 use opprox_approx_rt::block::{BlockDescriptor, TechniqueKind};
 use opprox_approx_rt::{ApproxApp, InputParams, LevelConfig, PhaseSchedule};
-use opprox_apps::Pso;
+use opprox_apps::{Pso, StreamAgg};
 use opprox_core::modeling::ModelingOptions;
 use opprox_core::pipeline::{Opprox, TrainedOpprox, TrainingOptions};
 use opprox_core::sampling::{collect_training_data, SamplingPlan, TrainingData};
@@ -52,6 +52,9 @@ pub fn prod_input(name: &str) -> InputParams {
         "Bodytrack" => vec![3.0, 120.0, 20.0],
         "PSO" => vec![16.0, 3.0],
         "CoMD" => vec![3.0, 1.2, 100.0],
+        "PageRank" => vec![64.0, 4.0, 100.0],
+        "StreamAgg" => vec![96.0, 50.0],
+        "Stencil" => vec![20.0, 50.0],
         other => panic!("unknown app {other}"),
     })
 }
@@ -112,6 +115,23 @@ pub fn trained_pso() -> &'static (TrainedOpprox, TrainingData) {
         let trained = Opprox::train_from_data(&app, &data, 2, &ModelingOptions::default())
             .expect("fixture system trains");
         (trained, data)
+    })
+}
+
+/// One real trained StreamAgg system, shared by every suite in the
+/// process. The second trained fixture exists so serve and chaos suites
+/// can exercise genuinely heterogeneous multi-app traffic: StreamAgg has
+/// a different block count, techniques (task skipping, precision
+/// scaling, memoization), and input arity than PSO.
+pub fn trained_streamagg() -> &'static TrainedOpprox {
+    static CELL: OnceLock<TrainedOpprox> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let app = StreamAgg::new();
+        let plan = fast_sampling_plan(2, 5);
+        let data = collect_training_data(&app, &app.representative_inputs(), &plan)
+            .expect("fixture training data collects");
+        Opprox::train_from_data(&app, &data, 2, &ModelingOptions::default())
+            .expect("fixture system trains")
     })
 }
 

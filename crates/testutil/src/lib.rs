@@ -13,6 +13,10 @@
 //!   builders, and the shared lazily-trained PSO system.
 //! * [`json`] — surgical mutation of serialized `Value` trees, for
 //!   seeding corruption that cannot survive a JSON text round-trip.
+//! * [`conformance`] — the registry-driven [`ApproxApp`](opprox_approx_rt::ApproxApp)
+//!   contract suite: golden reproduction at level 0, finite QoS,
+//!   monotone block work, thread-count invariance, and block coverage,
+//!   all takeable by `&dyn ApproxApp` so one loop covers every port.
 //! * [`chaos`] — scenario builders that wire a
 //!   [`FaultPlan`](opprox_core::FaultPlan) and
 //!   [`RecoveryPolicy`](opprox_core::RecoveryPolicy) into an evaluation
@@ -30,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod conformance;
 pub mod fixtures;
 pub mod json;
 pub mod rng;

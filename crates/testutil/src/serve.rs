@@ -2,7 +2,7 @@
 //! protocol: artifact files for hot-reload tests and a minimal
 //! line-oriented TCP client.
 
-use crate::fixtures::trained_pso;
+use crate::fixtures::{trained_pso, trained_streamagg};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::Path;
@@ -18,6 +18,20 @@ use std::path::Path;
 pub fn write_pso_artifact(path: impl AsRef<Path>) {
     let json = trained_pso().0.to_json().expect("serialize PSO artifact");
     std::fs::write(path.as_ref(), json).expect("write PSO artifact");
+}
+
+/// Writes the shared lazily-trained StreamAgg artifact to `path`, for
+/// suites that serve more than one application at once.
+///
+/// # Panics
+///
+/// Panics when serialization or the write fails — test-fixture errors
+/// should fail loudly.
+pub fn write_streamagg_artifact(path: impl AsRef<Path>) {
+    let json = trained_streamagg()
+        .to_json()
+        .expect("serialize StreamAgg artifact");
+    std::fs::write(path.as_ref(), json).expect("write StreamAgg artifact");
 }
 
 /// Sends each request line to a running server over one connection and

@@ -13,7 +13,7 @@ use opprox::core::evaluator::EvalEngine;
 use opprox::core::pipeline::Opprox;
 use opprox::core::request::OptimizeRequest;
 use opprox::core::AccuracySpec;
-use opprox_apps::Pso;
+use opprox_apps::{Pso, StreamAgg};
 use opprox_testutil::chaos::{ChaosScenario, FaultClass};
 use opprox_testutil::fixtures::{fast_training_options, prod_input, trained_pso};
 use proptest::prelude::*;
@@ -23,13 +23,13 @@ use proptest::prelude::*;
 /// dropped samples, retries, quarantines, a typed error at worst — and
 /// never abort the process. The per-class counter proves the class
 /// actually fired (the schedule is deterministic per seed, so these
-/// assertions are stable).
-#[test]
-fn chaos_matrix_every_fault_class_degrades_instead_of_aborting() {
-    for (class, scenario) in ChaosScenario::matrix(0xC4405, 0.3) {
+/// assertions are stable). Generic over the application so the matrix
+/// covers more than one workload shape.
+fn assert_fault_matrix_degrades<A: ApproxApp>(app: A, seed: u64) {
+    let name = app.meta().name.clone();
+    for (class, scenario) in ChaosScenario::matrix(seed, 0.3) {
         let scenario = scenario.threads(2).max_retries(2);
         let engine = scenario.engine();
-        let app = Pso::new();
         let trained = Opprox::train_with(&engine, &app, &fast_training_options(2));
         let report = engine.robustness_report();
         assert!(
@@ -54,7 +54,7 @@ fn chaos_matrix_every_fault_class_degrades_instead_of_aborting() {
                 continue;
             }
         };
-        match OptimizeRequest::new(prod_input("PSO"), AccuracySpec::new(10.0))
+        match OptimizeRequest::new(prod_input(&name), AccuracySpec::new(10.0))
             .validate_on(&app)
             .engine(&engine)
             .run(&trained)
@@ -73,6 +73,20 @@ fn chaos_matrix_every_fault_class_degrades_instead_of_aborting() {
             Err(e) => assert!(!e.to_string().is_empty()),
         }
     }
+}
+
+#[test]
+fn chaos_matrix_every_fault_class_degrades_instead_of_aborting() {
+    assert_fault_matrix_degrades(Pso::new(), 0xC4405);
+}
+
+/// The same matrix over a structurally different workload: StreamAgg's
+/// streaming enumerator loop, 2-parameter input space, and survey
+/// techniques (task skipping, precision scaling, memoization) exercise
+/// recovery paths a convergence loop never hits.
+#[test]
+fn chaos_matrix_covers_a_streaming_workload() {
+    assert_fault_matrix_degrades(StreamAgg::new(), 0xC4406);
 }
 
 /// The closed-loop controller under the same chaos matrix: every fault

@@ -8,7 +8,7 @@ use opprox::core::api::{
 use opprox::core::pool::WorkPool;
 use opprox::core::telemetry::Clock;
 use opprox::core::{ManualClock, ServeOptions, ServeState, Server, Submission};
-use opprox_testutil::serve::{send_lines, write_pso_artifact};
+use opprox_testutil::serve::{send_lines, write_pso_artifact, write_streamagg_artifact};
 use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::sync::Arc;
@@ -236,6 +236,113 @@ fn tcp_server_answers_concurrent_clients() {
     server.stop();
     assert!(state.is_shutdown());
     assert!(state.telemetry().counter_value("serve.requests") >= 13);
+}
+
+/// Heterogeneous traffic against a multi-app store: one server holds
+/// trained artifacts for two applications with different block counts
+/// and input arities, concurrent clients interleave requests across
+/// them on the same connections, and every reply routes to the right
+/// model (PSO replies have 3-level plans, StreamAgg replies 3-block
+/// predictions of their own). An unknown app is refused with a frame
+/// listing both loaded names.
+#[test]
+fn tcp_server_routes_mixed_app_traffic() {
+    let state = Arc::new(ServeState::new(ServeOptions {
+        threads: 2,
+        ..ServeOptions::default()
+    }));
+    let pso_path = temp_artifact("mixed_pso.json");
+    state.load_artifact(&pso_path).expect("load PSO artifact");
+    let agg_path = std::env::temp_dir()
+        .join("opprox_serve_tests")
+        .join("mixed_streamagg.json");
+    write_streamagg_artifact(&agg_path);
+    let loaded = state
+        .load_artifact(&agg_path)
+        .expect("load StreamAgg artifact");
+    assert_eq!(loaded, "streamagg");
+
+    let ApiResponse::Health(health) = state.handle(&ApiRequest::Health) else {
+        panic!("expected a health reply");
+    };
+    assert_eq!(
+        health.apps,
+        vec!["pso".to_string(), "streamagg".to_string()]
+    );
+
+    let mut server = Server::start(Arc::clone(&state)).expect("start server");
+    let addr = server.addr().to_string();
+
+    let clients: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let pso_opt = ApiRequest::Optimize(OptimizeParams::new(
+                    "pso",
+                    vec![16.0, 3.0 + i as f64],
+                    10.0,
+                ))
+                .to_wire();
+                let agg_opt =
+                    ApiRequest::Optimize(OptimizeParams::new("StreamAgg", vec![64.0, 40.0], 10.0))
+                        .to_wire();
+                let agg_pred = ApiRequest::Predict(PredictParams {
+                    app: "streamagg".to_string(),
+                    input: vec![64.0, 40.0],
+                    phase: 0,
+                    configs: vec![vec![0, 0, 0], vec![2, 1, 3]],
+                })
+                .to_wire();
+                send_lines(&addr, &[&pso_opt, &agg_opt, &agg_pred])
+            })
+        })
+        .collect();
+    for client in clients {
+        let replies = client.join().expect("client thread");
+        assert_eq!(replies.len(), 3);
+        let ApiResponse::Optimize(pso) = ApiResponse::parse(&replies[0]).expect("pso frame") else {
+            panic!("expected a PSO optimize reply, got {}", replies[0]);
+        };
+        assert_eq!(pso.app, "pso");
+        let ApiResponse::Optimize(agg) = ApiResponse::parse(&replies[1]).expect("agg frame") else {
+            panic!("expected a StreamAgg optimize reply, got {}", replies[1]);
+        };
+        // The reply echoes the client's spelling; routing is
+        // case-insensitive against the lowercased store key.
+        assert!(agg.app.eq_ignore_ascii_case("streamagg"), "{}", agg.app);
+        assert!(
+            agg.levels.iter().all(|cfg| cfg.len() == 3),
+            "StreamAgg plans must cover its 3 blocks: {:?}",
+            agg.levels
+        );
+        let ApiResponse::Predict(pred) = ApiResponse::parse(&replies[2]).expect("predict frame")
+        else {
+            panic!("expected a predict reply, got {}", replies[2]);
+        };
+        assert_eq!(pred.predictions.len(), 2);
+    }
+
+    // An app the store does not hold is refused, naming what is loaded.
+    let missing =
+        ApiRequest::Optimize(OptimizeParams::new("lulesh", vec![48.0, 2.0], 10.0)).to_wire();
+    let replies = send_lines(&addr, &[&missing]);
+    let ApiResponse::Error { code, message } =
+        ApiResponse::parse(&replies[0]).expect("error frame")
+    else {
+        panic!("expected an error frame, got {}", replies[0]);
+    };
+    assert_eq!(code, WireCode::UnknownApp);
+    assert!(
+        message.contains("pso") && message.contains("streamagg"),
+        "{message}"
+    );
+
+    let replies = send_lines(&addr, &[&ApiRequest::Shutdown.to_wire()]);
+    assert_eq!(
+        ApiResponse::parse(&replies[0]).expect("shutdown frame"),
+        ApiResponse::Shutdown
+    );
+    server.stop();
 }
 
 /// The `adaptive` op end-to-end on the wire: a drift-injected
